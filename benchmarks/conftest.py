@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+All targets share one :class:`ExperimentContext`, so compiled builds,
+learned rule sets and DBT runs are reused across benches within one
+pytest session (the figures intentionally share those inputs, exactly
+as the paper's evaluation reuses one learning run).
+"""
+
+import pytest
+
+from repro.experiments.common import shared_context
+
+
+@pytest.fixture(scope="session")
+def context():
+    return shared_context()
+
+
+def run_once(benchmark, fn):
+    """Time a whole-experiment regeneration exactly once."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,88 @@
+"""Ablation: the paper's opcode-mean hash vs. alternative rule indexes.
+
+Counts how many rule-sequence comparison attempts each indexing scheme
+performs while translating a benchmark — the cost the paper's Section 4
+hash table is meant to bound.
+"""
+
+from benchmarks.conftest import run_once
+from repro.guest_arm import isa as arm_isa
+from repro.learning.rule import match_rule
+from repro.learning.store import RuleMatch, RuleStore
+
+
+class CountingStore(RuleStore):
+    """Opcode-mean hash (the paper's scheme), counting comparisons."""
+
+    comparisons = 0
+
+    def match_at(self, instrs, start, limit=None):
+        max_len = len(instrs) - start
+        if limit is not None:
+            max_len = min(max_len, limit)
+        max_len = min(max_len, self._max_length)
+        ids = [arm_isa.opcode_id(i) for i in instrs[start:start + max_len]]
+        prefix = [0]
+        for opcode in ids:
+            prefix.append(prefix[-1] + opcode)
+        for length in range(max_len, 0, -1):
+            key = prefix[length] // length
+            for rule in self._buckets.get(key, ()):
+                if rule.length != length:
+                    continue
+                type(self).comparisons += 1
+                binding = match_rule(rule, instrs[start:start + length])
+                if binding is not None:
+                    return RuleMatch(rule, binding, length)
+        return None
+
+
+class LinearStore(CountingStore):
+    """No hash at all: every rule of each length is tried."""
+
+    comparisons = 0
+
+    def match_at(self, instrs, start, limit=None):
+        max_len = len(instrs) - start
+        if limit is not None:
+            max_len = min(max_len, limit)
+        max_len = min(max_len, self._max_length)
+        all_rules = self.all_rules()
+        for length in range(max_len, 0, -1):
+            for rule in all_rules:
+                if rule.length != length:
+                    continue
+                type(self).comparisons += 1
+                binding = match_rule(rule, instrs[start:start + length])
+                if binding is not None:
+                    return RuleMatch(rule, binding, length)
+        return None
+
+
+def _translate_all(context, store_cls, name="gcc"):
+    store_cls.comparisons = 0
+    base = context.rule_store_excluding(name)
+    store = store_cls.from_rules(base.all_rules())
+    guest = context.build(name, "arm", workload="test")
+    from repro.dbt.engine import DBTEngine
+
+    result = DBTEngine(guest, "rules", store).run()
+    return store_cls.comparisons, result.return_value
+
+
+def test_ablation_hash(benchmark, context):
+    def ablate():
+        return {
+            "opcode-mean": _translate_all(context, CountingStore),
+            "linear-scan": _translate_all(context, LinearStore),
+        }
+
+    results = run_once(benchmark, ablate)
+    print()
+    for scheme, (count, _) in results.items():
+        print(f"{scheme:>12s}: {count} rule comparisons")
+
+    # Correctness is index-independent ...
+    assert results["opcode-mean"][1] == results["linear-scan"][1]
+    # ... and the paper's hash prunes most comparisons.
+    assert results["opcode-mean"][0] * 3 < results["linear-scan"][0]

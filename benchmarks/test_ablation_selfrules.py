@@ -1,0 +1,37 @@
+"""Ablation: leave-one-out vs. training on the benchmark itself.
+
+Self-trained rules are an upper bound on coverage (every learnable line
+of the program contributes a rule); the paper's leave-one-out protocol
+shows how much generalization closes that gap.  Cross-benchmark rules
+must recover a large fraction of the self-trained dynamic coverage.
+"""
+
+from benchmarks.conftest import run_once
+from repro.dbt.engine import DBTEngine
+from repro.learning.store import RuleStore
+
+
+def test_ablation_selfrules(benchmark, context):
+    name = "libquantum"
+
+    def measure():
+        guest = context.build(name, "arm", workload="ref")
+        self_store = RuleStore.from_rules(
+            context.learning_outcome(name).rules
+        )
+        cross_store = context.rule_store_excluding(name)
+        self_run = DBTEngine(guest, "rules", self_store).run()
+        cross_run = DBTEngine(guest, "rules", cross_store).run()
+        assert self_run.return_value == cross_run.return_value
+        return (self_run.stats.dynamic_coverage,
+                cross_run.stats.dynamic_coverage)
+
+    self_cov, cross_cov = run_once(benchmark, measure)
+    print()
+    print(f"  self-trained rules:   {self_cov:.1%} dynamic coverage")
+    print(f"  leave-one-out rules:  {cross_cov:.1%} dynamic coverage")
+    # Self-training bounds coverage from above ...
+    assert self_cov >= cross_cov - 0.02
+    # ... and generalization recovers most of it (the paper's premise
+    # that rules transfer across programs).
+    assert cross_cov > 0.5 * self_cov

@@ -1,0 +1,48 @@
+"""Extension experiment: rule coverage vs. training-corpus size.
+
+Paper Section 7: "Incomplete coverage is mostly due to insufficient
+translation rules ... which requires more training programs to build up
+the repertoire of such rules.  To this end, the learning system could
+be trained using large amounts of existing open-source software."
+
+This bench measures the dynamic coverage of one benchmark as the rule
+corpus grows from 1 to all 11 other benchmarks — the curve must be
+non-decreasing on average and clearly higher at 11 than at 1.
+"""
+
+from benchmarks.conftest import run_once
+from repro.dbt.engine import DBTEngine
+from repro.learning.rule import dedup_rules
+from repro.learning.store import RuleStore
+
+TARGET = "mcf"
+CORPUS_SIZES = (1, 3, 6, 11)
+
+
+def test_corpus_scaling(benchmark, context):
+    trainers = [name for name in context.benchmarks if name != TARGET]
+
+    def measure():
+        guest = context.build(TARGET, "arm", workload="ref")
+        coverage = {}
+        for size in CORPUS_SIZES:
+            rules = []
+            for name in trainers[:size]:
+                rules.extend(context.learning_outcome(name).rules)
+            store = RuleStore.from_rules(dedup_rules(rules))
+            result = DBTEngine(guest, "rules", store).run()
+            coverage[size] = (len(store),
+                              result.stats.dynamic_coverage)
+        return coverage
+
+    coverage = run_once(benchmark, measure)
+    print()
+    for size, (n_rules, dynamic) in coverage.items():
+        print(f"  {size:2d} trainers: {n_rules:3d} rules -> "
+              f"{dynamic:.1%} dynamic coverage")
+
+    sizes = sorted(coverage)
+    # More training programs -> more coverage (the Section 7 claim).
+    assert coverage[sizes[-1]][1] > coverage[sizes[0]][1]
+    # And more rules.
+    assert coverage[sizes[-1]][0] > coverage[sizes[0]][0]

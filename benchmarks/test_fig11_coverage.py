@@ -1,0 +1,22 @@
+"""Bench: regenerate Figure 11 (static and dynamic rule coverage)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_fig11_coverage(benchmark, context):
+    result = run_once(benchmark, lambda: fig11.run(context))
+    print()
+    print(fig11.render(result))
+
+    # Paper: more than 60% average static AND dynamic coverage.
+    assert result.average_static > 0.5
+    assert result.average_dynamic > 0.4
+    # mcf has the highest dynamic coverage (paper: > 85%).
+    best = max(result.coverage, key=lambda n: result.coverage[n][1])
+    assert best == "mcf"
+    # omnetpp's dynamic coverage is dragged down by the runtime-assembly
+    # division helper.
+    assert result.coverage["omnetpp"][1] < result.average_dynamic
+    benchmark.extra_info["avg_static"] = round(result.average_static, 3)
+    benchmark.extra_info["avg_dynamic"] = round(result.average_dynamic, 3)

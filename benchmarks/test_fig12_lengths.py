@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 12 (length distribution of hit rules)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12
+
+
+def test_fig12_lengths(benchmark, context):
+    result = run_once(benchmark, lambda: fig12.run(context))
+    print()
+    print(fig12.render(result))
+
+    # Paper: rules with >= 2 guest instructions are commonly hit — the
+    # many-to-many mappings that one-to-many hand-written rules miss.
+    assert result.share_of_multi_instruction_hits() > 0.10
+    assert result.max_length() >= 2
+    # Every benchmark hits at least one rule.
+    assert all(sum(d.values()) > 0 for d in result.distributions.values())
+    benchmark.extra_info["multi_hit_share"] = round(
+        result.share_of_multi_instruction_hits(), 3
+    )

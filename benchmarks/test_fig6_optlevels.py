@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 6 (rules per optimization level)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6_optlevels(benchmark, context):
+    result = run_once(benchmark, lambda: fig6.run(context))
+    print()
+    print(fig6.render(result))
+
+    totals = result.totals()
+    # Rules are learned at every level.
+    assert all(totals[level] > 0 for level in fig6.LEVELS)
+    # Optimized builds learn a similar number of rules (paper: learning
+    # is not very sensitive to the level) ...
+    assert totals[2] >= 0.5 * totals[1]
+    # ... and at least one benchmark learns MORE at -O2 than -O0 (the
+    # paper's gobmk/hmmer observation, Figure 7 mechanism).
+    assert any(
+        counts[2] > counts[0] for counts in result.rules_by_level.values()
+    )
+    benchmark.extra_info["totals"] = totals

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 8 (speedups, LLVM-built guests)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8_speedup_llvm(benchmark, context):
+    result = run_once(benchmark, lambda: fig8.run(context))
+    print()
+    print(fig8.render(result))
+
+    # Paper's headline: rules give a solid average speedup on the
+    # reference workload (1.25X) with every benchmark improving ...
+    ref_rules = result.mean("rules", "ref")
+    assert 1.1 <= ref_rules <= 1.6
+    assert all(
+        per_bench[("rules", "ref")] > 1.0
+        for per_bench in result.speedups.values()
+    )
+    # ... rules still win on the short test workload (low overhead) ...
+    assert result.mean("rules", "test") > 1.0
+    # ... while LLVM JIT loses heavily on test and only breaks roughly
+    # even on ref (the crossover that motivates rule-based translation).
+    assert result.mean("llvmjit", "test") < 0.75
+    assert 0.85 <= result.mean("llvmjit", "ref") <= 1.15
+    # Rules beat LLVM JIT everywhere.
+    for per_bench in result.speedups.values():
+        for workload in ("test", "ref"):
+            assert per_bench[("rules", workload)] > \
+                per_bench[("llvmjit", workload)]
+    benchmark.extra_info["rules_ref_geomean"] = round(ref_rules, 3)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 1 (learning results) and check its shape."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1
+
+
+def test_table1_learning(benchmark, context):
+    result = run_once(benchmark, lambda: table1.run(context))
+    print()
+    print(table1.render(result))
+
+    totals = result.totals
+    # Shape claims from the paper's Table 1:
+    assert totals.rules > 0
+    # Rules are learned from every benchmark.
+    assert all(report.rules > 0 for report in result.reports.values())
+    # Rg dominates verification failures (register allocation divergence).
+    assert totals.verify_rg >= max(
+        totals.verify_mm, totals.verify_br, totals.verify_other
+    )
+    # Yield in a plausible band around the paper's 24%.
+    assert 0.05 <= result.yield_fraction <= 0.60
+    # Learning a rule takes far less than the paper's 2 s bound.
+    assert result.seconds_per_rule < 2.0
+    # Verification dominates learning time (paper: ~95%).
+    assert result.verify_time_share > 0.5
+    benchmark.extra_info["rules"] = totals.rules
+    benchmark.extra_info["yield"] = round(result.yield_fraction, 3)

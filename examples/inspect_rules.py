@@ -1,0 +1,64 @@
+"""Inspect the translation rules learned from one benchmark.
+
+Prints every verified rule with its parameterization, condition-code
+compatibility, and the Table-1-style failure breakdown of the learning
+run — useful for understanding what the learner can and cannot harvest
+from a program.
+
+Run with::
+
+    python examples/inspect_rules.py [benchmark]
+"""
+
+import sys
+
+from repro.benchsuite import BENCHMARK_NAMES, build_learning_pair
+from repro.learning import learn_rules
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "bzip2"
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    guest, host = build_learning_pair(name)
+    outcome = learn_rules(guest, host, benchmark=name)
+    report = outcome.report
+
+    print(f"=== learning report for {name} ===")
+    print(f"sequence pairs:        {report.total_sequences}")
+    print(f"preparation failures:  CI={report.prep_ci} PI={report.prep_pi} "
+          f"MB={report.prep_mb}")
+    print(f"parameterization:      Num={report.param_num} "
+          f"Name={report.param_name} FailG={report.param_failg}")
+    print(f"verification:          Rg={report.verify_rg} "
+          f"Mm={report.verify_mm} Br={report.verify_br} "
+          f"Other={report.verify_other}")
+    print(f"rules learned:         {report.rules} "
+          f"(yield {report.yield_fraction:.0%}, "
+          f"{report.learn_seconds:.2f}s, "
+          f"verification {report.verify_seconds:.2f}s)")
+
+    print(f"\n=== {len(outcome.rules)} rules ===")
+    for rule in sorted(outcome.rules, key=lambda r: -r.length):
+        print(f"\nlength {rule.length}, from line {rule.line}:")
+        print(f"  guest: {'; '.join(str(i) for i in rule.guest)}")
+        print(f"  host:  {'; '.join(str(i) for i in rule.host)}")
+        if rule.params:
+            print(f"  register params: {', '.join(rule.params)}"
+                  + (f"  (host temps: {', '.join(rule.temps)})"
+                     if rule.temps else ""))
+        if rule.guest_flags_written:
+            emulated = ", ".join(
+                f"{flag}:{how}" for flag, how in rule.cc_info.items()
+            ) or "none"
+            print(f"  guest flags written: "
+                  f"{', '.join(rule.guest_flags_written)}; "
+                  f"emulated by host flags: {emulated}")
+        if rule.has_branch:
+            print("  ends in equivalent conditional branches")
+
+
+if __name__ == "__main__":
+    main()

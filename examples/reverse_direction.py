@@ -1,0 +1,95 @@
+"""Reverse-direction learning: x86 as guest, ARM as host.
+
+Paper Section 3.2 notes the Figure 4(b) immediate mapping "could be
+concluded even if x86 is the guest ISA and ARM is the host ISA", and
+Section 5 warns that assembling ARM host instructions must respect the
+limited ranges ARM immediates can encode.  This example learns reverse
+rules from a program and then demonstrates the Section 5 constraint:
+the same rule assembles fine for an encodable immediate and is refused
+for an unencodable one.
+
+Run with::
+
+    python examples/reverse_direction.py
+"""
+
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.learning import (
+    X86_TO_ARM,
+    HostConstraintError,
+    instantiate_host,
+    learn_rules,
+    match_rule,
+)
+from repro.minic import compile_source
+
+SOURCE = """
+int table[32];
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (i < 32) {
+    table[i] = i * 4 + 200;
+    s = s + table[i] - 1;
+    i += 1;
+  }
+  return s;
+}
+"""
+
+
+def main() -> None:
+    print("=== learning x86 -> ARM rules ===")
+    x86_guest = compile_source(SOURCE, "x86", 2, "llvm")
+    arm_host = compile_source(SOURCE, "arm", 2, "llvm")
+    outcome = learn_rules(x86_guest, arm_host, benchmark="reverse",
+                          direction=X86_TO_ARM)
+    print(f"{outcome.report.rules} reverse rules "
+          f"(yield {outcome.report.yield_fraction:.0%}):")
+    for rule in outcome.rules:
+        print(f"  {rule}")
+
+    print("\n=== Section 5: ARM host-immediate constraints ===")
+    # Learn the snippet pair directly (paper-style worked example).
+    from repro.guest_arm import parse_instruction as parse_arm
+    from repro.learning.extract import SnippetPair
+    from repro.learning.paramize import analyze_pair, generate_mappings
+    from repro.learning.verify import verify_candidate
+
+    pair = SnippetPair(
+        "demo", 1,
+        [parse_x86("addl $12, %eax")],
+        [parse_arm("add r0, r0, #12")],
+    )
+    context = analyze_pair(pair, X86_TO_ARM)
+    mappings, _ = generate_mappings(context)
+    rule = None
+    for mapping in mappings:
+        result = verify_candidate(context, mapping)
+        if result.rule is not None:
+            rule = result.rule
+            break
+    assert rule is not None
+    print(f"rule: {rule}")
+    for value, label in ((200, "encodable"), (0x12345678, "NOT encodable")):
+        mnemonic = rule.guest[0].mnemonic
+        concrete = parse_x86(f"{mnemonic} ${value}, %eax")
+        binding = match_rule(rule, [concrete])
+        if binding is None:
+            print(f"  #{value:#x}: does not match")
+            continue
+        try:
+            instrs = instantiate_host(rule, binding, {
+                param: f"r{4 + i}" for i, param in enumerate(
+                    rule.params + rule.temps
+                )
+            })
+        except HostConstraintError as exc:
+            print(f"  #{value:#x} ({label}): REJECTED - {exc}")
+        else:
+            print(f"  #{value:#x} ({label}): assembles to "
+                  + "; ".join(str(i) for i in instrs))
+
+
+if __name__ == "__main__":
+    main()

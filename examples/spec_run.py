@@ -1,0 +1,64 @@
+"""Run one synthetic SPEC benchmark under all three DBT backends.
+
+Mirrors the paper's evaluation protocol for a single benchmark: rules
+are learned from the *other* eleven programs (leave-one-out), then the
+ARM build runs under plain QEMU-style TCG, the rule-enhanced
+translator, and the LLVM-JIT-style backend.
+
+Run with::
+
+    python examples/spec_run.py [benchmark] [test|ref]
+
+e.g. ``python examples/spec_run.py mcf ref``.
+"""
+
+import sys
+
+from repro.benchsuite import BENCHMARK_NAMES
+from repro.dbt.engine import DBTEngine
+from repro.dbt.perf import speedup
+from repro.experiments.common import ExperimentContext
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    workload = sys.argv[2] if len(sys.argv) > 2 else "test"
+    if name not in BENCHMARK_NAMES:
+        raise SystemExit(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+
+    context = ExperimentContext()
+    print(f"learning rules from the other {len(BENCHMARK_NAMES) - 1} "
+          f"benchmarks (leave-one-out)...")
+    store = context.rule_store_excluding(name)
+    print(f"installed {len(store)} rules")
+
+    guest = context.build(name, "arm", workload=workload)
+    print(f"\nrunning {name}/{workload} "
+          f"({len(guest.code)} guest instructions)...")
+    runs = {}
+    for mode in ("qemu", "rules", "llvmjit"):
+        engine = DBTEngine(
+            guest, mode, store if mode == "rules" else None
+        )
+        runs[mode] = engine.run()
+        stats = runs[mode].stats
+        print(f"  {mode:8s} ret={runs[mode].return_value:12d} "
+              f"host-instrs={stats.dynamic_host_instructions:10d} "
+              f"cycles={stats.perf.total_cycles:12.0f}")
+
+    assert len({r.return_value for r in runs.values()}) == 1, \
+        "backends disagree!"
+    base = runs["qemu"].stats.perf
+    print(f"\nspeedup over QEMU: "
+          f"rules {speedup(base, runs['rules'].stats.perf):.2f}x, "
+          f"LLVM JIT {speedup(base, runs['llvmjit'].stats.perf):.2f}x")
+    stats = runs["rules"].stats
+    print(f"rule coverage: static {stats.static_coverage:.0%}, "
+          f"dynamic {stats.dynamic_coverage:.0%}")
+    print(f"hit-rule lengths: {dict(sorted(stats.hit_rule_lengths.items()))}")
+
+
+if __name__ == "__main__":
+    main()

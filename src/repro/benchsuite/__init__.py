@@ -1,0 +1,29 @@
+"""Synthetic SPEC CINT2006 stand-ins.
+
+Twelve MiniC programs, one per CINT2006 component, each a small but
+real program in its counterpart's domain (compression, min-cost flow,
+game search, quantum simulation, video kernels, ...).  Each benchmark
+has a short ``test`` and a longer ``ref`` workload, selected by
+formatting the source template with workload parameters.
+
+The suite is what the learner trains on (leave-one-out, like the
+paper) and what the DBT emulates for the performance figures.
+"""
+
+from repro.benchsuite.suite import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    BENCHMARKS,
+    benchmark_source,
+    build_benchmark,
+    build_learning_pair,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "BENCHMARKS",
+    "benchmark_source",
+    "build_benchmark",
+    "build_learning_pair",
+]

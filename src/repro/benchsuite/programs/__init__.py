@@ -1,0 +1,31 @@
+"""The twelve benchmark program templates (one module per program)."""
+
+from repro.benchsuite.programs import (
+    astar,
+    bzip2,
+    gcc,
+    gobmk,
+    h264ref,
+    hmmer,
+    libquantum,
+    mcf,
+    omnetpp,
+    perlbench,
+    sjeng,
+    xalancbmk,
+)
+
+__all__ = [
+    "astar",
+    "bzip2",
+    "gcc",
+    "gobmk",
+    "h264ref",
+    "hmmer",
+    "libquantum",
+    "mcf",
+    "omnetpp",
+    "perlbench",
+    "sjeng",
+    "xalancbmk",
+]

@@ -1,0 +1,117 @@
+"""astar analog: grid pathfinding with a cost-ordered frontier."""
+
+NAME = "astar"
+DESCRIPTION = "best-first grid search with Manhattan heuristic"
+
+TEMPLATE = r"""
+char grid[1024];
+int cost[1024];
+int frontier[1024];
+int frontier_len;
+
+int heuristic(int pos, int goal, int width) {
+  int px = pos % width;
+  int py = pos / width;
+  int gx = goal % width;
+  int gy = goal / width;
+  int dx = px - gx;
+  int dy = py - gy;
+  if (dx < 0) {
+    dx = 0 - dx;
+  }
+  if (dy < 0) {
+    dy = 0 - dy;
+  }
+  return dx + dy;
+}
+
+int push_frontier(int pos) {
+  frontier[frontier_len] = pos;
+  frontier_len += 1;
+  return frontier_len;
+}
+
+int pop_best(int goal, int width) {
+  int best_index = 0;
+  int best_score = 1 << 30;
+  int i = 0;
+  while (i < frontier_len) {
+    int pos = frontier[i];
+    int score = cost[pos] + heuristic(pos, goal, width);
+    if (score < best_score) {
+      best_score = score;
+      best_index = i;
+    }
+    i += 1;
+  }
+  int best = frontier[best_index];
+  frontier_len -= 1;
+  frontier[best_index] = frontier[frontier_len];
+  return best;
+}
+
+int search(int start, int goal, int width, int size) {
+  int i = 0;
+  while (i < size) {
+    cost[i] = 1 << 30;
+    i += 1;
+  }
+  cost[start] = 0;
+  frontier_len = 0;
+  push_frontier(start);
+  int expanded = 0;
+  while (frontier_len > 0) {
+    int pos = pop_best(goal, width);
+    expanded += 1;
+    if (pos == goal) {
+      return cost[goal] * 1000 + expanded;
+    }
+    int dirs[4];
+    dirs[0] = 1;
+    dirs[1] = 0 - 1;
+    dirs[2] = width;
+    dirs[3] = 0 - width;
+    int d = 0;
+    while (d < 4) {
+      int next = pos + dirs[d];
+      if (next >= 0 && next < size && grid[next] == 0) {
+        int step_cost = cost[pos] + 1;
+        if (step_cost < cost[next]) {
+          cost[next] = step_cost;
+          push_frontier(next);
+        }
+      }
+      d += 1;
+    }
+  }
+  return 0 - expanded;
+}
+
+int main(void) {
+  int width = $width;
+  int size = width * width;
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    int i = 0;
+    while (i < size) {
+      seed = seed * 1103515245 + 12345;
+      if (((seed >> 16) & 7) == 0) {
+        grid[i] = 1;
+      } else {
+        grid[i] = 0;
+      }
+      i += 1;
+    }
+    grid[0] = 0;
+    grid[size - 1] = 0;
+    total += search(0, size - 1, width, size);
+    round += 1;
+  }
+  return total & 0x3fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 61, "width": 5, "rounds": 1}
+REF_PARAMS = {"seed": 61, "width": 11, "rounds": 2}

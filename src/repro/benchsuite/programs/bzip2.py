@@ -1,0 +1,88 @@
+"""bzip2 analog: run-length encoding + move-to-front compression."""
+
+NAME = "bzip2"
+DESCRIPTION = "RLE + move-to-front coder over a byte buffer"
+
+TEMPLATE = r"""
+char input[512];
+char rle[600];
+char mtf[600];
+char alphabet[32];
+
+int generate(int seed, int n) {
+  int i = 0;
+  int run = 0;
+  int value = 0;
+  while (i < n) {
+    if (run == 0) {
+      seed = seed * 1103515245 + 12345;
+      value = (seed >> 16) & 15;
+      run = ((seed >> 8) & 7) + 1;
+    }
+    input[i] = value;
+    run -= 1;
+    i += 1;
+  }
+  return seed;
+}
+
+int rle_encode(int n) {
+  int out = 0;
+  int i = 0;
+  while (i < n) {
+    int value = input[i];
+    int run = 1;
+    while (i + run < n && input[i + run] == value && run < 255) {
+      run += 1;
+    }
+    rle[out] = value;
+    rle[out + 1] = run;
+    out += 2;
+    i += run;
+  }
+  return out;
+}
+
+int mtf_encode(int n) {
+  int i = 0;
+  while (i < 32) {
+    alphabet[i] = i;
+    i += 1;
+  }
+  i = 0;
+  int check = 0;
+  while (i < n) {
+    int value = rle[i];
+    int j = 0;
+    while (alphabet[j] != value) {
+      j += 1;
+    }
+    mtf[i] = j;
+    check += j;
+    while (j > 0) {
+      alphabet[j] = alphabet[j - 1];
+      j -= 1;
+    }
+    alphabet[0] = value;
+    i += 1;
+  }
+  return check;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    seed = generate(seed, $size);
+    int encoded = rle_encode($size);
+    total += mtf_encode(encoded);
+    total += encoded;
+    round += 1;
+  }
+  return total;
+}
+"""
+
+TEST_PARAMS = {"seed": 99, "rounds": 1, "size": 64}
+REF_PARAMS = {"seed": 99, "rounds": 8, "size": 400}

@@ -1,0 +1,155 @@
+"""gcc analog: tokenizer + recursive-descent expression compiler/VM."""
+
+NAME = "gcc"
+DESCRIPTION = "expression tokenizer, parser, and stack-machine evaluator"
+
+TEMPLATE = r"""
+char source[128];
+int tokens[128];
+int token_count;
+int cursor;
+int code[256];
+int code_len;
+int stack[64];
+
+int emit(int op, int arg) {
+  code[code_len] = op;
+  code[code_len + 1] = arg;
+  code_len += 2;
+  return code_len;
+}
+
+int tokenize(int n) {
+  int i = 0;
+  token_count = 0;
+  while (i < n) {
+    int c = source[i];
+    if (c >= '0' && c <= '9') {
+      int value = 0;
+      while (i < n && source[i] >= '0' && source[i] <= '9') {
+        value = value * 10 + (source[i] - '0');
+        i += 1;
+      }
+      tokens[token_count] = 256 + value;
+      token_count += 1;
+      continue;
+    }
+    tokens[token_count] = c;
+    token_count += 1;
+    i += 1;
+  }
+  return token_count;
+}
+
+int parse_primary(void) {
+  int tok = tokens[cursor];
+  if (tok == '(') {
+    cursor += 1;
+    parse_expr();
+    cursor += 1;
+    return 0;
+  }
+  cursor += 1;
+  emit(1, tok - 256);
+  return 0;
+}
+
+int parse_term(void) {
+  parse_primary();
+  while (cursor < token_count && (tokens[cursor] == '*')) {
+    cursor += 1;
+    parse_primary();
+    emit(3, 0);
+  }
+  return 0;
+}
+
+int parse_expr(void) {
+  parse_term();
+  while (cursor < token_count &&
+         (tokens[cursor] == '+' || tokens[cursor] == '-')) {
+    int op = tokens[cursor];
+    cursor += 1;
+    parse_term();
+    if (op == '+') {
+      emit(2, 0);
+    } else {
+      emit(4, 0);
+    }
+  }
+  return 0;
+}
+
+int execute(void) {
+  int sp = 0;
+  int pc = 0;
+  while (pc < code_len) {
+    int op = code[pc];
+    int arg = code[pc + 1];
+    if (op == 1) {
+      stack[sp] = arg;
+      sp += 1;
+    } else if (op == 2) {
+      stack[sp - 2] = stack[sp - 2] + stack[sp - 1];
+      sp -= 1;
+    } else if (op == 3) {
+      stack[sp - 2] = stack[sp - 2] * stack[sp - 1];
+      sp -= 1;
+    } else {
+      stack[sp - 2] = stack[sp - 2] - stack[sp - 1];
+      sp -= 1;
+    }
+    pc += 2;
+  }
+  return stack[0];
+}
+
+int build_source(int seed) {
+  int i = 0;
+  int n = 0;
+  while (i < $terms) {
+    seed = seed * 1103515245 + 12345;
+    int value = (seed >> 16) & 99;
+    if (value >= 10) {
+      source[n] = '0' + value / 10;
+      n += 1;
+    }
+    source[n] = '0' + value % 10;
+    n += 1;
+    if (i + 1 < $terms) {
+      int sel = (seed >> 4) & 3;
+      if (sel == 0) {
+        source[n] = '+';
+      } else if (sel == 1) {
+        source[n] = '-';
+      } else {
+        source[n] = '*';
+      }
+      n += 1;
+    }
+    i += 1;
+  }
+  source[n] = 0;
+  return n;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    seed = seed * 69069 + 1;
+    int n = build_source(seed);
+    tokenize(n);
+    cursor = 0;
+    code_len = 0;
+    parse_expr();
+    total += execute() & 0xffff;
+    round += 1;
+  }
+  return total;
+}
+"""
+
+TEST_PARAMS = {"seed": 3, "rounds": 1, "terms": 8}
+REF_PARAMS = {"seed": 3, "rounds": 22, "terms": 18}

@@ -1,0 +1,135 @@
+"""gobmk analog: board-game territory evaluation on a 2D grid."""
+
+NAME = "gobmk"
+DESCRIPTION = "cellular board update + flood-fill territory counting"
+
+TEMPLATE = r"""
+char board[400];
+char next[400];
+char seen[400];
+int work[400];
+
+int neighbors(char *cells, int pos, int width) {
+  int count = 0;
+  count += cells[pos - 1];
+  count += cells[pos + 1];
+  count += cells[pos - width];
+  count += cells[pos + width];
+  count += cells[pos - width - 1];
+  count += cells[pos - width + 1];
+  count += cells[pos + width - 1];
+  count += cells[pos + width + 1];
+  return count;
+}
+
+int step(int width, int height) {
+  int alive = 0;
+  int y = 1;
+  while (y < height - 1) {
+    int x = 1;
+    while (x < width - 1) {
+      int pos = y * width + x;
+      int n = neighbors(board, pos, width);
+      int cell = board[pos];
+      if (cell) {
+        if (n == 2 || n == 3) {
+          next[pos] = 1;
+        } else {
+          next[pos] = 0;
+        }
+      } else {
+        if (n == 3) {
+          next[pos] = 1;
+        } else {
+          next[pos] = 0;
+        }
+      }
+      alive += next[pos];
+      x += 1;
+    }
+    y += 1;
+  }
+  y = 1;
+  while (y < height - 1) {
+    int x = 1;
+    while (x < width - 1) {
+      int pos = y * width + x;
+      board[pos] = next[pos];
+      x += 1;
+    }
+    y += 1;
+  }
+  return alive;
+}
+
+int flood_size(int start, int width) {
+  if (seen[start] || board[start]) {
+    return 0;
+  }
+  int head = 0;
+  int tail = 0;
+  work[tail] = start;
+  tail += 1;
+  seen[start] = 1;
+  int size = 0;
+  while (head < tail) {
+    int pos = work[head];
+    head += 1;
+    size += 1;
+    int d = 0;
+    int deltas[4];
+    deltas[0] = 1;
+    deltas[1] = 0 - 1;
+    deltas[2] = width;
+    deltas[3] = 0 - width;
+    while (d < 4) {
+      int neighbor = pos + deltas[d];
+      if (neighbor >= 0 && neighbor < 400) {
+        if (seen[neighbor] == 0 && board[neighbor] == 0) {
+          seen[neighbor] = 1;
+          work[tail] = neighbor;
+          tail += 1;
+        }
+      }
+      d += 1;
+    }
+  }
+  return size;
+}
+
+int main(void) {
+  int width = $width;
+  int height = $height;
+  int seed = $seed;
+  int i = 0;
+  while (i < width * height) {
+    seed = seed * 1103515245 + 12345;
+    board[i] = (seed >> 16) & 1;
+    i += 1;
+  }
+  int total = 0;
+  int gen = 0;
+  while (gen < $generations) {
+    total += step(width, height);
+    gen += 1;
+  }
+  i = 0;
+  while (i < width * height) {
+    seen[i] = 0;
+    i += 1;
+  }
+  int territory = 0;
+  i = 0;
+  while (i < width * height) {
+    int size = flood_size(i, width);
+    if (size > territory) {
+      territory = size;
+    }
+    i += 1;
+  }
+  return total * 100 + territory;
+}
+"""
+
+TEST_PARAMS = {"seed": 5, "width": 8, "height": 7, "generations": 1}
+REF_PARAMS = {"seed": 5, "width": 20, "height": 20, "generations": 10}

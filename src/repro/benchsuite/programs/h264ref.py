@@ -1,0 +1,105 @@
+"""h264ref analog: video kernels (SAD block match + butterfly transform)."""
+
+NAME = "h264ref"
+DESCRIPTION = "sum-of-absolute-differences motion search + 4x4 transform"
+
+TEMPLATE = r"""
+char frame_a[1024];
+char frame_b[1024];
+int block[16];
+int coeffs[16];
+
+int sad_block(int apos, int bpos, int width) {
+  int total = 0;
+  int y = 0;
+  while (y < 4) {
+    int x = 0;
+    while (x < 4) {
+      int pa = frame_a[apos + y * width + x];
+      int pb = frame_b[bpos + y * width + x];
+      int d = pa - pb;
+      int mask = d >> 31;
+      total += (d ^ mask) - mask;
+      x += 1;
+    }
+    y += 1;
+  }
+  return total;
+}
+
+int best_match(int ax, int ay, int range, int width) {
+  int best = 1 << 30;
+  int dy = 0 - range;
+  while (dy <= range) {
+    int dx = 0 - range;
+    while (dx <= range) {
+      int bx = ax + dx;
+      int by = ay + dy;
+      if (bx >= 0 && by >= 0 && bx + 4 <= width && by + 4 <= width) {
+        int cost = sad_block(ay * width + ax, by * width + bx, width);
+        cost += (dx & 7) + (dy & 7);
+        if (cost < best) {
+          best = cost;
+        }
+      }
+      dx += 1;
+    }
+    dy += 1;
+  }
+  return best;
+}
+
+int transform4x4(void) {
+  int i = 0;
+  while (i < 4) {
+    int s0 = block[i * 4] + block[i * 4 + 3];
+    int s1 = block[i * 4 + 1] + block[i * 4 + 2];
+    int d0 = block[i * 4] - block[i * 4 + 3];
+    int d1 = block[i * 4 + 1] - block[i * 4 + 2];
+    coeffs[i * 4] = s0 + s1;
+    coeffs[i * 4 + 1] = (d0 << 1) + d1;
+    coeffs[i * 4 + 2] = s0 - s1;
+    coeffs[i * 4 + 3] = d0 - (d1 << 1);
+    i += 1;
+  }
+  int check = 0;
+  i = 0;
+  while (i < 16) {
+    check += coeffs[i] * coeffs[i];
+    i += 1;
+  }
+  return check;
+}
+
+int main(void) {
+  int width = $width;
+  int seed = $seed;
+  int i = 0;
+  while (i < width * width) {
+    seed = seed * 1103515245 + 12345;
+    frame_a[i] = (seed >> 16) & 255;
+    frame_b[i] = (seed >> 12) & 255;
+    i += 1;
+  }
+  int total = 0;
+  int y = 0;
+  while (y + 4 <= width) {
+    int x = 0;
+    while (x + 4 <= width) {
+      total += best_match(x, y, $range, width);
+      x += 4;
+    }
+    y += 4;
+  }
+  i = 0;
+  while (i < 16) {
+    block[i] = frame_a[i] - frame_b[i];
+    i += 1;
+  }
+  total += transform4x4();
+  return total & 0x3fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 17, "width": 8, "range": 1}
+REF_PARAMS = {"seed": 17, "width": 24, "range": 2}

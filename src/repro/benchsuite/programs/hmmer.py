@@ -1,0 +1,88 @@
+"""hmmer analog: Viterbi-style dynamic programming over a profile."""
+
+NAME = "hmmer"
+DESCRIPTION = "profile HMM Viterbi max-sum dynamic programming"
+
+TEMPLATE = r"""
+int match_score[512];
+int insert_score[512];
+int row_match[64];
+int row_insert[64];
+int prev_match[64];
+int prev_insert[64];
+char sequence[256];
+
+int max2(int a, int b) {
+  if (a > b) {
+    return a;
+  }
+  return b;
+}
+
+int viterbi(int seq_len, int states) {
+  int j = 0;
+  while (j < states) {
+    prev_match[j] = -10000;
+    prev_insert[j] = -10000;
+    j += 1;
+  }
+  prev_match[0] = 0;
+  int i = 0;
+  while (i < seq_len) {
+    int symbol = sequence[i];
+    j = 1;
+    row_match[0] = -10000;
+    row_insert[0] = prev_insert[0] - 1;
+    while (j < states) {
+      int emit = match_score[(j << 3) + (symbol & 7)];
+      int stay = prev_insert[j] - 2;
+      int move = prev_match[j - 1] + emit;
+      int enter = prev_insert[j - 1] + emit - 1;
+      row_match[j] = max2(move, enter);
+      row_insert[j] = max2(stay, row_match[j] - 3);
+      j += 1;
+    }
+    j = 0;
+    while (j < states) {
+      prev_match[j] = row_match[j];
+      prev_insert[j] = row_insert[j];
+      j += 1;
+    }
+    i += 1;
+  }
+  int best = -10000;
+  j = 0;
+  while (j < states) {
+    best = max2(best, prev_match[j]);
+    j += 1;
+  }
+  return best;
+}
+
+int main(void) {
+  int seed = $seed;
+  int i = 0;
+  while (i < 512) {
+    seed = seed * 1103515245 + 12345;
+    match_score[i] = ((seed >> 16) & 15) - 4;
+    insert_score[i] = ((seed >> 20) & 7) - 3;
+    i += 1;
+  }
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    i = 0;
+    while (i < $seqlen) {
+      seed = seed * 1103515245 + 12345;
+      sequence[i] = (seed >> 16) & 7;
+      i += 1;
+    }
+    total += viterbi($seqlen, $states);
+    round += 1;
+  }
+  return total & 0x7fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 21, "rounds": 1, "seqlen": 12, "states": 8}
+REF_PARAMS = {"seed": 21, "rounds": 2, "seqlen": 80, "states": 28}

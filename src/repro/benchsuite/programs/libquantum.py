@@ -1,0 +1,87 @@
+"""libquantum analog: gate operations over a simulated quantum register."""
+
+NAME = "libquantum"
+DESCRIPTION = "bit-level gate simulation (cnot / toffoli / phase) over basis states"
+
+TEMPLATE = r"""
+int amplitudes[1024];
+int states[1024];
+
+int gate_cnot(int n, int control, int target) {
+  int i = 0;
+  int cmask = 1 << control;
+  int tmask = 1 << target;
+  while (i < n) {
+    int basis = states[i];
+    if (basis & cmask) {
+      states[i] = basis ^ tmask;
+    }
+    i += 1;
+  }
+  return n;
+}
+
+int gate_toffoli(int n, int c1, int c2) {
+  int i = 0;
+  int mask = (1 << c1) | (1 << c2);
+  while (i < n) {
+    int basis = states[i];
+    if ((basis & mask) == mask) {
+      states[i] = basis ^ 1;
+    }
+    i += 1;
+  }
+  return n;
+}
+
+int gate_phase(int n, int target) {
+  int i = 0;
+  int tmask = 1 << target;
+  while (i < n) {
+    if (states[i] & tmask) {
+      amplitudes[i] = 0 - amplitudes[i];
+    }
+    i += 1;
+  }
+  return n;
+}
+
+int main(void) {
+  int n = $states;
+  int seed = $seed;
+  int i = 0;
+  while (i < n) {
+    states[i] = i;
+    amplitudes[i] = (i & 7) + 1;
+    i += 1;
+  }
+  int step = 0;
+  while (step < $steps) {
+    seed = seed * 1103515245 + 12345;
+    int kind = (seed >> 16) & 3;
+    int a = (seed >> 8) & 7;
+    int b = (seed >> 4) & 7;
+    if (a == b) {
+      b = (b + 1) & 7;
+    }
+    if (kind == 0) {
+      gate_cnot(n, a, b);
+    } else if (kind == 1) {
+      gate_toffoli(n, a, b);
+    } else {
+      gate_phase(n, a);
+    }
+    step += 1;
+  }
+  int check = 0;
+  i = 0;
+  while (i < n) {
+    check = check * 5 + (states[i] ^ amplitudes[i]);
+    i += 1;
+  }
+  return check & 0x3fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 41, "states": 48, "steps": 6}
+REF_PARAMS = {"seed": 41, "states": 512, "steps": 60}

@@ -1,0 +1,87 @@
+"""mcf analog: Bellman-Ford relaxation over an arc-list network."""
+
+NAME = "mcf"
+DESCRIPTION = "single-source shortest path by repeated arc relaxation"
+
+TEMPLATE = r"""
+int arc_from[512];
+int arc_to[512];
+int arc_cost[512];
+int dist[128];
+
+int build_network(int seed, int nodes, int arcs) {
+  int i = 0;
+  while (i < arcs) {
+    seed = seed * 1103515245 + 12345;
+    int u = (seed >> 16) & (nodes - 1);
+    seed = seed * 1103515245 + 12345;
+    int v = (seed >> 16) & (nodes - 1);
+    if (u == v) {
+      v = (v + 1) & (nodes - 1);
+    }
+    arc_from[i] = u;
+    arc_to[i] = v;
+    arc_cost[i] = ((seed >> 4) & 63) + 1;
+    i += 1;
+  }
+  // Guarantee reachability with a spanning chain.
+  i = 0;
+  while (i + 1 < nodes) {
+    arc_from[i] = i;
+    arc_to[i] = i + 1;
+    i += 1;
+  }
+  return seed;
+}
+
+int relax_all(int nodes, int arcs) {
+  int changed = 0;
+  int i = 0;
+  while (i < arcs) {
+    int u = arc_from[i];
+    int du = dist[u];
+    if (du < 99999999) {
+      int candidate = du + arc_cost[i];
+      int v = arc_to[i];
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        changed += 1;
+      }
+    }
+    i += 1;
+  }
+  return changed;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    seed = build_network(seed, $nodes, $arcs);
+    int i = 0;
+    while (i < $nodes) {
+      dist[i] = 99999999;
+      i += 1;
+    }
+    dist[0] = 0;
+    int passes = 0;
+    while (passes < $nodes) {
+      if (relax_all($nodes, $arcs) == 0) {
+        break;
+      }
+      passes += 1;
+    }
+    i = 0;
+    while (i < $nodes) {
+      total = total * 7 + (dist[i] & 1023);
+      i += 1;
+    }
+    round += 1;
+  }
+  return total & 0x3fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 11, "rounds": 1, "nodes": 16, "arcs": 64}
+REF_PARAMS = {"seed": 11, "rounds": 4, "nodes": 64, "arcs": 400}

@@ -1,0 +1,100 @@
+"""perlbench analog: string hashing + pattern matching interpreter."""
+
+NAME = "perlbench"
+DESCRIPTION = "string hash table + glob-style pattern matcher"
+
+TEMPLATE = r"""
+char text[256];
+char pattern[16];
+int buckets[64];
+
+int hash_string(char *s, int n) {
+  int h = 5381;
+  int i = 0;
+  while (i < n) {
+    h = h * 33 + s[i];
+    i += 1;
+  }
+  if (h < 0) {
+    h = 0 - h;
+  }
+  return h;
+}
+
+int match_here(char *p, char *s, int plen, int slen) {
+  int pi = 0;
+  int si = 0;
+  while (pi < plen) {
+    int pc = p[pi];
+    if (pc == '*') {
+      int rest = plen - pi - 1;
+      int k = si;
+      while (k <= slen) {
+        if (match_here(p + pi + 1, s + k, rest, slen - k)) {
+          return 1;
+        }
+        k += 1;
+      }
+      return 0;
+    }
+    if (si >= slen) {
+      return 0;
+    }
+    if (pc != '?' && pc != s[si]) {
+      return 0;
+    }
+    pi += 1;
+    si += 1;
+  }
+  if (si == slen) {
+    return 1;
+  }
+  return 0;
+}
+
+int fill_text(int seed, int n) {
+  int i = 0;
+  while (i < n) {
+    seed = seed * 1103515245 + 12345;
+    int c = (seed >> 16) & 15;
+    text[i] = 'a' + c;
+    i += 1;
+  }
+  return seed;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  pattern[0] = 'a';
+  pattern[1] = '*';
+  pattern[2] = 'b';
+  pattern[3] = '?';
+  pattern[4] = 'c';
+  while (round < $rounds) {
+    seed = fill_text(seed, $textlen);
+    int i = 0;
+    while (i + 8 <= $textlen) {
+      int h = hash_string(text + i, 8);
+      int slot = h & 63;
+      buckets[slot] = buckets[slot] + 1;
+      if (match_here(pattern, text + i, 5, 8)) {
+        total += 1;
+      }
+      i += 1;
+    }
+    round += 1;
+  }
+  int check = 0;
+  int b = 0;
+  while (b < 64) {
+    check = check * 31 + buckets[b];
+    b += 1;
+  }
+  return total * 1000 + (check & 511);
+}
+"""
+
+TEST_PARAMS = {"seed": 7, "rounds": 1, "textlen": 32}
+REF_PARAMS = {"seed": 7, "rounds": 6, "textlen": 120}

@@ -1,0 +1,85 @@
+"""sjeng analog: alpha-beta game-tree search on a small board game."""
+
+NAME = "sjeng"
+DESCRIPTION = "negamax with alpha-beta pruning over a pile game"
+
+TEMPLATE = r"""
+int piles[8];
+int nodes_visited;
+int history[64];
+
+int evaluate(int npiles) {
+  int score = 0;
+  int i = 0;
+  while (i < npiles) {
+    int p = piles[i];
+    score = score ^ p;
+    score += (p & 3) - 1;
+    i += 1;
+  }
+  return score;
+}
+
+int search(int depth, int alpha, int beta) {
+  nodes_visited += 1;
+  if (depth == 0) {
+    return evaluate($npiles);
+  }
+  int best = -32000;
+  int i = 0;
+  while (i < $npiles) {
+    int available = piles[i];
+    int take = 1;
+    while (take <= 3 && take <= available) {
+      piles[i] = available - take;
+      int score = 0 - search(depth - 1, 0 - beta, 0 - alpha);
+      piles[i] = available;
+      if (score > best) {
+        best = score;
+        history[depth & 63] = i * 4 + take;
+      }
+      if (best > alpha) {
+        alpha = best;
+      }
+      if (alpha >= beta) {
+        take = 4;
+        i = $npiles;
+      } else {
+        take += 1;
+      }
+    }
+    i += 1;
+  }
+  if (best == -32000) {
+    return evaluate($npiles);
+  }
+  return best;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int game = 0;
+  nodes_visited = 0;
+  while (game < $games) {
+    int i = 0;
+    while (i < $npiles) {
+      seed = seed * 1103515245 + 12345;
+      piles[i] = ((seed >> 16) & 7) + 1;
+      i += 1;
+    }
+    total += search($depth, -32000, 32000);
+    game += 1;
+  }
+  int h = 0;
+  int k = 0;
+  while (k < 64) {
+    h = h * 3 + history[k];
+    k += 1;
+  }
+  return (total & 0xffff) * 31 + nodes_visited % 1000 + (h & 255);
+}
+"""
+
+TEST_PARAMS = {"seed": 31, "games": 1, "npiles": 3, "depth": 2}
+REF_PARAMS = {"seed": 31, "games": 2, "npiles": 4, "depth": 4}

@@ -1,0 +1,122 @@
+"""xalancbmk analog: tree transformation (XSLT-ish rewriting)."""
+
+NAME = "xalancbmk"
+DESCRIPTION = "array-encoded document tree: match templates and rewrite"
+
+TEMPLATE = r"""
+int node_tag[1024];
+int node_child[1024];
+int node_sibling[1024];
+int node_value[1024];
+int node_count;
+int out_buffer[2048];
+int out_len;
+
+int add_node(int tag, int value) {
+  int id = node_count;
+  node_tag[id] = tag;
+  node_value[id] = value;
+  node_child[id] = 0 - 1;
+  node_sibling[id] = 0 - 1;
+  node_count += 1;
+  return id;
+}
+
+int attach(int parent, int child) {
+  if (node_child[parent] < 0) {
+    node_child[parent] = child;
+    return child;
+  }
+  int cursor = node_child[parent];
+  while (node_sibling[cursor] >= 0) {
+    cursor = node_sibling[cursor];
+  }
+  node_sibling[cursor] = child;
+  return child;
+}
+
+int build_tree(int seed, int parent, int depth, int fanout) {
+  if (depth == 0) {
+    return seed;
+  }
+  int i = 0;
+  while (i < fanout) {
+    seed = seed * 1103515245 + 12345;
+    int tag = (seed >> 16) & 7;
+    int node = add_node(tag, (seed >> 8) & 255);
+    attach(parent, node);
+    seed = build_tree(seed, node, depth - 1, fanout);
+    i += 1;
+  }
+  return seed;
+}
+
+int emit_output(int value) {
+  out_buffer[out_len] = value;
+  out_len += 1;
+  return out_len;
+}
+
+int transform_one(int node) {
+  // Template rules: tag decides the rewriting action.
+  int tag = node_tag[node];
+  if (tag == 0) {
+    emit_output(node_value[node] * 2);
+    transform_list(node_child[node]);
+  } else if (tag == 1) {
+    // reverse children order into the output
+    int kids[16];
+    int n = 0;
+    int c = node_child[node];
+    while (c >= 0 && n < 16) {
+      kids[n] = c;
+      n += 1;
+      c = node_sibling[c];
+    }
+    while (n > 0) {
+      n -= 1;
+      transform_one(kids[n]);
+    }
+  } else if (tag < 5) {
+    emit_output(tag * 100 + (node_value[node] & 63));
+    transform_list(node_child[node]);
+  } else {
+    transform_list(node_child[node]);
+  }
+  return out_len;
+}
+
+int transform_list(int node) {
+  while (node >= 0) {
+    transform_one(node);
+    node = node_sibling[node];
+  }
+  return out_len;
+}
+
+int main(void) {
+  int seed = $seed;
+  int total = 0;
+  int round = 0;
+  while (round < $rounds) {
+    node_count = 0;
+    out_len = 0;
+    int root = add_node(0, 0);
+    seed = build_tree(seed, root, $depth, $fanout);
+    transform_one(root);
+    int i = 0;
+    int check = 0;
+    while (i < out_len) {
+      check = check * 13 + out_buffer[i];
+      i += 1;
+    }
+    total += check & 0xfffff;
+    total += out_len;
+    round += 1;
+  }
+  return total & 0x3fffffff;
+}
+"""
+
+TEST_PARAMS = {"seed": 71, "rounds": 1, "depth": 3, "fanout": 3}
+REF_PARAMS = {"seed": 71, "rounds": 8, "depth": 5, "fanout": 3}

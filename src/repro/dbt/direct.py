@@ -1,0 +1,121 @@
+"""Direct (non-translating) emulators for compiled programs.
+
+These execute a :class:`~repro.minic.compile.CompiledProgram` one
+instruction at a time through the single-source semantics.  They serve
+as the ground-truth oracle for the DBT and for cross-ISA differential
+tests (the ARM build and the x86 build of the same source must agree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guest_arm import execute as execute_arm
+from repro.host_x86 import execute as execute_x86
+from repro.isa.alu import ConcreteALU
+from repro.isa.operands import Label
+from repro.minic.compile import (
+    CODE_BASE,
+    HALT_ADDRESS,
+    STACK_TOP,
+    CompiledProgram,
+)
+from repro.dbt.machine import ConcreteState
+
+_ALU = ConcreteALU()
+_X86_HALT_INDEX = 0x7FFF_FFF0  # sentinel return index for the x86 runner
+
+
+class EmulationError(Exception):
+    """The emulated program did something unexpected."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of a direct emulation."""
+
+    return_value: int
+    dynamic_instructions: int
+    state: ConcreteState = field(repr=False, default=None)  # type: ignore
+
+
+def run_arm_program(
+    program: CompiledProgram,
+    args: tuple[int, ...] = (),
+    step_limit: int = 200_000_000,
+) -> RunResult:
+    """Emulate an ARM build from ``main`` until it returns."""
+    if program.options.target != "arm":
+        raise EmulationError("run_arm_program needs an ARM build")
+    state = ConcreteState(memory=dict(program.initial_memory()))
+    state.set_reg("sp", STACK_TOP)
+    state.set_reg("lr", HALT_ADDRESS)
+    for i, arg in enumerate(args):
+        state.set_reg(f"r{i}", arg)
+    index = program.labels[program.entry]
+    executed = 0
+    code = program.code
+    labels = program.labels
+    while True:
+        if executed >= step_limit:
+            raise EmulationError("step limit exceeded")
+        instr = code[index]
+        state.regs["pc"] = CODE_BASE + 4 * index
+        outcome = execute_arm(instr, state, _ALU)
+        executed += 1
+        branch = outcome.branch
+        if branch is None or not branch.cond:
+            index += 1
+            continue
+        target = branch.target
+        if isinstance(target, Label):
+            index = labels[target.name]
+            continue
+        if target == HALT_ADDRESS:
+            return RunResult(state.get_reg("r0"), executed, state)
+        index = program.index_of_addr(target)
+
+
+def run_x86_program(
+    program: CompiledProgram,
+    args: tuple[int, ...] = (),
+    step_limit: int = 200_000_000,
+) -> RunResult:
+    """Emulate an x86 build from ``main`` until it returns.
+
+    The x86 model uses instruction *indices* as code addresses (the
+    ``pc`` pseudo-register), so return addresses pushed by ``call`` are
+    indices too.
+    """
+    if program.options.target != "x86":
+        raise EmulationError("run_x86_program needs an x86 build")
+    state = ConcreteState(memory=dict(program.initial_memory()))
+    esp = STACK_TOP - 4 * (len(args) + 1)
+    state.set_reg("esp", esp)
+    state.store(esp, _X86_HALT_INDEX, 4)  # sentinel return address
+    for i, arg in enumerate(args):
+        state.store(esp + 4 + 4 * i, arg, 4)
+    index = program.labels[program.entry]
+    executed = 0
+    code = program.code
+    labels = program.labels
+    while True:
+        if executed >= step_limit:
+            raise EmulationError("step limit exceeded")
+        instr = code[index]
+        state.regs["pc"] = index
+        outcome = execute_x86(instr, state, _ALU)
+        executed += 1
+        branch = outcome.branch
+        if branch is None or not branch.cond:
+            index += 1
+            continue
+        target = branch.target
+        if isinstance(target, Label):
+            index = labels[target.name]
+            continue
+        if target == _X86_HALT_INDEX:
+            return RunResult(state.get_reg("eax"), executed, state)
+        if not 0 <= target < len(code):
+            raise EmulationError(f"jump to bad index {target}")
+        index = target

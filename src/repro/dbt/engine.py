@@ -1,0 +1,286 @@
+"""The DBT execution engine: translation cache, dispatch loop, stats.
+
+Three backends share the engine (paper Section 6):
+
+* ``"qemu"``    — the baseline: every guest instruction through TCG,
+* ``"rules"``   — the paper's system: learned rules + TCG fallback,
+* ``"llvmjit"`` — the HQEMU-style comparison: TCG ops through an
+  optimizing middle-end with heavy translation cost.
+
+Guest architectural state (r0-r15, NZCV) lives in the in-memory CPU env
+at ``ENV_BASE``; translated host code reads/writes it there, and the
+engine itself only touches it between blocks (dispatch, HALT check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.host_x86 import execute as execute_x86
+from repro.isa.alu import ConcreteALU
+from repro.isa.operands import Label
+from repro.learning.store import RuleStore
+from repro.minic.compile import (
+    CODE_BASE,
+    HALT_ADDRESS,
+    STACK_TOP,
+    CompiledProgram,
+)
+from repro.dbt import codegen, perf
+from repro.dbt.codegen import (
+    ENV_BASE,
+    EXIT_LABEL,
+    FLAG_OFFSET,
+    NEXT_PC_OFFSET,
+    REG_OFFSET,
+    TranslatedBlock,
+)
+from repro.dbt.frontend import translate_block
+from repro.dbt.llvmjit import optimize_tcg
+from repro.dbt.machine import ConcreteState
+from repro.dbt.perf import PerfModel, instruction_cycles
+from repro.dbt.ruletrans import translate_block_with_rules
+
+_ALU = ConcreteALU()
+
+MODES = ("qemu", "rules", "llvmjit")
+
+
+class DBTError(Exception):
+    """Engine-level failure (bad mode, runaway guest, ...)."""
+
+
+@dataclass
+class DBTStats:
+    """Everything the evaluation figures need from one run."""
+
+    dynamic_host_instructions: int = 0
+    dynamic_guest_instructions: int = 0
+    dynamic_rule_guest_instructions: int = 0
+    static_guest_instructions: int = 0
+    static_rule_guest_instructions: int = 0
+    translated_blocks: int = 0
+    hit_rule_lengths: dict[int, int] = field(default_factory=dict)
+    hit_rules: set = field(default_factory=set)
+    perf: PerfModel = field(default_factory=PerfModel)
+
+    @property
+    def static_coverage(self) -> float:
+        """S_p from the paper (Figure 11)."""
+        if not self.static_guest_instructions:
+            return 0.0
+        return (self.static_rule_guest_instructions
+                / self.static_guest_instructions)
+
+    @property
+    def dynamic_coverage(self) -> float:
+        """D_p from the paper (Figure 11)."""
+        if not self.dynamic_guest_instructions:
+            return 0.0
+        return (self.dynamic_rule_guest_instructions
+                / self.dynamic_guest_instructions)
+
+
+@dataclass
+class DBTRunResult:
+    return_value: int
+    stats: DBTStats
+
+
+class DBTEngine:
+    """Translate-and-run loop over a guest (ARM) program image."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        mode: str = "qemu",
+        rule_store: RuleStore | None = None,
+        fast: bool = True,
+    ) -> None:
+        if mode not in MODES:
+            raise DBTError(f"unknown mode {mode!r}")
+        if program.options.target != "arm":
+            raise DBTError("the DBT emulates ARM guests")
+        if mode == "rules" and rule_store is None:
+            rule_store = RuleStore()
+        if rule_store is not None and len(rule_store) and \
+                rule_store._direction != "arm-x86":
+            raise DBTError(
+                "the DBT executes ARM guests: rule store direction "
+                f"{rule_store._direction!r} is not applicable"
+            )
+        self.program = program
+        self.mode = mode
+        self.rule_store = rule_store
+        self.fast = fast
+        self._cache: dict[int, TranslatedBlock] = {}
+        self._cycles_cache: dict[int, list[float]] = {}
+        self._steps_cache: dict[int, list] = {}
+        self.stats = DBTStats()
+
+    # -- translation -----------------------------------------------------------
+
+    def translate(self, guest_addr: int) -> TranslatedBlock:
+        cached = self._cache.get(guest_addr)
+        if cached is not None:
+            return cached
+        start_index = self.program.index_of_addr(guest_addr)
+        if self.mode == "rules":
+            result = translate_block_with_rules(
+                self.program, start_index, self.rule_store
+            )
+            tb = TranslatedBlock(guest_addr, result.host_instrs)
+            tb.guest_length = len(result.guest_instrs)
+            tb.rule_covered = result.rule_covered
+            tb.hit_rules = result.hit_rules
+            tb.translation_cost = (
+                perf.TCG_OP_COST * result.tcg_op_count
+                + perf.RULE_LOOKUP_COST * result.lookup_attempts
+                + perf.RULE_EMIT_COST
+                * sum(len(rule.host) for rule, _ in result.hit_rules)
+            )
+            for rule, length in result.hit_rules:
+                self.stats.hit_rules.add(rule)
+                self.stats.hit_rule_lengths[length] = (
+                    self.stats.hit_rule_lengths.get(length, 0) + 1
+                )
+        else:
+            tcg_block, guest_instrs = translate_block(
+                self.program, start_index
+            )
+            ops = tcg_block.ops
+            if self.mode == "llvmjit":
+                cost = (perf.LLVMJIT_BLOCK_COST
+                        + perf.LLVMJIT_OP_COST * len(ops))
+                ops = optimize_tcg(ops)
+            else:
+                cost = perf.TCG_OP_COST * len(ops)
+            assembler = codegen.BlockAssembler()
+            for op in ops:
+                codegen.lower_tcg_op(assembler, op,
+                                     optimized=self.mode == "llvmjit")
+            translated = codegen.finalize_block(assembler, guest_addr)
+            tb = TranslatedBlock(guest_addr, translated.host_instrs)
+            tb.guest_length = len(guest_instrs)
+            tb.rule_covered = [False] * len(guest_instrs)
+            tb.translation_cost = cost
+        self._cache[guest_addr] = tb
+        self._cycles_cache[guest_addr] = [
+            instruction_cycles(instr) for instr in tb.host_instrs
+        ]
+        if self.fast:
+            from repro.dbt.fastexec import compile_block
+
+            self._steps_cache[guest_addr] = compile_block(tb.host_instrs)
+        self.stats.translated_blocks += 1
+        self.stats.static_guest_instructions += tb.guest_length
+        self.stats.static_rule_guest_instructions += sum(tb.rule_covered)
+        self.stats.perf.translation_cycles += tb.translation_cost
+        return tb
+
+    # -- execution ---------------------------------------------------------------
+
+    def _env_write(self, state: ConcreteState, offset: int, value: int) -> None:
+        state.store(ENV_BASE + offset, value & 0xFFFFFFFF, 4)
+
+    def _env_read(self, state: ConcreteState, offset: int) -> int:
+        return state.load(ENV_BASE + offset, 4)
+
+    def run(self, args: tuple[int, ...] = (),
+            block_limit: int = 50_000_000) -> DBTRunResult:
+        """Emulate the guest program's ``main`` until it returns."""
+        state = ConcreteState(memory=dict(self.program.initial_memory()))
+        self._env_write(state, REG_OFFSET["sp"], STACK_TOP)
+        self._env_write(state, REG_OFFSET["lr"], HALT_ADDRESS)
+        for i, arg in enumerate(args):
+            self._env_write(state, REG_OFFSET[f"r{i}"], arg)
+        guest_pc = self.program.addr_of(self.program.entry)
+        stats = self.stats
+        executed_blocks = 0
+        while guest_pc != HALT_ADDRESS:
+            if executed_blocks >= block_limit:
+                raise DBTError("block limit exceeded")
+            executed_blocks += 1
+            tb = self.translate(guest_pc)
+            tb.exec_count += 1
+            stats.perf.dispatches += 1
+            guest_pc = self._run_block(tb, state)
+        self._finalize_dynamic_stats()
+        return DBTRunResult(
+            self._env_read(state, REG_OFFSET["r0"]), stats
+        )
+
+    def _run_block(self, tb: TranslatedBlock, state: ConcreteState) -> int:
+        if self.fast:
+            return self._run_block_fast(tb, state)
+        instrs = tb.host_instrs
+        cycles = self._cycles_cache[tb.guest_start]
+        stats = self.stats
+        index = 0
+        while index < len(instrs):
+            instr = instrs[index]
+            stats.dynamic_host_instructions += 1
+            stats.perf.exec_cycles += cycles[index]
+            outcome = execute_x86(instr, state, _ALU)
+            branch = outcome.branch
+            if branch is None or not branch.cond:
+                index += 1
+                continue
+            target = branch.target
+            if isinstance(target, Label):
+                name = target.name
+                if name == EXIT_LABEL:
+                    return self._env_read(state, NEXT_PC_OFFSET)
+                if name.startswith("TB@"):
+                    return int(name[3:], 16)
+            raise DBTError(f"unexpected host branch target {target!r}")
+        raise DBTError(
+            f"translated block {tb.guest_start:#x} fell off its end"
+        )
+
+    def _run_block_fast(self, tb: TranslatedBlock, state: ConcreteState) -> int:
+        steps = self._steps_cache[tb.guest_start]
+        cycles = self._cycles_cache[tb.guest_start]
+        stats = self.stats
+        regs, flags, mem = state.regs, state.flags, state.memory
+        index = 0
+        count = 0
+        cycle_sum = 0.0
+        n = len(steps)
+        while index < n:
+            count += 1
+            cycle_sum += cycles[index]
+            target = steps[index](regs, flags, mem)
+            if target is None:
+                index += 1
+                continue
+            stats.dynamic_host_instructions += count
+            stats.perf.exec_cycles += cycle_sum
+            if target == EXIT_LABEL:
+                return self._env_read(state, NEXT_PC_OFFSET)
+            if target.startswith("TB@"):
+                return int(target[3:], 16)
+            raise DBTError(f"unexpected host branch target {target!r}")
+        raise DBTError(
+            f"translated block {tb.guest_start:#x} fell off its end"
+        )
+
+    def _finalize_dynamic_stats(self) -> None:
+        stats = self.stats
+        stats.dynamic_guest_instructions = 0
+        stats.dynamic_rule_guest_instructions = 0
+        for tb in self._cache.values():
+            stats.dynamic_guest_instructions += \
+                tb.exec_count * tb.guest_length
+            stats.dynamic_rule_guest_instructions += \
+                tb.exec_count * sum(tb.rule_covered)
+
+
+def run_dbt(
+    program: CompiledProgram,
+    mode: str = "qemu",
+    rule_store: RuleStore | None = None,
+    args: tuple[int, ...] = (),
+) -> DBTRunResult:
+    """Convenience wrapper: build an engine and run to completion."""
+    return DBTEngine(program, mode, rule_store).run(args)

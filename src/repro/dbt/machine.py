@@ -1,0 +1,64 @@
+"""Concrete machine state for the interpreters and the DBT host CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_MASK = 0xFFFFFFFF
+
+
+@dataclass
+class ConcreteState:
+    """Registers/flags/byte-addressed memory over Python ints.
+
+    Implements the :class:`repro.isa.state.MachineState` protocol for
+    the :class:`repro.isa.alu.ConcreteALU`.
+    """
+
+    regs: dict[str, int] = field(default_factory=dict)
+    flags: dict[str, int] = field(default_factory=dict)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def get_reg(self, name: str) -> int:
+        return self.regs.get(name, 0)
+
+    def set_reg(self, name: str, value: int) -> None:
+        self.regs[name] = value & _MASK
+
+    def get_flag(self, name: str) -> int:
+        return self.flags.get(name, 0)
+
+    def set_flag(self, name: str, value: int) -> None:
+        self.flags[name] = value & 1
+
+    def load(self, addr: int, size: int) -> int:
+        addr &= _MASK
+        memory = self.memory
+        if size == 4:
+            return (
+                memory.get(addr, 0)
+                | memory.get(addr + 1, 0) << 8
+                | memory.get(addr + 2, 0) << 16
+                | memory.get(addr + 3, 0) << 24
+            )
+        if size == 1:
+            return memory.get(addr, 0)
+        value = 0
+        for i in range(size):
+            value |= memory.get(addr + i, 0) << (8 * i)
+        return value
+
+    def store(self, addr: int, value: int, size: int) -> None:
+        addr &= _MASK
+        memory = self.memory
+        if size == 4:
+            memory[addr] = value & 0xFF
+            memory[addr + 1] = (value >> 8) & 0xFF
+            memory[addr + 2] = (value >> 16) & 0xFF
+            memory[addr + 3] = (value >> 24) & 0xFF
+            return
+        if size == 1:
+            memory[addr] = value & 0xFF
+            return
+        for i in range(size):
+            memory[addr + i] = (value >> (8 * i)) & 0xFF

@@ -1,0 +1,69 @@
+"""Deterministic cycle model.
+
+We cannot measure wall-clock hardware speedups from a Python-hosted
+simulator (see DESIGN.md), so relative performance is computed from a
+per-instruction-class cycle model plus a per-backend translation cost
+model.  The *shape* of the paper's results — rules beat QEMU on both
+short and long workloads, LLVM JIT loses badly on short ones — follows
+from measured dynamic instruction counts; only the constants here are
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.host_x86 import isa as x86_isa
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Mem
+
+# Execution cycles per host instruction class.
+_CYCLES_MEM = 3.0
+_CYCLES_MUL = 3.0
+_CYCLES_DIV = 20.0
+_CYCLES_BRANCH = 1.5
+_CYCLES_ALU = 1.0
+
+# Translation-cost model (same cycle units).
+TCG_OP_COST = 60.0          # per TCG micro-op (QEMU's translator)
+RULE_LOOKUP_COST = 120.0    # per match_at position (hash probe + longest-
+                            # first sequence comparisons, Section 4)
+RULE_EMIT_COST = 30.0       # per host instruction emitted from a rule
+LLVMJIT_BLOCK_COST = 2_000.0  # per block: LLVM pass-manager overhead
+LLVMJIT_OP_COST = 220.0     # per TCG op fed to LLVM (IR build + opt + isel)
+DISPATCH_COST = 12.0        # per block dispatch in the execution loop
+
+
+def instruction_cycles(instr: Instruction) -> float:
+    """Execution cost of one host instruction."""
+    name = instr.mnemonic
+    if name == "idivl":
+        return _CYCLES_DIV
+    if name == "imull":
+        return _CYCLES_MUL
+    if name == "leal":
+        return _CYCLES_ALU  # address arithmetic, not a memory access
+    if x86_isa.is_branch(instr):
+        return _CYCLES_BRANCH
+    if any(isinstance(op, Mem) for op in instr.operands):
+        return _CYCLES_MEM
+    return _CYCLES_ALU
+
+
+@dataclass
+class PerfModel:
+    """Accumulates execution and translation cycles for one run."""
+
+    exec_cycles: float = 0.0
+    translation_cycles: float = 0.0
+    dispatches: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.exec_cycles + self.translation_cycles
+                + self.dispatches * DISPATCH_COST)
+
+
+def speedup(baseline: PerfModel, candidate: PerfModel) -> float:
+    """Speedup of ``candidate`` over ``baseline`` (>1 is faster)."""
+    return baseline.total_cycles / candidate.total_cycles

@@ -1,0 +1,241 @@
+"""Rule-enhanced block translation (paper Sections 4-5).
+
+For each guest block, the translator greedily matches the longest
+learned rule at every position (via the opcode-mean hash store); guest
+instructions covered by a rule are translated by instantiating the
+rule's host template directly — bypassing TCG — while the remainder
+goes through the normal TCG path.  Register allocation cooperates
+through the shared :class:`~repro.dbt.codegen.BlockAssembler` (guest
+registers cached in host registers, liveness write-back), and a
+lightweight translation-time analysis checks that guest condition codes
+the rule does not materialize are dead before applying it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.guest_arm import isa as arm_isa
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, SymImm
+from repro.learning.rule import Binding, Rule
+from repro.learning.store import RuleMatch, RuleStore
+from repro.minic.compile import CompiledProgram
+from repro.dbt import codegen
+from repro.dbt.codegen import BlockAssembler, tb_label
+from repro.dbt.frontend import discover_block, translate_instruction
+from repro.dbt.tcg import TcgBlock
+
+
+class RuleApplicationError(Exception):
+    """The bound rule violates a host-ISA constraint (Section 5)."""
+
+
+@dataclass
+class BlockTranslation:
+    """Result of translating one guest block with rules."""
+
+    host_instrs: list[Instruction]
+    guest_instrs: list[Instruction]
+    rule_covered: list[bool]
+    hit_rules: list[tuple[Rule, int]]
+    tcg_op_count: int
+    lookup_attempts: int
+
+
+def flags_dead_after(rule: Rule, block: list[Instruction],
+                     next_index: int) -> bool:
+    """Translation-time condition-code analysis (Section 5).
+
+    The rule's host code leaves the guest's env flag slots untouched, so
+    every guest flag the rule's guest sequence writes must be dead: not
+    read by any following instruction in the block before being written
+    again.  Flags are assumed dead across block boundaries (compilers
+    set flags immediately before using them).
+    """
+    pending = set(rule.guest_flags_written)
+    if not pending:
+        return True
+    if rule.has_branch:
+        # The rule ends the block; its own branch is the only consumer.
+        return True
+    for instr in block[next_index:]:
+        used = set(arm_isa.used_flags(instr))
+        if used & pending:
+            return False
+        pending -= set(arm_isa.defined_flags(instr))
+        if not pending:
+            return True
+    return True
+
+
+def instantiate_host(
+    rule: Rule,
+    binding: Binding,
+    assembler: BlockAssembler,
+) -> tuple[list[Instruction], str | None]:
+    """Materialize the rule's host template into the assembler's vregs.
+
+    Returns (non-branch host instructions appended, taken-branch label
+    or None).  Branch instructions are returned to the caller (they
+    must go after the block's write-back).
+    """
+    reg_map: dict[str, str] = {}
+    for param, guest_reg in binding.regs.items():
+        reg_map[param] = assembler.guest_vreg(guest_reg)
+    for temp in rule.temps:
+        reg_map[temp] = assembler.new_vreg()
+
+    branch_cc: str | None = None
+    emitted: list[Instruction] = []
+    for template in rule.host:
+        cc = None
+        from repro.host_x86 import isa as x86_isa
+
+        if x86_isa.is_branch(template):
+            branch_cc = template.mnemonic
+            continue  # the caller emits the control transfer
+        instr = _bind_instr(template, binding, reg_map)
+        _check_host_constraints(instr)
+        assembler.instrs.append(instr)
+        emitted.append(instr)
+    for param in rule.written_params:
+        assembler.mark_dirty(binding.regs[param])
+    return emitted, branch_cc
+
+
+def _bind_reg(name: str, binding: Binding, reg_map: dict[str, str]) -> Reg:
+    if name.endswith(".b"):
+        return Reg(f"{reg_map[name[:-2]]}.b")
+    return Reg(reg_map[name])
+
+
+def _bind_instr(template: Instruction, binding: Binding,
+                reg_map: dict[str, str]) -> Instruction:
+    operands = []
+    meta = None
+    for op in template.operands:
+        if isinstance(op, Reg):
+            bound = _bind_reg(op.name, binding, reg_map)
+            if op.name.endswith(".b"):
+                parent = bound.name[:-2]
+                meta = {"needs_low8": (parent,)}
+            operands.append(bound)
+        elif isinstance(op, Imm):
+            operands.append(op)
+        elif isinstance(op, SymImm):
+            operands.append(Imm(binding.immediate(op.expr)))
+        elif isinstance(op, Mem):
+            disp = op.disp
+            if op.disp_param is not None:
+                disp = (disp + binding.immediate(op.disp_param)) & 0xFFFFFFFF
+                if disp >= 0x8000_0000:
+                    disp -= 0x1_0000_0000
+            operands.append(
+                Mem(
+                    _bind_reg(op.base.name, binding, reg_map)
+                    if op.base else None,
+                    _bind_reg(op.index.name, binding, reg_map)
+                    if op.index else None,
+                    op.scale,
+                    disp,
+                )
+            )
+        elif isinstance(op, Label):
+            operands.append(op)
+        else:
+            raise RuleApplicationError(f"cannot bind operand {op!r}")
+    return Instruction(template.mnemonic, tuple(operands), meta=meta)
+
+
+def _check_host_constraints(instr: Instruction) -> None:
+    """Host-ISA constraint checks before assembling (Section 5)."""
+    from repro.learning.direction import HostConstraintError, \
+        x86_host_constraints
+
+    try:
+        x86_host_constraints(instr)
+    except HostConstraintError as exc:
+        raise RuleApplicationError(str(exc)) from exc
+
+
+def translate_block_with_rules(
+    program: CompiledProgram,
+    start_index: int,
+    store: RuleStore | None,
+) -> BlockTranslation:
+    """Translate one guest block, using rules where they match."""
+    block = discover_block(program, start_index)
+    guest_addr = 0x8000 + 4 * start_index
+    assembler = BlockAssembler()
+    covered = [False] * len(block)
+    hit_rules: list[tuple[Rule, int]] = []
+    tcg_ops_total = 0
+    lookups = 0
+
+    i = 0
+    ended = False
+    while i < len(block):
+        match: RuleMatch | None = None
+        if store is not None:
+            lookups += 1
+            match = store.match_at(block, i)
+            if match is not None and not flags_dead_after(
+                match.rule, block, i + match.length
+            ):
+                match = None
+            if match is not None and not _binding_applicable(match):
+                match = None
+        if match is not None:
+            try:
+                _, branch_cc = instantiate_host(
+                    match.rule, match.binding, assembler
+                )
+            except RuleApplicationError:
+                match = None
+            else:
+                for j in range(i, i + match.length):
+                    covered[j] = True
+                hit_rules.append((match.rule, match.length))
+                if match.rule.has_branch:
+                    taken = program.addr_of(match.binding.label)
+                    fallthrough = guest_addr + 4 * (i + match.length)
+                    assembler.writeback()
+                    assembler.emit(branch_cc, Label(tb_label(taken)))
+                    assembler.emit("jmp", Label(tb_label(fallthrough)))
+                    ended = True
+                i += match.length
+                continue
+        # TCG path for one guest instruction.
+        tcg = TcgBlock(guest_start=guest_addr)
+        tcg.temp_counter = 10_000 + i * 100  # keep temp names unique
+        translate_instruction(
+            program, tcg, block[i], guest_addr + 4 * i,
+            is_last=i == len(block) - 1,
+        )
+        tcg_ops_total += len(tcg.ops)
+        for op in tcg.ops:
+            codegen.lower_tcg_op(assembler, op)
+            if op.op in ("brcond", "goto_tb", "exit_indirect"):
+                ended = True
+        i += 1
+    if not ended:
+        assembler.writeback()
+        assembler.emit("jmp", Label(tb_label(guest_addr + 4 * len(block))))
+    translated = codegen.finalize_block(assembler, guest_addr)
+    return BlockTranslation(
+        host_instrs=translated.host_instrs,
+        guest_instrs=block,
+        rule_covered=covered,
+        hit_rules=hit_rules,
+        tcg_op_count=tcg_ops_total,
+        lookup_attempts=lookups,
+    )
+
+
+def _binding_applicable(match: RuleMatch) -> bool:
+    """Reject bindings touching registers the DBT handles specially."""
+    for guest_reg in match.binding.regs.values():
+        if guest_reg == "pc":
+            return False
+    return True

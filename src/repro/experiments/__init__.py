@@ -1,0 +1,22 @@
+"""Experiment regeneration: one module per paper table/figure.
+
+Every module exposes a ``run(...)`` function returning a structured
+result plus a ``render(result)`` function producing the text table the
+benchmark harness and the CLI print.  ``repro.experiments.common``
+caches compiled builds, learned rule sets, and DBT runs so that the
+figure modules can share work within one process.
+"""
+
+from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
+from repro.experiments.common import ExperimentContext
+
+__all__ = [
+    "ExperimentContext",
+    "table1",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+]

@@ -1,0 +1,51 @@
+"""Command-line entry point: regenerate any table/figure.
+
+Usage::
+
+    repro-experiments table1
+    repro-experiments fig8 fig10
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig6": fig6,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else \
+        args.experiments
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        result = module.run()
+        print(module.render(result))
+        print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

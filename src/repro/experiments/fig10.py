@@ -1,0 +1,48 @@
+"""Figure 10: dynamic host instructions reduced by the learned rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentContext,
+    render_table,
+    shared_context,
+)
+
+
+@dataclass
+class Fig10Result:
+    reductions: dict[str, float]  # benchmark -> fraction reduced
+
+    @property
+    def average(self) -> float:
+        if not self.reductions:
+            return 0.0
+        return sum(self.reductions.values()) / len(self.reductions)
+
+
+def run(context: ExperimentContext | None = None) -> Fig10Result:
+    context = context or shared_context()
+    reductions: dict[str, float] = {}
+    for name in context.benchmarks:
+        baseline = context.run(name, "qemu", "ref")
+        rules = context.run(name, "rules", "ref")
+        base_count = baseline.stats.dynamic_host_instructions
+        rule_count = rules.stats.dynamic_host_instructions
+        reductions[name] = 1.0 - rule_count / base_count
+    return Fig10Result(reductions)
+
+
+def render(result: Fig10Result) -> str:
+    headers = ["benchmark", "dyn. host instrs reduced"]
+    rows = [
+        [name, f"{fraction:.1%}"]
+        for name, fraction in result.reductions.items()
+    ]
+    rows.append(["AVERAGE", f"{result.average:.1%}"])
+    return render_table(
+        headers, rows,
+        "Figure 10: dynamic host instruction reduction vs. QEMU "
+        "(ref workload, paper average: 34%)",
+    )

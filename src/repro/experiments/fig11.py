@@ -1,0 +1,50 @@
+"""Figure 11: static and dynamic coverage of the learned rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentContext,
+    render_table,
+    shared_context,
+)
+
+
+@dataclass
+class Fig11Result:
+    coverage: dict[str, tuple[float, float]]  # benchmark -> (S_p, D_p)
+
+    @property
+    def average_static(self) -> float:
+        return sum(s for s, _ in self.coverage.values()) / len(self.coverage)
+
+    @property
+    def average_dynamic(self) -> float:
+        return sum(d for _, d in self.coverage.values()) / len(self.coverage)
+
+
+def run(context: ExperimentContext | None = None) -> Fig11Result:
+    context = context or shared_context()
+    coverage: dict[str, tuple[float, float]] = {}
+    for name in context.benchmarks:
+        stats = context.run(name, "rules", "ref").stats
+        coverage[name] = (stats.static_coverage, stats.dynamic_coverage)
+    return Fig11Result(coverage)
+
+
+def render(result: Fig11Result) -> str:
+    headers = ["benchmark", "static S_p", "dynamic D_p"]
+    rows = [
+        [name, f"{static:.1%}", f"{dynamic:.1%}"]
+        for name, (static, dynamic) in result.coverage.items()
+    ]
+    rows.append([
+        "AVERAGE",
+        f"{result.average_static:.1%}",
+        f"{result.average_dynamic:.1%}",
+    ])
+    return render_table(
+        headers, rows,
+        "Figure 11: rule coverage (ref workload, paper average: >60%)",
+    )

@@ -1,0 +1,64 @@
+"""Figure 12: length distribution of hit translation rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentContext,
+    render_table,
+    shared_context,
+)
+
+
+@dataclass
+class Fig12Result:
+    # benchmark -> {rule length: hit count (distinct translations)}
+    distributions: dict[str, dict[int, int]]
+
+    def max_length(self) -> int:
+        lengths = [
+            length
+            for dist in self.distributions.values()
+            for length in dist
+        ]
+        return max(lengths, default=1)
+
+    def share_of_multi_instruction_hits(self) -> float:
+        total = 0
+        multi = 0
+        for dist in self.distributions.values():
+            for length, count in dist.items():
+                total += count
+                if length >= 2:
+                    multi += count
+        return multi / total if total else 0.0
+
+
+def run(context: ExperimentContext | None = None) -> Fig12Result:
+    context = context or shared_context()
+    distributions: dict[str, dict[int, int]] = {}
+    for name in context.benchmarks:
+        stats = context.run(name, "rules", "ref").stats
+        distributions[name] = dict(sorted(stats.hit_rule_lengths.items()))
+    return Fig12Result(distributions)
+
+
+def render(result: Fig12Result) -> str:
+    max_len = result.max_length()
+    headers = ["benchmark"] + [f"len={length}"
+                               for length in range(1, max_len + 1)]
+    rows = []
+    for name, dist in result.distributions.items():
+        rows.append(
+            [name] + [str(dist.get(length, 0))
+                      for length in range(1, max_len + 1)]
+        )
+    table = render_table(
+        headers, rows, "Figure 12: length distribution of hit rules"
+    )
+    share = result.share_of_multi_instruction_hits()
+    return table + (
+        f"\nhits with length >= 2: {share:.0%} "
+        "(paper: hits beyond 2 guest instructions are common)"
+    )

@@ -1,0 +1,50 @@
+"""Figure 6: sensitivity of learning to the compiler optimization level."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ExperimentContext,
+    render_table,
+    shared_context,
+)
+
+LEVELS = (0, 1, 2, 3)
+
+
+@dataclass
+class Fig6Result:
+    rules_by_level: dict[str, dict[int, int]]  # benchmark -> level -> #rules
+
+    def totals(self) -> dict[int, int]:
+        totals = {level: 0 for level in LEVELS}
+        for counts in self.rules_by_level.values():
+            for level, count in counts.items():
+                totals[level] += count
+        return totals
+
+
+def run(context: ExperimentContext | None = None) -> Fig6Result:
+    context = context or shared_context()
+    result: dict[str, dict[int, int]] = {}
+    for name in context.benchmarks:
+        result[name] = {
+            level: context.learning_outcome(name, opt_level=level).report.rules
+            for level in LEVELS
+        }
+    return Fig6Result(result)
+
+
+def render(result: Fig6Result) -> str:
+    headers = ["benchmark"] + [f"-O{level}" for level in LEVELS]
+    rows = [
+        [name] + [str(counts[level]) for level in LEVELS]
+        for name, counts in result.rules_by_level.items()
+    ]
+    totals = result.totals()
+    rows.append(["TOTAL"] + [str(totals[level]) for level in LEVELS])
+    return render_table(
+        headers, rows,
+        "Figure 6: number of learned rules per optimization level",
+    )

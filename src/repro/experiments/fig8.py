@@ -1,0 +1,70 @@
+"""Figure 8: speedup over QEMU for LLVM-built guests (test + ref)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    ExperimentContext,
+    geometric_mean,
+    render_table,
+    shared_context,
+)
+
+GUEST_STYLE = "llvm"
+
+
+@dataclass
+class SpeedupResult:
+    guest_style: str
+    # benchmark -> {(mode, workload): speedup}
+    speedups: dict[str, dict[tuple[str, str], float]] = field(
+        default_factory=dict
+    )
+
+    def mean(self, mode: str, workload: str) -> float:
+        values = [
+            per_bench[(mode, workload)]
+            for per_bench in self.speedups.values()
+        ]
+        return geometric_mean(values)
+
+
+def run(context: ExperimentContext | None = None,
+        guest_style: str = GUEST_STYLE) -> SpeedupResult:
+    context = context or shared_context()
+    result = SpeedupResult(guest_style)
+    for name in context.benchmarks:
+        per_bench: dict[tuple[str, str], float] = {}
+        for workload in ("test", "ref"):
+            for mode in ("rules", "llvmjit"):
+                per_bench[(mode, workload)] = context.speedup_over_qemu(
+                    name, mode, workload, guest_style
+                )
+        result.speedups[name] = per_bench
+    return result
+
+
+def render(result: SpeedupResult, figure: str = "Figure 8") -> str:
+    headers = ["benchmark", "rules/test", "jit/test", "rules/ref", "jit/ref"]
+    rows = []
+    for name, per_bench in result.speedups.items():
+        rows.append([
+            name,
+            f"{per_bench[('rules', 'test')]:.2f}x",
+            f"{per_bench[('llvmjit', 'test')]:.2f}x",
+            f"{per_bench[('rules', 'ref')]:.2f}x",
+            f"{per_bench[('llvmjit', 'ref')]:.2f}x",
+        ])
+    rows.append([
+        "GEOMEAN",
+        f"{result.mean('rules', 'test'):.2f}x",
+        f"{result.mean('llvmjit', 'test'):.2f}x",
+        f"{result.mean('rules', 'ref'):.2f}x",
+        f"{result.mean('llvmjit', 'ref'):.2f}x",
+    ])
+    title = (
+        f"{figure}: speedup over QEMU "
+        f"({result.guest_style}-built guests, leave-one-out rules)"
+    )
+    return render_table(headers, rows, title)

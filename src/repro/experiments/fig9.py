@@ -1,0 +1,19 @@
+"""Figure 9: speedup over QEMU for GCC-built guests.
+
+Rules are still learned from the LLVM-style builds — the experiment
+shows the learned rules transfer to binaries from a different compiler
+(paper Section 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+from repro.experiments.common import ExperimentContext, shared_context
+
+
+def run(context: ExperimentContext | None = None) -> fig8.SpeedupResult:
+    return fig8.run(context or shared_context(), guest_style="gcc")
+
+
+def render(result: fig8.SpeedupResult) -> str:
+    return fig8.render(result, figure="Figure 9")

@@ -1,0 +1,100 @@
+"""Table 1: learning results (failure breakdown, yield, learning time)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.learning.pipeline import LearningReport
+from repro.experiments.common import (
+    ExperimentContext,
+    render_table,
+    shared_context,
+)
+
+
+@dataclass
+class Table1Result:
+    reports: dict[str, LearningReport]
+
+    @property
+    def totals(self) -> LearningReport:
+        total = LearningReport(benchmark="TOTAL")
+        for report in self.reports.values():
+            total.merge(report)
+        return total
+
+    @property
+    def prep_fraction(self) -> float:
+        total = self.totals
+        return total.prep_failures / max(total.total_sequences, 1)
+
+    @property
+    def param_fraction(self) -> float:
+        total = self.totals
+        return total.param_failures / max(total.total_sequences, 1)
+
+    @property
+    def verify_fraction(self) -> float:
+        total = self.totals
+        return total.verify_failures / max(total.total_sequences, 1)
+
+    @property
+    def yield_fraction(self) -> float:
+        total = self.totals
+        return total.rules / max(total.total_sequences, 1)
+
+    @property
+    def seconds_per_rule(self) -> float:
+        total = self.totals
+        return total.learn_seconds / max(total.rules, 1)
+
+    @property
+    def verify_time_share(self) -> float:
+        total = self.totals
+        if total.learn_seconds == 0:
+            return 0.0
+        return total.verify_seconds / total.learn_seconds
+
+
+def run(context: ExperimentContext | None = None) -> Table1Result:
+    context = context or shared_context()
+    return Table1Result(
+        {name: context.learning_outcome(name).report
+         for name in context.benchmarks}
+    )
+
+
+def render(result: Table1Result) -> str:
+    headers = ["benchmark", "#seq", "CI", "PI", "MB", "Num", "Name",
+               "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "Time(s)"]
+    rows = []
+    for name, report in result.reports.items():
+        rows.append([
+            name, str(report.total_sequences),
+            str(report.prep_ci), str(report.prep_pi), str(report.prep_mb),
+            str(report.param_num), str(report.param_name),
+            str(report.param_failg),
+            str(report.verify_rg), str(report.verify_mm),
+            str(report.verify_br), str(report.verify_other),
+            str(report.rules), f"{report.learn_seconds:.2f}",
+        ])
+    total = result.totals
+    rows.append([
+        "TOTAL", str(total.total_sequences),
+        str(total.prep_ci), str(total.prep_pi), str(total.prep_mb),
+        str(total.param_num), str(total.param_name), str(total.param_failg),
+        str(total.verify_rg), str(total.verify_mm), str(total.verify_br),
+        str(total.verify_other), str(total.rules),
+        f"{total.learn_seconds:.2f}",
+    ])
+    table = render_table(headers, rows, "Table 1: learning results")
+    summary = (
+        f"\nfailure shares: preparation {result.prep_fraction:.0%}, "
+        f"parameterization {result.param_fraction:.0%}, "
+        f"verification {result.verify_fraction:.0%}; "
+        f"yield {result.yield_fraction:.0%}\n"
+        f"avg learning time per rule: {result.seconds_per_rule * 1000:.1f} ms "
+        f"(paper: < 2 s); verification share of learning time: "
+        f"{result.verify_time_share:.0%} (paper: ~95%)"
+    )
+    return table + summary

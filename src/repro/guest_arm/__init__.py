@@ -1,0 +1,59 @@
+"""ARM32 guest ISA model (the paper's guest architecture).
+
+A curated subset of ARMv7-A user-mode integer instructions — the ones
+compilers emit for C code — with full NZCV condition-code semantics,
+UAL-syntax parsing/printing, and single-source semantics that run both
+concretely and symbolically (see :mod:`repro.isa.alu`).
+"""
+
+from repro.guest_arm.registers import (
+    ALL_REGISTERS,
+    CALLEE_SAVED,
+    FLAG_NAMES,
+    GENERAL_REGISTERS,
+    LR,
+    PC,
+    SP,
+)
+from repro.guest_arm.isa import (
+    branch_condition,
+    defined_flags,
+    defined_registers,
+    is_branch,
+    is_call,
+    is_indirect_branch,
+    is_predicated,
+    is_return,
+    opcode_id,
+    split_mnemonic,
+    used_flags,
+    used_registers,
+)
+from repro.guest_arm.parser import parse_instruction, parse_program
+from repro.guest_arm.semantics import conditions, execute
+
+__all__ = [
+    "ALL_REGISTERS",
+    "CALLEE_SAVED",
+    "FLAG_NAMES",
+    "GENERAL_REGISTERS",
+    "LR",
+    "PC",
+    "SP",
+    "branch_condition",
+    "defined_flags",
+    "defined_registers",
+    "is_branch",
+    "is_call",
+    "is_indirect_branch",
+    "is_predicated",
+    "is_return",
+    "opcode_id",
+    "split_mnemonic",
+    "used_flags",
+    "used_registers",
+    "parse_instruction",
+    "parse_program",
+    "conditions",
+    "execute",
+]

@@ -1,0 +1,58 @@
+"""UAL-syntax printing for ARM instructions."""
+
+from __future__ import annotations
+
+from repro.guest_arm.isa import split_mnemonic
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg
+
+
+def format_operand(op) -> str:
+    if isinstance(op, Reg):
+        return op.name
+    if isinstance(op, Imm):
+        return f"#{op.value}"
+    if isinstance(op, ShiftedReg):
+        return f"{op.reg.name}, {op.shift} #{op.amount}"
+    if isinstance(op, Label):
+        return op.name
+    if isinstance(op, Mem):
+        return _format_mem(op)
+    raise TypeError(f"bad ARM operand {op!r}")
+
+
+def _format_mem(mem: Mem) -> str:
+    parts = [mem.base.name if mem.base else "r0"]
+    if mem.index is not None:
+        parts.append(mem.index.name)
+        if mem.scale != 1:
+            parts.append(f"lsl #{mem.scale.bit_length() - 1}")
+    elif mem.disp:
+        parts.append(f"#{mem.disp}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def format_instruction(instr: Instruction) -> str:
+    base, _, _ = split_mnemonic(instr.mnemonic)
+    if base in ("push", "pop"):
+        regs = ", ".join(op.name for op in instr.operands if isinstance(op, Reg))
+        return f"{instr.mnemonic} {{{regs}}}"
+    if not instr.operands:
+        return instr.mnemonic
+    operands = ", ".join(format_operand(op) for op in instr.operands)
+    return f"{instr.mnemonic} {operands}"
+
+
+def format_program(instructions, labels: dict[str, int] | None = None) -> str:
+    """Render a listing; ``labels`` maps label name -> instruction index."""
+    by_index: dict[int, list[str]] = {}
+    for name, index in (labels or {}).items():
+        by_index.setdefault(index, []).append(name)
+    lines: list[str] = []
+    for i, instr in enumerate(instructions):
+        for name in by_index.get(i, []):
+            lines.append(f"{name}:")
+        lines.append(f"    {format_instruction(instr)}")
+    for name in by_index.get(len(instructions), []):
+        lines.append(f"{name}:")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""ARM32 register file and flag definitions."""
+
+from __future__ import annotations
+
+GENERAL_REGISTERS = tuple(f"r{i}" for i in range(13))  # r0..r12
+SP = "sp"  # r13
+LR = "lr"  # r14
+PC = "pc"  # r15
+ALL_REGISTERS = GENERAL_REGISTERS + (SP, LR, PC)
+
+# AAPCS: r4-r11 callee-saved; r0-r3 argument/scratch; r12 scratch.
+CALLEE_SAVED = tuple(f"r{i}" for i in range(4, 12))
+ARGUMENT_REGISTERS = ("r0", "r1", "r2", "r3")
+RETURN_REGISTER = "r0"
+
+FLAG_NAMES = ("N", "Z", "C", "V")
+
+_ALIASES = {"r13": SP, "r14": LR, "r15": PC}
+
+
+def canonical_register(name: str) -> str:
+    """Normalize register spellings (r13/r14/r15 -> sp/lr/pc)."""
+    name = name.lower()
+    name = _ALIASES.get(name, name)
+    if name not in ALL_REGISTERS:
+        raise ValueError(f"unknown ARM register {name!r}")
+    return name
+
+
+def register_number(name: str) -> int:
+    """The architectural number of a register (push/pop ordering)."""
+    name = canonical_register(name)
+    if name == SP:
+        return 13
+    if name == LR:
+        return 14
+    if name == PC:
+        return 15
+    return int(name[1:])

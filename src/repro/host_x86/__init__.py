@@ -1,0 +1,50 @@
+"""IA-32 host ISA model (the paper's host architecture).
+
+A curated subset of 32-bit x86 integer instructions in AT&T syntax —
+what compilers emit for C — with OF/SF/ZF/CF EFLAGS semantics,
+parsing/printing, and single-source semantics over the ALU abstraction.
+"""
+
+from repro.host_x86.registers import (
+    ALL_REGISTERS,
+    FLAG_NAMES,
+    GENERAL_REGISTERS,
+    LOW8_TO_PARENT,
+)
+from repro.host_x86.isa import (
+    branch_condition,
+    defined_flags,
+    defined_registers,
+    is_branch,
+    is_call,
+    is_indirect_branch,
+    is_predicated,
+    is_return,
+    opcode_id,
+    used_flags,
+    used_registers,
+)
+from repro.host_x86.parser import parse_instruction, parse_program
+from repro.host_x86.semantics import conditions, execute
+
+__all__ = [
+    "ALL_REGISTERS",
+    "FLAG_NAMES",
+    "GENERAL_REGISTERS",
+    "LOW8_TO_PARENT",
+    "branch_condition",
+    "defined_flags",
+    "defined_registers",
+    "is_branch",
+    "is_call",
+    "is_indirect_branch",
+    "is_predicated",
+    "is_return",
+    "opcode_id",
+    "used_flags",
+    "used_registers",
+    "parse_instruction",
+    "parse_program",
+    "conditions",
+    "execute",
+]

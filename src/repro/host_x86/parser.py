@@ -1,0 +1,143 @@
+"""AT&T-syntax parser for the IA-32 subset.
+
+Supports the forms the MiniC backend emits plus ``#`` comments with the
+same ``line=`` / ``var=`` debug annotations as the ARM parser::
+
+    movl -0x4(%ecx,%eax,4), %eax   # line=42 var=buf
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.host_x86.isa import ALL_OPCODES
+from repro.host_x86.registers import canonical_register
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+
+_REG_RE = re.compile(r"^%([a-z]+[0-9]*)$", re.IGNORECASE)
+_IMM_RE = re.compile(r"^\$(-?(?:0x[0-9a-f]+|\d+))$", re.IGNORECASE)
+_MEM_RE = re.compile(
+    r"^(-?(?:0x[0-9a-f]+|\d+))?\(([^)]*)\)$", re.IGNORECASE
+)
+
+
+@dataclass
+class ParsedProgram:
+    """A parsed assembly listing: instructions plus label positions."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int]
+
+
+def parse_program(text: str) -> ParsedProgram:
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        while True:
+            label_match = re.match(r"^([.\w$]+):\s*(.*)$", line)
+            if not label_match:
+                break
+            labels[label_match.group(1)] = len(instructions)
+            line = label_match.group(2).strip()
+        if line:
+            instructions.append(parse_instruction(line))
+    return ParsedProgram(instructions, labels)
+
+
+def parse_instruction(text: str) -> Instruction:
+    """Parse a single AT&T-syntax instruction."""
+    text, annotations = _strip_comment(text)
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    if mnemonic not in ALL_OPCODES:
+        raise ValueError(f"unknown x86 mnemonic {mnemonic!r}")
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = _parse_operands(mnemonic, operand_text)
+    var = annotations.get("var")
+    if var is not None:
+        operands = [
+            op.with_var(var) if isinstance(op, Mem) else op for op in operands
+        ]
+    line = annotations.get("line")
+    return Instruction(
+        mnemonic,
+        tuple(operands),
+        line=int(line) if line is not None else None,
+    )
+
+
+def _strip_comment(text: str) -> tuple[str, dict[str, str]]:
+    annotations: dict[str, str] = {}
+    if "#" in text:
+        # Careful: '#' never appears inside AT&T operands (imm is '$').
+        text, comment = text.split("#", 1)
+        for match in re.finditer(r"(\w+)=([^\s,]+)", comment):
+            annotations[match.group(1)] = match.group(2)
+    return text.strip(), annotations
+
+
+def _parse_operands(mnemonic: str, text: str) -> list:
+    text = text.strip()
+    if not text:
+        return []
+    if mnemonic in ("jmp", "call") or mnemonic.startswith("j"):
+        token = text.strip()
+        if _REG_RE.match(token) or token.startswith("*"):
+            return [_parse_operand(token.lstrip("*"))]
+        return [Label(token)]
+    tokens = _split_top_level(text)
+    return [_parse_operand(tok) for tok in tokens]
+
+
+def _split_top_level(text: str) -> list[str]:
+    tokens: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            tokens.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        tokens.append("".join(current).strip())
+    return [tok for tok in tokens if tok]
+
+
+def _parse_operand(token: str):
+    token = token.strip()
+    reg = _REG_RE.match(token)
+    if reg:
+        return Reg(canonical_register(reg.group(1)))
+    imm = _IMM_RE.match(token)
+    if imm:
+        return Imm(int(imm.group(1), 0))
+    mem = _MEM_RE.match(token)
+    if mem:
+        return _parse_mem(mem)
+    raise ValueError(f"bad x86 operand {token!r}")
+
+
+def _parse_mem(match: re.Match) -> Mem:
+    disp = int(match.group(1), 0) if match.group(1) else 0
+    inner = match.group(2).strip()
+    base = index = None
+    scale = 1
+    if inner:
+        parts = [part.strip() for part in inner.split(",")]
+        if parts[0]:
+            base = Reg(canonical_register(parts[0]))
+        if len(parts) >= 2 and parts[1]:
+            index = Reg(canonical_register(parts[1]))
+        if len(parts) == 3 and parts[2]:
+            scale = int(parts[2], 0)
+    return Mem(base=base, index=index, scale=scale, disp=disp)

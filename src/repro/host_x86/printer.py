@@ -1,0 +1,55 @@
+"""AT&T-syntax printing for x86 instructions."""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+
+
+def format_operand(op) -> str:
+    if isinstance(op, Reg):
+        return f"%{op.name}"
+    if isinstance(op, Imm):
+        value = op.value
+        return f"$0x{value:x}" if value >= 10 else f"${value}"
+    if isinstance(op, Label):
+        return op.name
+    if isinstance(op, Mem):
+        return _format_mem(op)
+    raise TypeError(f"bad x86 operand {op!r}")
+
+
+def _format_mem(mem: Mem) -> str:
+    disp = ""
+    if mem.disp:
+        disp = f"-0x{-mem.disp:x}" if mem.disp < 0 else f"0x{mem.disp:x}"
+    inner = []
+    inner.append(f"%{mem.base.name}" if mem.base else "")
+    if mem.index is not None:
+        inner.append(f"%{mem.index.name}")
+        if mem.scale != 1:
+            inner.append(str(mem.scale))
+    body = ",".join(inner).rstrip(",")
+    return f"{disp}({body})"
+
+
+def format_instruction(instr: Instruction) -> str:
+    if not instr.operands:
+        return instr.mnemonic
+    operands = ", ".join(format_operand(op) for op in instr.operands)
+    return f"{instr.mnemonic} {operands}"
+
+
+def format_program(instructions, labels: dict[str, int] | None = None) -> str:
+    """Render a listing; ``labels`` maps label name -> instruction index."""
+    by_index: dict[int, list[str]] = {}
+    for name, index in (labels or {}).items():
+        by_index.setdefault(index, []).append(name)
+    lines: list[str] = []
+    for i, instr in enumerate(instructions):
+        for name in by_index.get(i, []):
+            lines.append(f"{name}:")
+        lines.append(f"    {format_instruction(instr)}")
+    for name in by_index.get(len(instructions), []):
+        lines.append(f"{name}:")
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""IA-32 register file and EFLAGS definitions."""
+
+from __future__ import annotations
+
+GENERAL_REGISTERS = ("eax", "ecx", "edx", "ebx", "esi", "edi", "ebp", "esp")
+
+# Low-byte aliases (we model only the four classic ones).
+LOW8_TO_PARENT = {"al": "eax", "cl": "ecx", "dl": "edx", "bl": "ebx"}
+
+ALL_REGISTERS = GENERAL_REGISTERS + tuple(LOW8_TO_PARENT)
+
+# cdecl: ebx/esi/edi/ebp callee-saved, eax/ecx/edx scratch.
+CALLEE_SAVED = ("ebx", "esi", "edi", "ebp")
+RETURN_REGISTER = "eax"
+
+FLAG_NAMES = ("OF", "SF", "ZF", "CF")
+
+
+def canonical_register(name: str) -> str:
+    name = name.lower().lstrip("%")
+    if name not in ALL_REGISTERS:
+        raise ValueError(f"unknown x86 register {name!r}")
+    return name
+
+
+def is_low8(name: str) -> bool:
+    """True for 8-bit register names.
+
+    Besides the architectural aliases (al/cl/dl/bl), rule templates use
+    the convention ``<param>.b`` for "low byte of the register bound to
+    param" — e.g. ``movzbl %p0.b, %p1``.
+    """
+    return name in LOW8_TO_PARENT or name.endswith(".b")
+
+
+def parent_of(name: str) -> str:
+    """The 32-bit register containing an 8-bit alias (identity for
+    full-width names)."""
+    if name.endswith(".b"):
+        return name[:-2]
+    return LOW8_TO_PARENT.get(name, name)

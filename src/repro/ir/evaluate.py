@@ -1,0 +1,104 @@
+"""Concrete evaluation of IR expressions.
+
+Used by the random-testing falsifier in the solver and as a ground-truth
+oracle in tests.  Evaluation is iterative (explicit stack) so that deep
+expressions produced by long symbolic executions cannot hit Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.build import _fold_binary, _fold_cmp
+from repro.ir.expr import (
+    BinOp,
+    CmpOp,
+    Concat,
+    Const,
+    Expr,
+    Extend,
+    Extract,
+    Ite,
+    Sym,
+    UnOp,
+    Unary,
+    to_signed,
+    to_unsigned,
+)
+
+
+class UnboundSymbolError(KeyError):
+    """Raised when evaluation encounters a symbol missing from the env."""
+
+
+def evaluate(expr: Expr, env: Mapping[str, int]) -> int:
+    """Evaluate ``expr`` under ``env`` (symbol name -> unsigned value).
+
+    Returns the canonical unsigned value of the expression.  Shared
+    subtrees are evaluated once via memoization on identity.
+    """
+    cache: dict[int, int] = {}
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        key = id(node)
+        if key in cache:
+            continue
+        if isinstance(node, Const):
+            cache[key] = node.value
+            continue
+        if isinstance(node, Sym):
+            try:
+                cache[key] = to_unsigned(env[node.name], node.width)
+            except KeyError as exc:
+                raise UnboundSymbolError(node.name) from exc
+            continue
+        children = _children(node)
+        if not ready:
+            stack.append((node, True))
+            stack.extend((child, False) for child in children)
+            continue
+        values = [cache[id(child)] for child in children]
+        cache[key] = _apply(node, values)
+    return cache[id(expr)]
+
+
+def _children(node: Expr) -> tuple[Expr, ...]:
+    if isinstance(node, UnOp):
+        return (node.a,)
+    if isinstance(node, (BinOp, CmpOp, Concat)):
+        return (node.a, node.b)
+    if isinstance(node, (Extract, Extend)):
+        return (node.a,)
+    if isinstance(node, Ite):
+        return (node.cond, node.then, node.other)
+    raise AssertionError(f"unhandled node type {type(node).__name__}")
+
+
+def _apply(node: Expr, values: list[int]) -> int:
+    if isinstance(node, UnOp):
+        (a,) = values
+        result = ~a if node.op is Unary.NOT else -a
+        return to_unsigned(result, node.width)
+    if isinstance(node, BinOp):
+        a, b = values
+        return to_unsigned(_fold_binary(node.op, a, b, node.width), node.width)
+    if isinstance(node, CmpOp):
+        a, b = values
+        return 1 if _fold_cmp(node.kind, a, b, node.a.width) else 0
+    if isinstance(node, Extract):
+        (a,) = values
+        return to_unsigned(a >> node.lo, node.width)
+    if isinstance(node, Extend):
+        (a,) = values
+        if node.signed:
+            return to_unsigned(to_signed(a, node.a.width), node.width)
+        return a
+    if isinstance(node, Concat):
+        a, b = values
+        return (a << node.b.width) | b
+    if isinstance(node, Ite):
+        cond, then, other = values
+        return then if cond else other
+    raise AssertionError(f"unhandled node type {type(node).__name__}")

@@ -1,0 +1,260 @@
+"""Expression node classes for the bitvector IR.
+
+Every node is an immutable, hashable tree.  Widths are in bits and are
+strictly positive.  Constants are canonicalized into ``[0, 2**width)`` on
+construction, so two structurally equal expressions are always ``==``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+def mask(width: int) -> int:
+    """Return the all-ones bitmask for ``width`` bits."""
+    return (1 << width) - 1
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Canonicalize ``value`` into the unsigned range ``[0, 2**width)``."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement."""
+    value &= mask(width)
+    if value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+class Binary(enum.Enum):
+    """Binary bitvector operators (result width == operand width)."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    UDIV = "udiv"
+    SDIV = "sdiv"
+    UREM = "urem"
+    SREM = "srem"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    ASHR = "ashr"
+
+
+class Unary(enum.Enum):
+    """Unary bitvector operators."""
+
+    NOT = "not"
+    NEG = "neg"
+
+
+class CmpKind(enum.Enum):
+    """Comparison operators (result is a 1-bit vector)."""
+
+    EQ = "eq"
+    NE = "ne"
+    ULT = "ult"
+    ULE = "ule"
+    UGT = "ugt"
+    UGE = "uge"
+    SLT = "slt"
+    SLE = "sle"
+    SGT = "sgt"
+    SGE = "sge"
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for all IR expressions.
+
+    Attributes:
+        width: Bit width of the value this expression denotes.
+    """
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"expression width must be positive, got {self.width}")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant bitvector value, stored canonically unsigned."""
+
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        object.__setattr__(self, "value", to_unsigned(self.value, self.width))
+
+    @property
+    def signed(self) -> int:
+        """The constant interpreted as a signed integer."""
+        return to_signed(self.value, self.width)
+
+    def __str__(self) -> str:
+        return f"0x{self.value:x}:{self.width}"
+
+
+@dataclass(frozen=True)
+class Sym(Expr):
+    """A free symbolic variable, identified by name.
+
+    Two symbols with the same name must have the same width; the symbolic
+    executor enforces this by owning symbol creation.
+    """
+
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.name:
+            raise ValueError("symbol name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.width}"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Application of a unary operator."""
+
+    op: Unary = Unary.NOT
+    a: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.a.width != self.width:
+            raise ValueError(f"unop width mismatch: {self.width} vs {self.a.width}")
+
+    def __str__(self) -> str:
+        return f"({self.op.value} {self.a})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Application of a binary operator.
+
+    Shift amounts (for SHL/LSHR/ASHR) are interpreted as full unsigned
+    values: a shift by ``>= width`` yields 0 (or sign fill for ASHR).
+    Division and remainder by zero yield the SMT-LIB conventions:
+    ``x udiv 0 = all-ones``, ``x urem 0 = x`` (and the signed analogues).
+    """
+
+    op: Binary = Binary.ADD
+    a: Expr = field(default=None)  # type: ignore[assignment]
+    b: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.a.width != self.width or self.b.width != self.width:
+            raise ValueError(
+                f"binop width mismatch: {self.width} vs "
+                f"{self.a.width}/{self.b.width}"
+            )
+
+    def __str__(self) -> str:
+        return f"({self.op.value} {self.a} {self.b})"
+
+
+@dataclass(frozen=True)
+class CmpOp(Expr):
+    """A comparison; always 1 bit wide, operands of matching width."""
+
+    kind: CmpKind = CmpKind.EQ
+    a: Expr = field(default=None)  # type: ignore[assignment]
+    b: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.width != 1:
+            raise ValueError("comparison results are 1 bit wide")
+        if self.a.width != self.b.width:
+            raise ValueError(
+                f"cmp operand width mismatch: {self.a.width} vs {self.b.width}"
+            )
+
+    def __str__(self) -> str:
+        return f"({self.kind.value} {self.a} {self.b})"
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    """Bit slice ``a[hi:lo]`` inclusive; width == hi - lo + 1."""
+
+    hi: int = 0
+    lo: int = 0
+    a: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.lo <= self.hi < self.a.width:
+            raise ValueError(
+                f"bad extract [{self.hi}:{self.lo}] from width {self.a.width}"
+            )
+        if self.width != self.hi - self.lo + 1:
+            raise ValueError("extract width inconsistent with bounds")
+
+    def __str__(self) -> str:
+        return f"({self.a})[{self.hi}:{self.lo}]"
+
+
+@dataclass(frozen=True)
+class Extend(Expr):
+    """Zero or sign extension of ``a`` to a strictly larger width."""
+
+    signed: bool = False
+    a: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.width <= self.a.width:
+            raise ValueError(
+                f"extend must widen: {self.a.width} -> {self.width}"
+            )
+
+    def __str__(self) -> str:
+        op = "sext" if self.signed else "zext"
+        return f"({op}{self.width} {self.a})"
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """Concatenation; ``a`` supplies the high bits, ``b`` the low bits."""
+
+    a: Expr = field(default=None)  # type: ignore[assignment]
+    b: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.width != self.a.width + self.b.width:
+            raise ValueError("concat width must be the sum of operand widths")
+
+    def __str__(self) -> str:
+        return f"({self.a} . {self.b})"
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """If-then-else on a 1-bit condition."""
+
+    cond: Expr = field(default=None)  # type: ignore[assignment]
+    then: Expr = field(default=None)  # type: ignore[assignment]
+    other: Expr = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.cond.width != 1:
+            raise ValueError("ite condition must be 1 bit wide")
+        if self.then.width != self.width or self.other.width != self.width:
+            raise ValueError("ite arm widths must match the result width")
+
+    def __str__(self) -> str:
+        return f"(ite {self.cond} {self.then} {self.other})"

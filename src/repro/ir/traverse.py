@@ -1,0 +1,123 @@
+"""Generic traversals over IR expressions: variables, substitution, size."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.ir.expr import (
+    BinOp,
+    CmpOp,
+    Concat,
+    Const,
+    Expr,
+    Extend,
+    Extract,
+    Ite,
+    Sym,
+    UnOp,
+)
+from repro.ir import build
+
+
+def iter_nodes(expr: Expr):
+    """Yield every node of ``expr`` once (shared subtrees visited once)."""
+    seen: set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        if isinstance(node, UnOp):
+            stack.append(node.a)
+        elif isinstance(node, (BinOp, CmpOp, Concat)):
+            stack.extend((node.a, node.b))
+        elif isinstance(node, (Extract, Extend)):
+            stack.append(node.a)
+        elif isinstance(node, Ite):
+            stack.extend((node.cond, node.then, node.other))
+
+
+def variables(expr: Expr) -> dict[str, int]:
+    """Return the free symbols of ``expr`` as a name -> width mapping."""
+    result: dict[str, int] = {}
+    for node in iter_nodes(expr):
+        if isinstance(node, Sym):
+            result[node.name] = node.width
+    return result
+
+
+def expr_size(expr: Expr) -> int:
+    """Number of distinct nodes in the expression DAG."""
+    return sum(1 for _ in iter_nodes(expr))
+
+
+def substitute(expr: Expr, mapping: Mapping[str, Expr]) -> Expr:
+    """Replace symbols by expressions (by name), rebuilding bottom-up.
+
+    Rebuilding goes through the smart constructors so substitution also
+    re-applies light folding (e.g. substituting a constant for a symbol
+    collapses the surrounding arithmetic).
+    """
+    cache: dict[int, Expr] = {}
+    stack: list[tuple[Expr, bool]] = [(expr, False)]
+    while stack:
+        node, ready = stack.pop()
+        if id(node) in cache:
+            continue
+        if isinstance(node, Const):
+            cache[id(node)] = node
+            continue
+        if isinstance(node, Sym):
+            cache[id(node)] = mapping.get(node.name, node)
+            continue
+        if not ready:
+            stack.append((node, True))
+            if isinstance(node, UnOp):
+                stack.append((node.a, False))
+            elif isinstance(node, (BinOp, CmpOp, Concat)):
+                stack.extend(((node.a, False), (node.b, False)))
+            elif isinstance(node, (Extract, Extend)):
+                stack.append((node.a, False))
+            elif isinstance(node, Ite):
+                stack.extend(
+                    ((node.cond, False), (node.then, False), (node.other, False))
+                )
+            continue
+        cache[id(node)] = _rebuild(node, cache)
+    return cache[id(expr)]
+
+
+def _rebuild(node: Expr, cache: dict[int, Expr]) -> Expr:
+    if isinstance(node, UnOp):
+        return _unop(node, cache[id(node.a)])
+    if isinstance(node, BinOp):
+        return build._binop(node.op, cache[id(node.a)], cache[id(node.b)])
+    if isinstance(node, CmpOp):
+        return build._cmp(node.kind, cache[id(node.a)], cache[id(node.b)])
+    if isinstance(node, Extract):
+        return build.extract(node.hi, node.lo, cache[id(node.a)])
+    if isinstance(node, Extend):
+        builder = build.sext if node.signed else build.zext
+        return builder(node.width, cache[id(node.a)])
+    if isinstance(node, Concat):
+        return build.concat(cache[id(node.a)], cache[id(node.b)])
+    if isinstance(node, Ite):
+        return build.ite(
+            cache[id(node.cond)], cache[id(node.then)], cache[id(node.other)]
+        )
+    raise AssertionError(f"unhandled node type {type(node).__name__}")
+
+
+def _unop(node: UnOp, a: Expr) -> Expr:
+    from repro.ir.expr import Unary
+
+    return build.not_(a) if node.op is Unary.NOT else build.neg(a)
+
+
+def map_symbols(expr: Expr, rename: Callable[[str], str]) -> Expr:
+    """Rename every symbol of ``expr`` through ``rename``."""
+    names = variables(expr)
+    mapping = {name: Sym(width, rename(name)) for name, width in names.items()}
+    return substitute(expr, mapping)

@@ -1,0 +1,35 @@
+"""ISA-neutral machine-code modeling.
+
+This package holds everything the ARM and x86 models share:
+
+* the operand algebra (:mod:`repro.isa.operands`),
+* the :class:`~repro.isa.instruction.Instruction` record and its
+  metadata protocol,
+* the ALU abstraction (:mod:`repro.isa.alu`) through which every
+  instruction's semantics is written exactly once and then run either
+  concretely (Python ints — drives the DBT's host interpreter and the
+  MiniC oracle) or symbolically (IR expressions — drives verification),
+* machine-state protocols and the step-outcome records
+  (:mod:`repro.isa.state`).
+"""
+
+from repro.isa.alu import ALU, ConcreteALU, SymbolicALU
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg
+from repro.isa.state import BranchKind, BranchOutcome, MachineState, StepOutcome
+
+__all__ = [
+    "ALU",
+    "ConcreteALU",
+    "SymbolicALU",
+    "Instruction",
+    "Imm",
+    "Label",
+    "Mem",
+    "Reg",
+    "ShiftedReg",
+    "BranchKind",
+    "BranchOutcome",
+    "MachineState",
+    "StepOutcome",
+]

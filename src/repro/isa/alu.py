@@ -1,0 +1,303 @@
+"""The ALU abstraction: single-source instruction semantics.
+
+Each ISA's semantics is written once against this interface.  Two
+implementations exist:
+
+* :class:`ConcreteALU` — values are Python ints canonicalized to their
+  width; drives the DBT's host interpreter and test oracles.
+* :class:`SymbolicALU` — values are :class:`repro.ir.Expr` trees; drives
+  the verification step of rule learning.
+
+Widths are implicit: the ISA semantics layers work almost entirely at
+32 bits, dipping to 8/16 bits only via ``extract``/``zext``/``sext``.
+Boolean results (comparisons) are 1-bit values.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, TypeVar
+
+from repro import ir
+from repro.ir.expr import mask, to_signed
+
+Value = TypeVar("Value")
+
+
+class ALU(Protocol[Value]):
+    """Operations an instruction-semantics function may perform."""
+
+    def const(self, width: int, value: int) -> Value: ...
+
+    def width_of(self, value: Value) -> int: ...
+
+    def add(self, a: Value, b: Value) -> Value: ...
+
+    def sub(self, a: Value, b: Value) -> Value: ...
+
+    def mul(self, a: Value, b: Value) -> Value: ...
+
+    def udiv(self, a: Value, b: Value) -> Value: ...
+
+    def sdiv(self, a: Value, b: Value) -> Value: ...
+
+    def and_(self, a: Value, b: Value) -> Value: ...
+
+    def or_(self, a: Value, b: Value) -> Value: ...
+
+    def xor(self, a: Value, b: Value) -> Value: ...
+
+    def not_(self, a: Value) -> Value: ...
+
+    def neg(self, a: Value) -> Value: ...
+
+    def shl(self, a: Value, b: Value) -> Value: ...
+
+    def lshr(self, a: Value, b: Value) -> Value: ...
+
+    def ashr(self, a: Value, b: Value) -> Value: ...
+
+    def eq(self, a: Value, b: Value) -> Value: ...
+
+    def ne(self, a: Value, b: Value) -> Value: ...
+
+    def ult(self, a: Value, b: Value) -> Value: ...
+
+    def slt(self, a: Value, b: Value) -> Value: ...
+
+    def ite(self, cond: Value, then: Value, other: Value) -> Value: ...
+
+    def extract(self, hi: int, lo: int, a: Value) -> Value: ...
+
+    def zext(self, width: int, a: Value) -> Value: ...
+
+    def sext(self, width: int, a: Value) -> Value: ...
+
+    # Boolean connectives over 1-bit values.
+
+    def bool_and(self, a: Value, b: Value) -> Value: ...
+
+    def bool_or(self, a: Value, b: Value) -> Value: ...
+
+    def bool_not(self, a: Value) -> Value: ...
+
+    # Wide helpers used by x86 idivl / imull flag semantics.
+
+    def divmod_signed_64(self, hi: Value, lo: Value, divisor: Value
+                         ) -> tuple[Value, Value]: ...
+
+    def mul_overflow_signed(self, a: Value, b: Value) -> Value: ...
+
+
+class ConcreteALU:
+    """ALU over Python ints; every value is paired with its width.
+
+    To keep the hot interpreter path cheap, values are bare ints and the
+    width is tracked by the semantics layer's usage discipline: all
+    general-purpose values are 32-bit, comparisons are 1-bit, and the
+    narrowing/widening operations take explicit widths.
+    """
+
+    def const(self, width: int, value: int) -> int:
+        return value & mask(width)
+
+    def width_of(self, value: int) -> int:  # pragma: no cover - unused hook
+        raise NotImplementedError("ConcreteALU does not track widths")
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) & 0xFFFFFFFF
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) & 0xFFFFFFFF
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) & 0xFFFFFFFF
+
+    def udiv(self, a: int, b: int) -> int:
+        return 0xFFFFFFFF if b == 0 else (a // b) & 0xFFFFFFFF
+
+    def sdiv(self, a: int, b: int) -> int:
+        sa, sb = to_signed(a, 32), to_signed(b, 32)
+        if sb == 0:
+            return 0xFFFFFFFF
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        return quotient & 0xFFFFFFFF
+
+    def and_(self, a: int, b: int) -> int:
+        return a & b
+
+    def or_(self, a: int, b: int) -> int:
+        return a | b
+
+    def xor(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def not_(self, a: int) -> int:
+        return ~a & 0xFFFFFFFF
+
+    def neg(self, a: int) -> int:
+        return -a & 0xFFFFFFFF
+
+    def shl(self, a: int, b: int) -> int:
+        return 0 if b >= 32 else (a << b) & 0xFFFFFFFF
+
+    def lshr(self, a: int, b: int) -> int:
+        return 0 if b >= 32 else a >> b
+
+    def ashr(self, a: int, b: int) -> int:
+        return (to_signed(a, 32) >> min(b, 31)) & 0xFFFFFFFF
+
+    def eq(self, a: int, b: int) -> int:
+        return 1 if a == b else 0
+
+    def ne(self, a: int, b: int) -> int:
+        return 1 if a != b else 0
+
+    def ult(self, a: int, b: int) -> int:
+        return 1 if a < b else 0
+
+    def slt(self, a: int, b: int) -> int:
+        return 1 if to_signed(a, 32) < to_signed(b, 32) else 0
+
+    def ite(self, cond: int, then: int, other: int) -> int:
+        return then if cond else other
+
+    def extract(self, hi: int, lo: int, a: int) -> int:
+        return (a >> lo) & mask(hi - lo + 1)
+
+    def zext(self, width: int, a: int) -> int:
+        return a
+
+    def sext(self, width: int, a: int) -> int:
+        raise NotImplementedError(
+            "ConcreteALU.sext needs the source width; use sext_from"
+        )
+
+    def sext_from(self, src_width: int, dst_width: int, a: int) -> int:
+        return to_signed(a, src_width) & mask(dst_width)
+
+    def bool_and(self, a: int, b: int) -> int:
+        return a & b
+
+    def bool_or(self, a: int, b: int) -> int:
+        return a | b
+
+    def bool_not(self, a: int) -> int:
+        return a ^ 1
+
+    def divmod_signed_64(self, hi: int, lo: int, divisor: int) -> tuple[int, int]:
+        dividend = to_signed((hi << 32) | lo, 64)
+        sdivisor = to_signed(divisor, 32)
+        if sdivisor == 0:
+            return 0xFFFFFFFF, lo
+        quotient = abs(dividend) // abs(sdivisor)
+        if (dividend < 0) != (sdivisor < 0):
+            quotient = -quotient
+        remainder = dividend - quotient * sdivisor
+        return quotient & 0xFFFFFFFF, remainder & 0xFFFFFFFF
+
+    def mul_overflow_signed(self, a: int, b: int) -> int:
+        product = to_signed(a, 32) * to_signed(b, 32)
+        return 0 if -(1 << 31) <= product < (1 << 31) else 1
+
+
+class SymbolicALU:
+    """ALU over IR expressions."""
+
+    def const(self, width: int, value: int) -> ir.Expr:
+        return ir.bv(width, value)
+
+    def width_of(self, value: ir.Expr) -> int:
+        return value.width
+
+    def add(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.add(a, b)
+
+    def sub(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.sub(a, b)
+
+    def mul(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.mul(a, b)
+
+    def udiv(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.udiv(a, b)
+
+    def sdiv(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.sdiv(a, b)
+
+    def and_(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.and_(a, b)
+
+    def or_(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.or_(a, b)
+
+    def xor(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.xor(a, b)
+
+    def not_(self, a: ir.Expr) -> ir.Expr:
+        return ir.not_(a)
+
+    def neg(self, a: ir.Expr) -> ir.Expr:
+        return ir.neg(a)
+
+    def shl(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.shl(a, b)
+
+    def lshr(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.lshr(a, b)
+
+    def ashr(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.ashr(a, b)
+
+    def eq(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.eq(a, b)
+
+    def ne(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.ne(a, b)
+
+    def ult(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.ult(a, b)
+
+    def slt(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.slt(a, b)
+
+    def ite(self, cond: ir.Expr, then: ir.Expr, other: ir.Expr) -> ir.Expr:
+        return ir.ite(cond, then, other)
+
+    def extract(self, hi: int, lo: int, a: ir.Expr) -> ir.Expr:
+        return ir.extract(hi, lo, a)
+
+    def zext(self, width: int, a: ir.Expr) -> ir.Expr:
+        return ir.zext(width, a)
+
+    def sext(self, width: int, a: ir.Expr) -> ir.Expr:
+        return ir.sext(width, a)
+
+    def sext_from(self, src_width: int, dst_width: int, a: ir.Expr) -> ir.Expr:
+        if a.width != src_width:
+            a = ir.extract(src_width - 1, 0, a)
+        return ir.sext(dst_width, a)
+
+    def bool_and(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.and_(a, b)
+
+    def bool_or(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        return ir.or_(a, b)
+
+    def bool_not(self, a: ir.Expr) -> ir.Expr:
+        return ir.xor(a, ir.bv(1, 1))
+
+    def divmod_signed_64(
+        self, hi: ir.Expr, lo: ir.Expr, divisor: ir.Expr
+    ) -> tuple[ir.Expr, ir.Expr]:
+        dividend = ir.concat(hi, lo)
+        wide_divisor = ir.sext(64, divisor)
+        quotient = ir.sdiv(dividend, wide_divisor)
+        remainder = ir.srem(dividend, wide_divisor)
+        return ir.extract(31, 0, quotient), ir.extract(31, 0, remainder)
+
+    def mul_overflow_signed(self, a: ir.Expr, b: ir.Expr) -> ir.Expr:
+        wide = ir.mul(ir.sext(64, a), ir.sext(64, b))
+        narrow = ir.sext(64, ir.mul(a, b))
+        return ir.ne(wide, narrow)

@@ -1,0 +1,188 @@
+"""Operand algebra shared by the ARM and x86 models.
+
+The paper distinguishes exactly three operand types — register, memory,
+immediate — plus branch labels; ARM additionally has the "flexible
+second operand" (a register with an inline shift).  A single
+:class:`Mem` form covers both ISAs' compiler-emitted addressing modes:
+``base + index * scale + disp`` (x86 SIB) and ``[base, #disp]`` /
+``[base, index, lsl #s]`` (ARM), which is also the normalized form the
+learner's address mapper works on (paper Section 3.2).
+
+Memory operands carry an optional ``var`` annotation: the name of the
+compiler-IR variable they access.  This models LLVM-IR variable names in
+debug output and is what the learner's memory-operand mapping keys on.
+The annotation is metadata: it does not participate in equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register operand."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (stored as a Python int, signed allowed)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class SymImm:
+    """A *parameterized* immediate, used in learned-rule templates.
+
+    ``expr`` is a small hashable AST over immediate slots::
+
+        ("slot", "i0")          the value bound to guest slot i0
+        ("const", 42)           a literal
+        ("neg", x) ("not", x)   unary ops
+        ("add"|"sub"|"mul"|"and"|"or"|"xor"|"shl"|"shr", x, y)
+
+    During rule verification, slots evaluate to fresh 32-bit symbols (so
+    the proved equivalence holds for *every* immediate value); during
+    rule application they evaluate to the concrete values bound from the
+    matched guest instructions.
+    """
+
+    expr: tuple
+
+    def __str__(self) -> str:
+        return f"#<{format_immexpr(self.expr)}>"
+
+
+def format_immexpr(expr: tuple) -> str:
+    kind = expr[0]
+    if kind == "slot":
+        return str(expr[1])
+    if kind == "const":
+        return str(expr[1])
+    if kind in ("neg", "not"):
+        return f"{kind}({format_immexpr(expr[1])})"
+    return f"({format_immexpr(expr[1])} {kind} {format_immexpr(expr[2])})"
+
+
+def eval_immexpr(expr: tuple, env, ops) -> object:
+    """Evaluate an immediate AST.
+
+    ``env`` maps slot names to values, ``ops`` supplies the operations
+    (a dict with const/neg/not/add/sub/mul/and/or/xor/shl/shr) so the
+    same AST runs over ints and over IR expressions.
+    """
+    kind = expr[0]
+    if kind == "slot":
+        return env[expr[1]]
+    if kind == "const":
+        return ops["const"](expr[1])
+    if kind in ("neg", "not"):
+        return ops[kind](eval_immexpr(expr[1], env, ops))
+    return ops[kind](
+        eval_immexpr(expr[1], env, ops), eval_immexpr(expr[2], env, ops)
+    )
+
+
+INT_IMMEXPR_OPS = {
+    "const": lambda c: c & 0xFFFFFFFF,
+    "neg": lambda a: (-a) & 0xFFFFFFFF,
+    "not": lambda a: (~a) & 0xFFFFFFFF,
+    "add": lambda a, b: (a + b) & 0xFFFFFFFF,
+    "sub": lambda a, b: (a - b) & 0xFFFFFFFF,
+    "mul": lambda a, b: (a * b) & 0xFFFFFFFF,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: 0 if b >= 32 else (a << b) & 0xFFFFFFFF,
+    "shr": lambda a, b: 0 if b >= 32 else (a & 0xFFFFFFFF) >> b,
+}
+
+
+@dataclass(frozen=True)
+class ShiftedReg:
+    """ARM flexible second operand: ``reg, <shift> #amount``."""
+
+    reg: Reg
+    shift: str  # "lsl" | "lsr" | "asr"
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.shift not in ("lsl", "lsr", "asr"):
+            raise ValueError(f"bad shift kind {self.shift!r}")
+        if not 0 <= self.amount < 32:
+            raise ValueError(f"bad shift amount {self.amount}")
+
+    def __str__(self) -> str:
+        return f"{self.reg}, {self.shift} #{self.amount}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``base + index * scale + disp``.
+
+    ``scale`` must be a power of two (ARM encodes it as ``lsl #log2``).
+    ``var`` optionally names the compiler-IR variable being accessed.
+    ``disp_param``, set only in learned-rule templates, is an immediate
+    AST (see :class:`SymImm`) added to ``disp``.
+    """
+
+    base: Reg | None = None
+    index: Reg | None = None
+    scale: int = 1
+    disp: int = 0
+    var: str | None = field(default=None, compare=False)
+    disp_param: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            # ARM's lsl can express larger scales; allow powers of two.
+            if self.scale <= 0 or self.scale & (self.scale - 1):
+                raise ValueError(f"scale must be a power of two, got {self.scale}")
+
+    def registers(self) -> tuple[Reg, ...]:
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return tuple(regs)
+
+    def with_var(self, var: str | None) -> "Mem":
+        return Mem(self.base, self.index, self.scale, self.disp, var,
+                   self.disp_param)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(str(self.base))
+        if self.index is not None:
+            scaled = str(self.index)
+            if self.scale != 1:
+                scaled += f"*{self.scale}"
+            parts.append(scaled)
+        inner = " + ".join(parts) if parts else "0"
+        if self.disp:
+            inner += f" {'+' if self.disp >= 0 else '-'} {abs(self.disp)}"
+        return f"[{inner}]"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A branch-target label."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Reg | Imm | SymImm | ShiftedReg | Mem | Label

@@ -1,0 +1,69 @@
+"""Machine-state protocol and instruction step outcomes.
+
+A machine state provides register/flag/memory access to the semantics
+functions.  The symbolic executor and the DBT's concrete interpreters
+each implement this protocol with their own value type.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Generic, Protocol, TypeVar
+
+from repro.isa.operands import Label
+
+Value = TypeVar("Value")
+
+
+class MachineState(Protocol[Value]):
+    """State interface used by the single-source semantics."""
+
+    def get_reg(self, name: str) -> Value: ...
+
+    def set_reg(self, name: str, value: Value) -> None: ...
+
+    def get_flag(self, name: str) -> Value: ...
+
+    def set_flag(self, name: str, value: Value) -> None: ...
+
+    def load(self, addr: Value, size: int) -> Value: ...
+
+    def store(self, addr: Value, value: Value, size: int) -> None: ...
+
+
+class BranchKind(enum.Enum):
+    """Classification of control transfers, used by both the learner's
+    preparation filters (calls / indirect branches are rejected) and the
+    DBT's block-ending logic."""
+
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+    INDIRECT = "indirect"
+
+
+@dataclass
+class BranchOutcome(Generic[Value]):
+    """A control transfer produced by an instruction.
+
+    Attributes:
+        cond: Truth value of the branch condition (constant 1 when the
+            branch is unconditional).
+        target: Label for direct branches; a value (address) for
+            indirect ones.
+        kind: What flavour of transfer this is.
+    """
+
+    cond: Value
+    target: Label | Value
+    kind: BranchKind = BranchKind.JUMP
+
+
+@dataclass
+class StepOutcome(Generic[Value]):
+    """Result of executing one instruction (``branch is None`` means
+    plain fall-through)."""
+
+    branch: BranchOutcome | None = None
+    notes: dict = field(default_factory=dict)

@@ -1,0 +1,231 @@
+"""Memory-address normalization (paper Section 3.2, Figure 2).
+
+Every memory access in a snippet is normalized to::
+
+    sum(live_in_reg * coeff) + sum(imm_slot * coeff) + const
+
+by forward-tracking *linear forms* through the snippet's register
+definitions (mov/add/sub/shl/lea/...).  Registers whose definition is
+not linear (loads, multiplies by registers, ...) appear as opaque
+terms, which simply makes the later matching fail conservatively.
+
+Immediate operands are tracked as named *slots* (``ig<N>`` on the guest
+side, ``ih<N>`` on the host side) so the learner knows exactly which
+instruction operands contribute to an address constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Mem, Reg, ShiftedReg
+
+
+@dataclass
+class LinForm:
+    """A linear combination of registers, immediate slots and a const."""
+
+    regs: dict[str, int] = field(default_factory=dict)
+    slots: dict[str, int] = field(default_factory=dict)
+    const: int = 0
+
+    def copy(self) -> "LinForm":
+        return LinForm(dict(self.regs), dict(self.slots), self.const)
+
+    def scaled(self, factor: int) -> "LinForm":
+        return LinForm(
+            {reg: coeff * factor for reg, coeff in self.regs.items()},
+            {slot: coeff * factor for slot, coeff in self.slots.items()},
+            self.const * factor,
+        )
+
+    def plus(self, other: "LinForm", sign: int = 1) -> "LinForm":
+        result = self.copy()
+        for reg, coeff in other.regs.items():
+            result.regs[reg] = result.regs.get(reg, 0) + sign * coeff
+            if result.regs[reg] == 0:
+                del result.regs[reg]
+        for slot, coeff in other.slots.items():
+            result.slots[slot] = result.slots.get(slot, 0) + sign * coeff
+            if result.slots[slot] == 0:
+                del result.slots[slot]
+        result.const += sign * other.const
+        return result
+
+    @property
+    def is_opaque(self) -> bool:
+        return any(reg.startswith("!opaque") for reg in self.regs)
+
+    def __str__(self) -> str:
+        parts = [f"{r}*{c}" if c != 1 else r for r, c in sorted(self.regs.items())]
+        parts += [f"{s}*{c}" if c != 1 else s for s, c in sorted(self.slots.items())]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+@dataclass
+class AccessInfo:
+    """One memory access with its normalized address."""
+
+    instr_index: int
+    operand_index: int
+    mem: Mem
+    form: LinForm
+    size: int
+    is_store: bool
+    var: str | None
+
+
+class SlotNamer:
+    """Assigns stable slot names to immediate operand positions."""
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.slots: dict[tuple[int, int], str] = {}  # (instr, operand) -> name
+        self.values: dict[str, int] = {}
+
+    def slot_for(self, instr_index: int, operand_index: int, value: int) -> str:
+        key = (instr_index, operand_index)
+        name = self.slots.get(key)
+        if name is None:
+            name = f"{self.prefix}{len(self.slots)}"
+            self.slots[key] = name
+            self.values[name] = value & 0xFFFFFFFF
+        return name
+
+
+def _imm_form(namer: SlotNamer, instr_index: int, operand_index: int,
+              value: int) -> LinForm:
+    slot = namer.slot_for(instr_index, operand_index, value)
+    return LinForm(slots={slot: 1})
+
+
+def analyze_snippet(
+    instrs: list[Instruction], isa, namer: SlotNamer
+) -> tuple[list[AccessInfo], dict[str, LinForm]]:
+    """Track linear forms through a snippet.
+
+    Returns (memory accesses with normalized addresses, final register
+    forms).  ``isa`` is the guest or host isa module (for defs).
+    """
+    forms: dict[str, LinForm] = {}
+    accesses: list[AccessInfo] = []
+    opaque_counter = 0
+
+    def form_of_reg(name: str) -> LinForm:
+        existing = forms.get(name)
+        if existing is not None:
+            return existing.copy()
+        return LinForm(regs={name: 1})  # live-in register
+
+    def opaque() -> LinForm:
+        nonlocal opaque_counter
+        opaque_counter += 1
+        return LinForm(regs={f"!opaque{opaque_counter}": 1})
+
+    for index, instr in enumerate(instrs):
+        # Record memory accesses with the *current* forms.  leal is
+        # address arithmetic, not a memory access.
+        for op_index, op in enumerate(instr.operands):
+            if isinstance(op, Mem) and instr.mnemonic != "leal":
+                form = _address_form(op, form_of_reg, namer, index, op_index)
+                accesses.append(
+                    AccessInfo(
+                        index, op_index, op, form,
+                        _access_size(instr), _is_store(instr, isa), op.var,
+                    )
+                )
+        new_form = _transfer(instr, form_of_reg, namer, index, opaque)
+        for reg in isa.defined_registers(instr):
+            if new_form is not None and reg == _dest_reg(instr, isa):
+                forms[reg] = new_form
+            else:
+                forms[reg] = opaque()
+    return accesses, forms
+
+
+def _access_size(instr: Instruction) -> int:
+    if instr.mnemonic in ("ldrb", "strb", "movb", "movzbl", "movsbl"):
+        return 1
+    return 4
+
+
+def _is_store(instr: Instruction, isa) -> bool:
+    name = instr.mnemonic
+    if name in ("str", "strb"):
+        return True
+    if name in ("movl", "movb") and isinstance(instr.operands[-1], Mem):
+        return True
+    return False
+
+
+def _dest_reg(instr: Instruction, isa) -> str | None:
+    defs = isa.defined_registers(instr)
+    return defs[0] if defs else None
+
+
+def _address_form(mem: Mem, form_of_reg, namer: SlotNamer, instr_index: int,
+                  op_index: int) -> LinForm:
+    form = LinForm()
+    if mem.base is not None:
+        form = form.plus(form_of_reg(mem.base.name))
+    if mem.index is not None:
+        form = form.plus(form_of_reg(mem.index.name).scaled(mem.scale))
+    # The displacement is an immediate slot (Figure 4(a): even a zero
+    # guest offset maps to a nonzero host offset).
+    slot = namer.slot_for(instr_index, -(op_index + 1), mem.disp)
+    form = form.plus(LinForm(slots={slot: 1}))
+    return form
+
+
+def _transfer(instr: Instruction, form_of_reg, namer: SlotNamer,
+              index: int, opaque) -> LinForm | None:
+    """Linear form produced for the destination register, if trackable."""
+    name = instr.mnemonic
+    ops = instr.operands
+
+    def operand_form(op, op_index: int) -> LinForm | None:
+        if isinstance(op, Reg):
+            return form_of_reg(op.name)
+        if isinstance(op, Imm):
+            return _imm_form(namer, index, op_index, op.value)
+        if isinstance(op, ShiftedReg):
+            if op.shift == "lsl":
+                return form_of_reg(op.reg.name).scaled(1 << op.amount)
+            return None
+        return None
+
+    # -- ARM ------------------------------------------------------------
+    if name == "mov":
+        return operand_form(ops[1], 1)
+    if name in ("add", "sub"):
+        left = operand_form(ops[1], 1)
+        right = operand_form(ops[2], 2)
+        if left is None or right is None:
+            return None
+        return left.plus(right, 1 if name == "add" else -1)
+    if name == "lsl" and isinstance(ops[2], Imm):
+        base = operand_form(ops[1], 1)
+        return base.scaled(1 << ops[2].value) if base is not None else None
+
+    # -- x86 (AT&T: src, dst) ---------------------------------------------
+    if name == "movl" and isinstance(ops[1], Reg) and not isinstance(ops[0], Mem):
+        return operand_form(ops[0], 0)
+    if name in ("addl", "subl") and isinstance(ops[1], Reg) and \
+            not isinstance(ops[0], Mem):
+        left = form_of_reg(ops[1].name)
+        right = operand_form(ops[0], 0)
+        if right is None:
+            return None
+        return left.plus(right, 1 if name == "addl" else -1)
+    if name == "shll" and isinstance(ops[0], Imm) and isinstance(ops[1], Reg):
+        return form_of_reg(ops[1].name).scaled(1 << ops[0].value)
+    if name == "leal" and isinstance(ops[0], Mem):
+        return _address_form(ops[0], form_of_reg, namer, index, 0)
+    if name == "incl" and isinstance(ops[0], Reg):
+        return form_of_reg(ops[0].name).plus(LinForm(const=1))
+    if name == "decl" and isinstance(ops[0], Reg):
+        return form_of_reg(ops[0].name).plus(LinForm(const=-1))
+    return None

@@ -1,0 +1,72 @@
+"""``repro-learn``: learn translation rules from a MiniC source file.
+
+Usage::
+
+    repro-learn program.c -o rules.json --opt-level 2 --style llvm
+    repro-learn program.c --print        # dump rules to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.learning.pipeline import learn_rules
+from repro.learning.serialize import dump_rules
+from repro.minic import compile_source
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Learn verified ARM->x86 translation rules from a "
+                    "MiniC source file (dual compilation + symbolic "
+                    "verification).",
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument("-o", "--output", help="write rules as JSON here")
+    parser.add_argument("--opt-level", type=int, default=2,
+                        choices=(0, 1, 2, 3))
+    parser.add_argument("--style", default="llvm", choices=("llvm", "gcc"))
+    parser.add_argument("--print", dest="print_rules", action="store_true",
+                        help="print each learned rule")
+    parser.add_argument("--reformat", action="store_true",
+                        help="reformat to one statement per line before "
+                             "compiling (the paper's clang-format step)")
+    args = parser.parse_args(argv)
+
+    with open(args.source) as fp:
+        source = fp.read()
+    if args.reformat:
+        from repro.minic.format import format_source
+
+        source = format_source(source)
+    guest = compile_source(source, "arm", args.opt_level, args.style)
+    host = compile_source(source, "x86", args.opt_level, args.style)
+    outcome = learn_rules(guest, host, benchmark=args.source)
+    report = outcome.report
+    print(
+        f"{report.total_sequences} snippet pairs -> {report.rules} rules "
+        f"(yield {report.yield_fraction:.0%}) in {report.learn_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    print(
+        f"failures: CI={report.prep_ci} PI={report.prep_pi} "
+        f"MB={report.prep_mb} Num={report.param_num} "
+        f"Name={report.param_name} FailG={report.param_failg} "
+        f"Rg={report.verify_rg} Mm={report.verify_mm} "
+        f"Br={report.verify_br} Other={report.verify_other}",
+        file=sys.stderr,
+    )
+    if args.print_rules:
+        for rule in outcome.rules:
+            print(rule)
+    if args.output:
+        with open(args.output, "w") as fp:
+            dump_rules(outcome.rules, fp)
+        print(f"wrote {len(outcome.rules)} rules to {args.output}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

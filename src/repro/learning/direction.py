@@ -1,0 +1,105 @@
+"""Translation directions: which ISA is guest, which is host.
+
+The learning pipeline is direction-agnostic (paper Section 3,
+"DBT Independence"; Section 3.2 notes the Figure 4(b) mapping "could be
+concluded even if x86 is the guest ISA and ARM is the host ISA").  A
+:class:`Direction` bundles everything direction-specific: the isa
+metadata modules, the semantics entry points, the guest-to-host flag
+correspondence, and the host-ISA encoding constraints of Section 5.
+
+``ARM_TO_X86`` is the paper's primary direction (and the only one the
+DBT engine executes); ``X86_TO_ARM`` supports reverse learning, where
+assembling a rule's host side must respect ARM's modified-immediate
+and load/store-offset encoding limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.guest_arm import execute as execute_arm
+from repro.guest_arm import isa as arm_isa
+from repro.host_x86 import execute as execute_x86
+from repro.host_x86 import isa as x86_isa
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Mem
+
+
+class HostConstraintError(ValueError):
+    """A bound host instruction violates a host-ISA encoding limit."""
+
+
+def x86_host_constraints(instr: Instruction) -> None:
+    """IA-32 encoding limits: SIB scale must be 1/2/4/8."""
+    for op in instr.operands:
+        if isinstance(op, Mem) and op.index is not None and \
+                op.scale not in (1, 2, 4, 8):
+            raise HostConstraintError(
+                f"x86 scale {op.scale} not encodable in {instr}"
+            )
+
+
+def arm_host_constraints(instr: Instruction) -> None:
+    """ARM encoding limits (paper Section 5): data-processing
+    immediates must be 8-bit values under an even rotation; load/store
+    displacements must fit in +-4095."""
+    from repro.minic.backend.arm_backend import arm_imm_ok
+
+    base, _, _ = arm_isa.split_mnemonic(instr.mnemonic)
+    for op in instr.operands:
+        if isinstance(op, Imm) and base not in ("lsl", "lsr", "asr"):
+            if not arm_imm_ok(op.value):
+                raise HostConstraintError(
+                    f"ARM immediate {op.value:#x} not encodable in {instr}"
+                )
+        if isinstance(op, Mem) and not -4095 <= op.disp <= 4095:
+            raise HostConstraintError(
+                f"ARM load/store offset {op.disp} out of range in {instr}"
+            )
+
+
+@dataclass(frozen=True)
+class Direction:
+    """One guest->host translation direction."""
+
+    name: str
+    guest_isa: object
+    host_isa: object
+    guest_execute: Callable
+    host_execute: Callable
+    # guest flag -> architecturally corresponding host flag
+    flag_partners: dict
+    guest_has_low8: bool
+    host_has_low8: bool
+    host_constraints: Callable[[Instruction], None]
+
+    def guest_opcode_id(self, instr: Instruction) -> int:
+        return self.guest_isa.opcode_id(instr)
+
+
+ARM_TO_X86 = Direction(
+    name="arm-x86",
+    guest_isa=arm_isa,
+    host_isa=x86_isa,
+    guest_execute=execute_arm,
+    host_execute=execute_x86,
+    flag_partners={"N": "SF", "Z": "ZF", "C": "CF", "V": "OF"},
+    guest_has_low8=False,
+    host_has_low8=True,
+    host_constraints=x86_host_constraints,
+)
+
+X86_TO_ARM = Direction(
+    name="x86-arm",
+    guest_isa=x86_isa,
+    host_isa=arm_isa,
+    guest_execute=execute_x86,
+    host_execute=execute_arm,
+    flag_partners={"SF": "N", "ZF": "Z", "CF": "C", "OF": "V"},
+    guest_has_low8=True,
+    host_has_low8=False,
+    host_constraints=arm_host_constraints,
+)
+
+DIRECTIONS = {d.name: d for d in (ARM_TO_X86, X86_TO_ARM)}

@@ -1,0 +1,188 @@
+"""Snippet extraction: group instructions by source line (Section 2).
+
+The *learning scope* is one line of source code.  For each function
+present in both builds, instructions carrying the same ``line`` debug
+annotation form a guest snippet and a host snippet; the pair is a
+learning candidate.  Preparation (Section 3.1) rejects pairs containing
+calls or indirect branches ("CI"), ARM predicated instructions ("PI"),
+and lines whose code is not a single contiguous run inside one machine
+basic block ("MB").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.learning.direction import ARM_TO_X86, Direction
+from repro.minic.compile import CompiledProgram
+
+
+class PrepFailure(enum.Enum):
+    """Preparation-step rejection causes (Table 1 columns)."""
+
+    CALL_OR_INDIRECT = "CI"
+    PREDICATED = "PI"
+    MULTI_BLOCK = "MB"
+
+
+@dataclass
+class SnippetPair:
+    """A guest/host instruction-sequence pair from one source line."""
+
+    function: str
+    line: int
+    guest: list[Instruction]
+    host: list[Instruction]
+
+    def __str__(self) -> str:
+        from repro.guest_arm.printer import format_instruction as fmt_arm
+        from repro.host_x86.printer import format_instruction as fmt_x86
+
+        def render(instr) -> str:
+            for formatter in (fmt_arm, fmt_x86, str):
+                try:
+                    return formatter(instr)
+                except (ValueError, TypeError):
+                    continue
+            return str(instr)
+
+        guest = "; ".join(render(i) for i in self.guest)
+        host = "; ".join(render(i) for i in self.host)
+        return f"{self.function}:{self.line}  [{guest}]  ->  [{host}]"
+
+
+@dataclass
+class ExtractionResult:
+    """All candidate pairs plus preparation-step statistics."""
+
+    pairs: list[SnippetPair] = field(default_factory=list)
+    prep_failures: dict[PrepFailure, int] = field(
+        default_factory=lambda: {kind: 0 for kind in PrepFailure}
+    )
+    total_sequences: int = 0
+
+
+_TARGET_OF_ISA = {"arm-x86": ("arm", "x86"), "x86-arm": ("x86", "arm")}
+
+
+def extract_pairs(
+    guest_program: CompiledProgram,
+    host_program: CompiledProgram,
+    direction: Direction = ARM_TO_X86,
+) -> ExtractionResult:
+    """Extract and prepare learning candidates from a dual build."""
+    expected = _TARGET_OF_ISA[direction.name]
+    if (guest_program.options.target, host_program.options.target) != expected:
+        raise ValueError(
+            f"extract_pairs({direction.name}) expects "
+            f"({expected[0]} guest, {expected[1]} host) builds"
+        )
+    result = ExtractionResult()
+    for name, guest_func in guest_program.functions.items():
+        if name in guest_program.runtime_functions:
+            continue  # hand-written assembly: no source lines
+        host_func = host_program.functions.get(name)
+        if host_func is None or name in host_program.runtime_functions:
+            continue
+        guest_lines = _group_by_line(guest_func.instrs)
+        host_lines = _group_by_line(host_func.instrs)
+        for line in sorted(set(guest_lines) & set(host_lines)):
+            result.total_sequences += 1
+            guest_snippet = _prepare_side(
+                guest_lines[line], direction.guest_isa, result, is_guest=True
+            )
+            if guest_snippet is None:
+                continue
+            host_snippet = _prepare_side(
+                host_lines[line], direction.host_isa, result, is_guest=False
+            )
+            if host_snippet is None:
+                continue
+            if not guest_snippet or not host_snippet:
+                continue  # nothing left after stripping control glue
+            result.pairs.append(
+                SnippetPair(name, line, guest_snippet, host_snippet)
+            )
+    return result
+
+
+def _group_by_line(instrs: list[Instruction]) -> dict[int, list[list[Instruction]]]:
+    """line -> list of contiguous runs of instructions from that line."""
+    runs: dict[int, list[list[Instruction]]] = {}
+    current_line: int | None = None
+    current_run: list[Instruction] = []
+    for instr in instrs:
+        if instr.line is None:
+            _flush(runs, current_line, current_run)
+            current_line, current_run = None, []
+            continue
+        if instr.line != current_line:
+            _flush(runs, current_line, current_run)
+            current_line, current_run = instr.line, []
+        current_run.append(instr)
+    _flush(runs, current_line, current_run)
+    return runs
+
+
+def _flush(runs, line, run) -> None:
+    if line is not None and run:
+        runs.setdefault(line, []).append(run)
+
+
+def _prepare_side(runs, isa, result: ExtractionResult,
+                  is_guest: bool) -> list[Instruction] | None:
+    """Apply the Section 3.1 filters to one side of a candidate.
+
+    Returns the cleaned snippet, or None after recording a failure.
+    """
+
+    def fail(kind: PrepFailure) -> None:
+        result.prep_failures[kind] += 1
+
+    all_instrs = [instr for run in runs for instr in run]
+    for instr in all_instrs:
+        if isa.is_call(instr) or isa.is_indirect_branch(instr):
+            fail(PrepFailure.CALL_OR_INDIRECT)
+            return None
+    for instr in all_instrs:
+        if isa.is_predicated(instr):
+            fail(PrepFailure.PREDICATED)
+            return None
+    # Strip trailing unconditional jumps from each run (pure control
+    # glue: the DBT's block chaining handles those, and QEMU blocks end
+    # at branches anyway), then drop runs that were only glue — a loop's
+    # back-jump carries the loop header's line but is not part of it.
+    cleaned: list[list[Instruction]] = []
+    for run in runs:
+        run = list(run)
+        while run and _is_plain_jump(run[-1], isa):
+            run.pop()
+        if run:
+            cleaned.append(run)
+    if not cleaned:
+        return []
+    if len(cleaned) > 1:
+        fail(PrepFailure.MULTI_BLOCK)
+        return None
+    snippet = cleaned[0]
+    blocks = {instr.block for instr in snippet}
+    if len(blocks) > 1:
+        fail(PrepFailure.MULTI_BLOCK)
+        return None
+    # A branch anywhere but the end makes this a multi-block line.
+    for instr in snippet[:-1]:
+        if isa.is_branch(instr):
+            fail(PrepFailure.MULTI_BLOCK)
+            return None
+    return snippet
+
+
+def _is_plain_jump(instr: Instruction, isa) -> bool:
+    return (
+        isa.is_branch(instr)
+        and isa.branch_condition(instr) is None
+        and not isa.is_call(instr)
+        and not isa.is_indirect_branch(instr)
+    )

@@ -1,0 +1,164 @@
+"""End-to-end rule learning with Table 1-style reporting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.learning.direction import ARM_TO_X86, Direction
+from repro.learning.extract import PrepFailure, extract_pairs
+from repro.learning.paramize import (
+    ParamFailure,
+    analyze_pair,
+    generate_mappings,
+)
+from repro.learning.rule import Rule, dedup_rules
+from repro.learning.verify import VerifyFailure, verify_candidate
+from repro.minic.compile import CompiledProgram
+
+
+@dataclass
+class LearningReport:
+    """Per-benchmark learning statistics (one Table 1 row)."""
+
+    benchmark: str = ""
+    total_sequences: int = 0
+    prep_ci: int = 0
+    prep_pi: int = 0
+    prep_mb: int = 0
+    param_num: int = 0
+    param_name: int = 0
+    param_failg: int = 0
+    verify_rg: int = 0
+    verify_mm: int = 0
+    verify_br: int = 0
+    verify_other: int = 0
+    rules: int = 0
+    learn_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    @property
+    def prep_failures(self) -> int:
+        return self.prep_ci + self.prep_pi + self.prep_mb
+
+    @property
+    def param_failures(self) -> int:
+        return self.param_num + self.param_name + self.param_failg
+
+    @property
+    def verify_failures(self) -> int:
+        return self.verify_rg + self.verify_mm + self.verify_br + \
+            self.verify_other
+
+    @property
+    def yield_fraction(self) -> float:
+        if not self.total_sequences:
+            return 0.0
+        return self.rules / self.total_sequences
+
+    def merge(self, other: "LearningReport") -> None:
+        for name in (
+            "total_sequences", "prep_ci", "prep_pi", "prep_mb", "param_num",
+            "param_name", "param_failg", "verify_rg", "verify_mm",
+            "verify_br", "verify_other", "rules",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.learn_seconds += other.learn_seconds
+        self.verify_seconds += other.verify_seconds
+
+
+@dataclass
+class LearningOutcome:
+    """Rules plus the statistics of one learning run."""
+
+    rules: list[Rule] = field(default_factory=list)
+    report: LearningReport = field(default_factory=LearningReport)
+
+
+def learn_rules(
+    guest_program: CompiledProgram,
+    host_program: CompiledProgram,
+    benchmark: str = "",
+    direction: Direction = ARM_TO_X86,
+) -> LearningOutcome:
+    """Learn translation rules from one dual-compiled program."""
+    start = time.perf_counter()
+    report = LearningReport(benchmark=benchmark)
+    extraction = extract_pairs(guest_program, host_program, direction)
+    report.total_sequences = extraction.total_sequences
+    report.prep_ci = extraction.prep_failures[PrepFailure.CALL_OR_INDIRECT]
+    report.prep_pi = extraction.prep_failures[PrepFailure.PREDICATED]
+    report.prep_mb = extraction.prep_failures[PrepFailure.MULTI_BLOCK]
+
+    rules: list[Rule] = []
+    for pair in extraction.pairs:
+        context = analyze_pair(pair, direction)
+        mappings, failure = generate_mappings(context)
+        if failure is not None:
+            _count_param_failure(report, failure)
+            continue
+        verify_start = time.perf_counter()
+        last_failure: VerifyFailure | None = None
+        learned = None
+        for mapping in mappings:
+            result = verify_candidate(context, mapping, origin=benchmark)
+            if result.rule is not None:
+                learned = result.rule
+                break
+            last_failure = result.failure
+        report.verify_seconds += time.perf_counter() - verify_start
+        if learned is not None:
+            rules.append(learned)
+        else:
+            # Only the last verification attempt is counted (Section 6.1).
+            _count_verify_failure(report, last_failure)
+    rules = dedup_rules(rules)
+    report.rules = len(rules)
+    report.learn_seconds = time.perf_counter() - start
+    return LearningOutcome(rules=rules, report=report)
+
+
+def learn_corpus(
+    builds: dict[str, tuple[CompiledProgram, CompiledProgram]],
+) -> dict[str, LearningOutcome]:
+    """Learn rules independently from several benchmarks.
+
+    ``builds`` maps benchmark name -> (guest build, host build).
+    """
+    return {
+        name: learn_rules(guest, host, benchmark=name)
+        for name, (guest, host) in builds.items()
+    }
+
+
+def leave_one_out(
+    outcomes: dict[str, LearningOutcome], excluded: str
+) -> list[Rule]:
+    """All rules learned from every benchmark except ``excluded``
+    (the paper's evaluation protocol)."""
+    rules: list[Rule] = []
+    for name, outcome in outcomes.items():
+        if name != excluded:
+            rules.extend(outcome.rules)
+    return dedup_rules(rules)
+
+
+def _count_param_failure(report: LearningReport, failure: ParamFailure) -> None:
+    if failure is ParamFailure.MEM_COUNT:
+        report.param_num += 1
+    elif failure is ParamFailure.MEM_NAME:
+        report.param_name += 1
+    else:
+        report.param_failg += 1
+
+
+def _count_verify_failure(report: LearningReport,
+                          failure: VerifyFailure | None) -> None:
+    if failure is VerifyFailure.REGISTERS:
+        report.verify_rg += 1
+    elif failure is VerifyFailure.MEMORY:
+        report.verify_mm += 1
+    elif failure is VerifyFailure.BRANCH:
+        report.verify_br += 1
+    else:
+        report.verify_other += 1

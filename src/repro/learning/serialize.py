@@ -1,0 +1,188 @@
+"""Rule serialization: save learned rules to JSON and load them back.
+
+A rule repository is the natural unit of reuse for this system (the
+paper proposes accumulating rules from "large amounts of existing
+open-source software"); this module gives it a stable on-disk format.
+
+The format is versioned and self-describing; unknown versions are
+rejected loudly rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg, SymImm
+from repro.learning.rule import Rule
+
+FORMAT_VERSION = 1
+
+
+class RuleFormatError(ValueError):
+    """The JSON document is not a valid rule repository."""
+
+
+# -- operands ------------------------------------------------------------------
+
+
+def _operand_to_json(op) -> dict:
+    if isinstance(op, Reg):
+        return {"k": "reg", "name": op.name}
+    if isinstance(op, Imm):
+        return {"k": "imm", "value": op.value}
+    if isinstance(op, SymImm):
+        return {"k": "symimm", "expr": _ast_to_json(op.expr)}
+    if isinstance(op, ShiftedReg):
+        return {"k": "shifted", "reg": op.reg.name, "shift": op.shift,
+                "amount": op.amount}
+    if isinstance(op, Label):
+        return {"k": "label", "name": op.name}
+    if isinstance(op, Mem):
+        return {
+            "k": "mem",
+            "base": op.base.name if op.base else None,
+            "index": op.index.name if op.index else None,
+            "scale": op.scale,
+            "disp": op.disp,
+            "disp_param": _ast_to_json(op.disp_param)
+            if op.disp_param is not None else None,
+        }
+    raise RuleFormatError(f"cannot serialize operand {op!r}")
+
+
+def _operand_from_json(data: dict):
+    kind = data.get("k")
+    if kind == "reg":
+        return Reg(data["name"])
+    if kind == "imm":
+        return Imm(data["value"])
+    if kind == "symimm":
+        return SymImm(_ast_from_json(data["expr"]))
+    if kind == "shifted":
+        return ShiftedReg(Reg(data["reg"]), data["shift"], data["amount"])
+    if kind == "label":
+        return Label(data["name"])
+    if kind == "mem":
+        return Mem(
+            Reg(data["base"]) if data["base"] else None,
+            Reg(data["index"]) if data["index"] else None,
+            data["scale"],
+            data["disp"],
+            None,
+            _ast_from_json(data["disp_param"])
+            if data["disp_param"] is not None else None,
+        )
+    raise RuleFormatError(f"unknown operand kind {kind!r}")
+
+
+def _ast_to_json(expr: tuple) -> list:
+    # Immediate ASTs are nested tuples; JSON lists round-trip them.
+    return [expr[0]] + [
+        part if not isinstance(part, tuple) else _ast_to_json(part)
+        for part in expr[1:]
+    ]
+
+
+def _ast_from_json(data: list) -> tuple:
+    if not isinstance(data, list) or not data:
+        raise RuleFormatError(f"bad immediate AST {data!r}")
+    return tuple(
+        [data[0]] + [
+            part if not isinstance(part, list) else _ast_from_json(part)
+            for part in data[1:]
+        ]
+    )
+
+
+# -- instructions / rules ----------------------------------------------------------
+
+
+def _instr_to_json(instr: Instruction) -> dict:
+    return {
+        "op": instr.mnemonic,
+        "operands": [_operand_to_json(op) for op in instr.operands],
+    }
+
+
+def _instr_from_json(data: dict) -> Instruction:
+    return Instruction(
+        data["op"],
+        tuple(_operand_from_json(op) for op in data["operands"]),
+    )
+
+
+def rule_to_json(rule: Rule) -> dict:
+    return {
+        "guest": [_instr_to_json(i) for i in rule.guest],
+        "host": [_instr_to_json(i) for i in rule.host],
+        "params": list(rule.params),
+        "written_params": list(rule.written_params),
+        "temps": list(rule.temps),
+        "guest_flags_written": list(rule.guest_flags_written),
+        "cc_info": dict(rule.cc_info),
+        "has_branch": rule.has_branch,
+        "origin": rule.origin,
+        "line": rule.line,
+        "direction": rule.direction,
+    }
+
+
+def rule_from_json(data: dict) -> Rule:
+    try:
+        return Rule(
+            guest=tuple(_instr_from_json(i) for i in data["guest"]),
+            host=tuple(_instr_from_json(i) for i in data["host"]),
+            params=tuple(data["params"]),
+            written_params=tuple(data["written_params"]),
+            temps=tuple(data["temps"]),
+            guest_flags_written=tuple(data["guest_flags_written"]),
+            cc_info=dict(data["cc_info"]),
+            has_branch=bool(data["has_branch"]),
+            origin=data.get("origin", ""),
+            line=data.get("line", 0),
+            direction=data.get("direction", "arm-x86"),
+        )
+    except KeyError as exc:
+        raise RuleFormatError(f"missing rule field {exc}") from exc
+
+
+def dump_rules(rules: list[Rule], fp: IO[str]) -> None:
+    """Write a rule repository as JSON."""
+    json.dump(
+        {
+            "format": "repro-dbt-rules",
+            "version": FORMAT_VERSION,
+            "rules": [rule_to_json(rule) for rule in rules],
+        },
+        fp,
+        indent=1,
+    )
+
+
+def load_rules(fp: IO[str]) -> list[Rule]:
+    """Read a rule repository written by :func:`dump_rules`."""
+    document = json.load(fp)
+    if not isinstance(document, dict) or \
+            document.get("format") != "repro-dbt-rules":
+        raise RuleFormatError("not a repro-dbt rule repository")
+    if document.get("version") != FORMAT_VERSION:
+        raise RuleFormatError(
+            f"unsupported rule format version {document.get('version')!r}"
+        )
+    return [rule_from_json(item) for item in document["rules"]]
+
+
+def dumps_rules(rules: list[Rule]) -> str:
+    import io
+
+    buffer = io.StringIO()
+    dump_rules(rules, buffer)
+    return buffer.getvalue()
+
+
+def loads_rules(text: str) -> list[Rule]:
+    import io
+
+    return load_rules(io.StringIO(text))

@@ -1,0 +1,92 @@
+"""The rule store: hash table keyed by the mean of guest opcodes.
+
+Implements the paper's Section 4 scheme verbatim: rules are installed
+in a hash table whose key is the arithmetic mean of the rule's guest
+opcode ids; at translation time the longest contiguous guest sequence
+starting at each position is matched first, backing off to shorter
+ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.learning.rule import Binding, Rule, dedup_rules, match_rule
+
+
+@dataclass
+class RuleMatch:
+    rule: Rule
+    binding: Binding
+    length: int
+
+
+@dataclass
+class RuleStore:
+    """Installed translation rules, ready for lookup.
+
+    A store is direction-homogeneous: the first inserted rule fixes the
+    guest ISA whose opcode ids key the hash table.
+    """
+
+    _buckets: dict[int, list[Rule]] = field(default_factory=dict)
+    _max_length: int = 0
+    _count: int = 0
+    _direction: str | None = None
+
+    @classmethod
+    def from_rules(cls, rules: list[Rule]) -> "RuleStore":
+        store = cls()
+        for rule in dedup_rules(rules):
+            store.insert(rule)
+        return store
+
+    def insert(self, rule: Rule) -> None:
+        if self._direction is None:
+            self._direction = rule.direction
+        elif rule.direction != self._direction:
+            raise ValueError(
+                f"rule store is {self._direction}; cannot insert a "
+                f"{rule.direction} rule"
+            )
+        self._buckets.setdefault(rule.hash_key(), []).append(rule)
+        self._max_length = max(self._max_length, rule.length)
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def all_rules(self) -> list[Rule]:
+        return [rule for bucket in self._buckets.values() for rule in bucket]
+
+    def match_at(self, instrs: list[Instruction], start: int,
+                 limit: int | None = None) -> RuleMatch | None:
+        """Longest-first match at ``instrs[start:]`` (Section 4).
+
+        ``limit`` bounds the sequence length (block length by default).
+        """
+        max_len = len(instrs) - start
+        if limit is not None:
+            max_len = min(max_len, limit)
+        max_len = min(max_len, self._max_length)
+        if max_len <= 0:
+            return None
+        from repro.learning.direction import DIRECTIONS
+
+        opcode_id = DIRECTIONS[self._direction or "arm-x86"].guest_opcode_id
+        # Precompute prefix opcode-id sums once per call.
+        ids = [opcode_id(instr) for instr in
+               instrs[start : start + max_len]]
+        prefix = [0]
+        for opcode in ids:
+            prefix.append(prefix[-1] + opcode)
+        for length in range(max_len, 0, -1):
+            key = prefix[length] // length
+            for rule in self._buckets.get(key, ()):
+                if rule.length != length:
+                    continue
+                binding = match_rule(rule, instrs[start : start + length])
+                if binding is not None:
+                    return RuleMatch(rule, binding, length)
+        return None

@@ -1,0 +1,12 @@
+"""MiniC code-generation backends (ARM32 and IA-32)."""
+
+from repro.minic.backend.mach import MachineBuilder, MachineFunction, TargetInfo
+from repro.minic.backend.regalloc import RegisterAllocationError, allocate
+
+__all__ = [
+    "MachineBuilder",
+    "MachineFunction",
+    "TargetInfo",
+    "RegisterAllocationError",
+    "allocate",
+]

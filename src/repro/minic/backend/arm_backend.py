@@ -1,0 +1,408 @@
+"""ARM32 instruction selection and frame finalization.
+
+Lowers TAC to the ARM subset of :mod:`repro.guest_arm`.  AAPCS-flavoured
+ABI: arguments in r0-r3, result in r0, r4-r11 callee-saved.  Integer
+division calls the runtime helpers ``__aeabi_idiv`` / ``__aeabi_idivmod``
+exactly like real ARM compilers do (there is no udiv/sdiv in our
+baseline profile), which is what routes division source lines into the
+learner's "call" rejection bucket.
+
+Codegen styles:
+
+* ``llvm`` — allocation order r0..r10, shifted-operand fusion at -O1+.
+* ``gcc``  — allocation order r3,r2,r1,r0,r4..r10 (different live-in
+  register names for the same code), ``rsb`` for reversed subtraction.
+"""
+
+from __future__ import annotations
+
+from repro.guest_arm import isa as arm_isa
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg
+from repro.minic.backend.mach import MachineBuilder, MachineFunction, TargetInfo
+from repro.minic.errors import SemanticError
+from repro.minic.tac import Instr, TacFunction, TAddr
+
+_CALLER_SAVED = ("r0", "r1", "r2", "r3", "r12")
+_CALLEE_SAVED = tuple(f"r{i}" for i in range(4, 11))
+_CMP_TO_COND = {
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+    "u<": "lo", "u<=": "ls", "u>": "hi", "u>=": "hs",
+}
+_MASK = 0xFFFFFFFF
+
+
+def arm_imm_ok(value: int) -> bool:
+    """Is ``value`` an ARM modified immediate (8 bits, even rotation)?"""
+    value &= _MASK
+    for rotation in range(0, 32, 2):
+        rotated = ((value << rotation) | (value >> (32 - rotation))) & _MASK
+        if rotated < 256:
+            return True
+    return False
+
+
+def target_info(style: str) -> TargetInfo:
+    if style == "gcc":
+        order = ("r3", "r2", "r1", "r0") + _CALLEE_SAVED
+    else:
+        order = ("r0", "r1", "r2", "r3") + _CALLEE_SAVED
+    return TargetInfo(
+        name=f"arm-{style}",
+        alloc_order=order,
+        callee_saved=_CALLEE_SAVED,
+        caller_saved=_CALLER_SAVED,
+        low8_regs=(),
+        defs=arm_isa.defined_registers,
+        uses=arm_isa.used_registers,
+        is_branch=arm_isa.is_branch,
+        branch_condition=arm_isa.branch_condition,
+        is_call=arm_isa.is_call,
+        spill_load=lambda reg, off: Instruction(
+            "ldr", (Reg(reg), Mem(base=Reg("sp"), disp=off, var="spill"))
+        ),
+        spill_store=lambda reg, off: Instruction(
+            "str", (Reg(reg), Mem(base=Reg("sp"), disp=off, var="spill"))
+        ),
+    )
+
+
+class ArmSelector:
+    """Selects ARM instructions for one TAC function."""
+
+    def __init__(self, func: TacFunction, style: str, opt_level: int,
+                 global_addrs: dict[str, int]) -> None:
+        self.tac = func
+        self.style = style
+        self.opt_level = opt_level
+        self.global_addrs = global_addrs
+        self.builder = MachineBuilder(func.name, line=func.line)
+        self.slot_offsets: dict[str, int] = {}
+        self.temp_counter = 0
+        self.fused: set[int] = set()
+        self.shl_defs: dict[str, tuple[int, str, int]] = {}
+        self.epilogue = f".Lep_{func.name}"
+        offset = 0
+        for slot in func.slots.values():
+            self.slot_offsets[slot.name] = offset
+            offset += (slot.size + 3) & ~3
+        self.builder.func.frame_slots = offset
+        self.builder.func.returns_value = func.returns_value
+
+    # -- helpers ---------------------------------------------------------------
+
+    def new_temp(self) -> str:
+        self.temp_counter += 1
+        return f"%m{self.temp_counter}"
+
+    def emit(self, mnemonic: str, *operands, line=None, meta=None):
+        return self.builder.emit(mnemonic, *operands, line=line, meta=meta)
+
+    def value_reg(self, value, line: int) -> Reg:
+        """Materialize a TAC value into a (virtual) register."""
+        if isinstance(value, str):
+            return Reg(value)
+        temp = self.new_temp()
+        self.emit("mov", Reg(temp), Imm(value), line=line)
+        return Reg(temp)
+
+    def flexible(self, value, line: int):
+        """A register or encodable immediate for a data instruction."""
+        if isinstance(value, int) and arm_imm_ok(value):
+            return Imm(value)
+        return self.value_reg(value, line)
+
+    def address(self, taddr: TAddr, line: int) -> Mem:
+        """Lower a TAC address to an ARM addressing mode, emitting any
+        needed address arithmetic."""
+        base: Reg | None = None
+        disp = taddr.disp
+        if taddr.symbol is not None:
+            if taddr.symbol in self.slot_offsets:
+                base = Reg("sp")
+                disp += self.slot_offsets[taddr.symbol]
+            else:
+                addr = self.global_addrs[taddr.symbol]
+                temp = self.new_temp()
+                self.emit("mov", Reg(temp), Imm(addr + disp), line=line)
+                base = Reg(temp)
+                disp = 0
+        if taddr.base is not None:
+            if base is None:
+                base = Reg(taddr.base)
+            else:
+                temp = self.new_temp()
+                self.emit("add", Reg(temp), base, Reg(taddr.base), line=line)
+                base = Reg(temp)
+        if base is None:
+            temp = self.new_temp()
+            self.emit("mov", Reg(temp), Imm(disp), line=line)
+            return Mem(base=Reg(temp), var=taddr.var)
+        if taddr.index is not None:
+            index = Reg(taddr.index)
+            if disp:
+                # ARM has no [base, index, lsl #s] + disp mode: fold the
+                # scaled index into the base first (paper Figure 2(a)).
+                temp = self.new_temp()
+                if taddr.scale != 1:
+                    shift = taddr.scale.bit_length() - 1
+                    self.emit("add", Reg(temp), base,
+                              ShiftedReg(index, "lsl", shift), line=line)
+                else:
+                    self.emit("add", Reg(temp), base, index, line=line)
+                return self._mem_disp(Reg(temp), disp, taddr.var, line)
+            return Mem(base=base, index=index, scale=taddr.scale, var=taddr.var)
+        return self._mem_disp(base, disp, taddr.var, line)
+
+    def _mem_disp(self, base: Reg, disp: int, var, line: int) -> Mem:
+        if -4095 <= disp <= 4095:
+            return Mem(base=base, disp=disp, var=var)
+        temp = self.new_temp()
+        self.emit("mov", Reg(temp), Imm(disp), line=line)
+        temp2 = self.new_temp()
+        self.emit("add", Reg(temp2), base, Reg(temp), line=line)
+        return Mem(base=Reg(temp2), var=var)
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self) -> MachineFunction:
+        if len(self.tac.params) > 4:
+            raise SemanticError(
+                f"{self.tac.name}: more than 4 parameters are not supported"
+            )
+        self._find_fusions()
+        for i, vreg in enumerate(self.tac.params):
+            self.emit("mov", Reg(vreg), Reg(f"r{i}"), line=self.tac.line)
+        for index, instr in enumerate(self.tac.instrs):
+            if index in self.fused:
+                continue
+            self._select_instr(index, instr)
+        self.builder.mark(self.epilogue)
+        return self.builder.func
+
+    def _find_fusions(self) -> None:
+        """Single-use shl feeding add/sub -> shifted second operand."""
+        if self.opt_level < 1:
+            return
+        use_counts: dict[str, int] = {}
+        for instr in self.tac.instrs:
+            for use in instr.uses():
+                use_counts[use] = use_counts.get(use, 0) + 1
+        defs: dict[str, tuple[int, Instr]] = {}
+        for index, instr in enumerate(self.tac.instrs):
+            if instr.op == "bin" and instr.bin_op == "<<" and \
+                    isinstance(instr.b, int) and 0 < instr.b < 32 and \
+                    isinstance(instr.a, str):
+                defs[instr.dest] = (index, instr)
+            if instr.op == "bin" and instr.bin_op in ("+", "-"):
+                operand = instr.b if isinstance(instr.b, str) else None
+                if operand and operand in defs and use_counts[operand] == 1:
+                    shl_index, shl_instr = defs[operand]
+                    if self._fusable_range(shl_index, index, defs[operand][1].a):
+                        self.fused.add(shl_index)
+                        self.shl_defs[operand] = (
+                            shl_index, shl_instr.a, shl_instr.b
+                        )
+
+    def _fusable_range(self, start: int, end: int, source: str) -> bool:
+        """The shifted source must stay in the same block and must not
+        be redefined between the shift and its consumer."""
+        for instr in self.tac.instrs[start + 1 : end]:
+            if instr.op in ("label", "jmp", "cbr", "ret", "call"):
+                return False
+            if instr.dest == source:
+                return False
+        return True
+
+    def _shifted_operand(self, name: str):
+        """The fused ShiftedReg for a vreg, if one was recorded."""
+        fusion = self.shl_defs.get(name)
+        if fusion is None:
+            return None
+        _, source, amount = fusion
+        return ShiftedReg(Reg(source), "lsl", amount)
+
+    def _select_instr(self, index: int, instr: Instr) -> None:
+        line = instr.line
+        op = instr.op
+        if op == "label":
+            self.builder.mark(instr.label)
+            return
+        if op == "const":
+            self.emit("mov", Reg(instr.dest), Imm(instr.a), line=line)
+            return
+        if op == "copy":
+            if isinstance(instr.a, int):
+                self.emit("mov", Reg(instr.dest), Imm(instr.a), line=line)
+            else:
+                self.emit("mov", Reg(instr.dest), Reg(instr.a), line=line)
+            return
+        if op == "bin":
+            self._select_bin(instr, line)
+            return
+        if op == "un":
+            source = self.value_reg(instr.a, line)
+            if instr.bin_op == "neg":
+                self.emit("rsb", Reg(instr.dest), source, Imm(0), line=line)
+            else:
+                self.emit("mvn", Reg(instr.dest), source, line=line)
+            return
+        if op == "load":
+            mem = self.address(instr.addr, line)
+            mnemonic = "ldr" if instr.size == 4 else "ldrb"
+            self.emit(mnemonic, Reg(instr.dest), mem, line=line)
+            return
+        if op == "store":
+            source = self.value_reg(instr.a, line)
+            mem = self.address(instr.addr, line)
+            mnemonic = "str" if instr.size == 4 else "strb"
+            self.emit(mnemonic, source, mem, line=line)
+            return
+        if op == "la":
+            taddr = instr.addr
+            if taddr.symbol in self.slot_offsets:
+                offset = self.slot_offsets[taddr.symbol] + taddr.disp
+                self.emit("add", Reg(instr.dest), Reg("sp"),
+                          self.flexible(offset, line), line=line)
+            else:
+                addr = self.global_addrs[taddr.symbol] + taddr.disp
+                self.emit("mov", Reg(instr.dest), Imm(addr), line=line)
+            return
+        if op == "call":
+            self._select_call(instr, line)
+            return
+        if op == "ret":
+            if instr.a is not None and self.tac.returns_value:
+                if isinstance(instr.a, int):
+                    self.emit("mov", Reg("r0"), Imm(instr.a), line=line)
+                else:
+                    self.emit("mov", Reg("r0"), Reg(instr.a), line=line)
+                meta = {"uses_regs": ("r0",)}
+            else:
+                meta = None
+            self.emit("b", Label(self.epilogue), line=line, meta=meta)
+            self.builder.next_block()
+            return
+        if op == "jmp":
+            self.emit("b", Label(instr.label), line=line)
+            self.builder.next_block()
+            return
+        if op == "cbr":
+            cond = _CMP_TO_COND[instr.bin_op]
+            left = self.value_reg(instr.a, line)
+            right = self.flexible(instr.b, line)
+            self.emit("cmp", left, right, line=line)
+            self.emit(f"b{cond}", Label(instr.label), line=line)
+            self.emit("b", Label(instr.label2), line=line)
+            self.builder.next_block()
+            return
+        if op == "select":
+            cond = _CMP_TO_COND[instr.bin_op]
+            left = self.value_reg(instr.a, line)
+            right = self.flexible(instr.b, line)
+            self.emit("cmp", left, right, line=line)
+            self.emit("mov", Reg(instr.dest), self.flexible(instr.fval, line),
+                      line=line)
+            self.emit(f"mov{cond}", Reg(instr.dest),
+                      self.flexible(instr.tval, line), line=line)
+            return
+        raise SemanticError(f"ARM backend: unhandled TAC op {op!r}")
+
+    def _select_bin(self, instr: Instr, line: int) -> None:
+        op = instr.bin_op
+        dest = Reg(instr.dest)
+        if op in ("/", "%"):
+            self._select_division(instr, line)
+            return
+        if op in ("<<", ">>", "u>>"):
+            mnemonic = {"<<": "lsl", ">>": "asr", "u>>": "lsr"}[op]
+            source = self.value_reg(instr.a, line)
+            if isinstance(instr.b, int):
+                amount = Imm(instr.b & 31)
+            else:
+                amount = Reg(instr.b)
+            self.emit(mnemonic, dest, source, amount, line=line)
+            return
+        if op == "-" and isinstance(instr.a, int) and isinstance(instr.b, str):
+            # c - x -> rsb
+            self.emit("rsb", dest, Reg(instr.b), self.flexible(instr.a, line),
+                      line=line)
+            return
+        mnemonics = {"+": "add", "-": "sub", "*": "mul", "&": "and",
+                     "|": "orr", "^": "eor"}
+        mnemonic = mnemonics[op]
+        left = self.value_reg(instr.a, line)
+        if op == "*":
+            right = self.value_reg(instr.b, line)
+        else:
+            fused = (
+                self._shifted_operand(instr.b)
+                if isinstance(instr.b, str) and op in ("+", "-")
+                else None
+            )
+            right = fused if fused is not None else self.flexible(instr.b, line)
+        self.emit(mnemonic, dest, left, right, line=line)
+
+    def _select_division(self, instr: Instr, line: int) -> None:
+        helper = "__aeabi_idiv" if instr.bin_op == "/" else "__aeabi_idivmod"
+        self.emit("mov", Reg("r0"), self._move_operand(instr.a, line), line=line)
+        self.emit("mov", Reg("r1"), self._move_operand(instr.b, line), line=line)
+        self.emit(
+            "bl", Label(helper), line=line,
+            meta={"uses_regs": ("r0", "r1"), "clobbers": _CALLER_SAVED},
+        )
+        result = "r0" if instr.bin_op == "/" else "r1"
+        self.emit("mov", Reg(instr.dest), Reg(result), line=line)
+
+    def _move_operand(self, value, line: int):
+        if isinstance(value, int):
+            return Imm(value)
+        return Reg(value)
+
+    def _select_call(self, instr: Instr, line: int) -> None:
+        if len(instr.args) > 4:
+            raise SemanticError(
+                f"call to {instr.name} with more than 4 arguments"
+            )
+        for i, arg in enumerate(instr.args):
+            self.emit("mov", Reg(f"r{i}"), self._move_operand(arg, line),
+                      line=line)
+        arg_regs = tuple(f"r{i}" for i in range(len(instr.args)))
+        self.emit(
+            "bl", Label(instr.name), line=line,
+            meta={"uses_regs": arg_regs, "clobbers": _CALLER_SAVED},
+        )
+        if instr.dest is not None:
+            self.emit("mov", Reg(instr.dest), Reg("r0"), line=line)
+
+
+def finalize(func: MachineFunction, has_calls: bool) -> None:
+    """Insert prologue/epilogue after allocation and fix label offsets."""
+    frame = func.frame_slots + func.spill_bytes
+    frame = (frame + 7) & ~7
+    saved = list(func.used_callee_saved)
+    push_lr = has_calls
+    prologue: list[Instruction] = []
+    if saved or push_lr:
+        regs = tuple(Reg(name) for name in saved)
+        if push_lr:
+            regs += (Reg("lr"),)
+        prologue.append(Instruction("push", regs))
+    if frame:
+        prologue.append(Instruction("sub", (Reg("sp"), Reg("sp"), Imm(frame))))
+    epilogue: list[Instruction] = []
+    if frame:
+        epilogue.append(Instruction("add", (Reg("sp"), Reg("sp"), Imm(frame))))
+    if saved or push_lr:
+        regs = tuple(Reg(name) for name in saved)
+        if push_lr:
+            regs += (Reg("pc"),)
+            epilogue.append(Instruction("pop", regs))
+        else:
+            epilogue.append(Instruction("pop", regs))
+            epilogue.append(Instruction("bx", (Reg("lr"),)))
+    else:
+        epilogue.append(Instruction("bx", (Reg("lr"),)))
+    shift = len(prologue)
+    func.labels = {name: pos + shift for name, pos in func.labels.items()}
+    func.instrs = prologue + func.instrs + epilogue

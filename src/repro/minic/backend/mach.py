@@ -1,0 +1,133 @@
+"""Machine-code containers and target descriptions for the backends.
+
+During instruction selection the backends emit :class:`Instruction`
+objects whose register operands may be *virtual* (names starting with
+``%``); the register allocator later rewrites them to physical names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Mem, Reg, ShiftedReg
+
+
+def is_vreg(name: str) -> bool:
+    return name.startswith("%")
+
+
+@dataclass
+class TargetInfo:
+    """Everything the shared register allocator needs to know about an
+    ISA + ABI + codegen style combination."""
+
+    name: str
+    alloc_order: tuple[str, ...]
+    callee_saved: tuple[str, ...]
+    caller_saved: tuple[str, ...]
+    low8_regs: tuple[str, ...]  # empty on ARM
+    defs: Callable[[Instruction], tuple[str, ...]]
+    uses: Callable[[Instruction], tuple[str, ...]]
+    is_branch: Callable[[Instruction], bool]
+    branch_condition: Callable[[Instruction], str | None]
+    is_call: Callable[[Instruction], bool]
+    spill_load: Callable[[str, int], Instruction]  # (reg, frame offset)
+    spill_store: Callable[[str, int], Instruction]
+    word_size: int = 4
+
+
+@dataclass
+class MachineFunction:
+    """Machine code for one function, before or after allocation."""
+
+    name: str
+    instrs: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    frame_slots: int = 0  # bytes of local-slot area (fixed at ISel)
+    spill_bytes: int = 0  # bytes of spill area (set by the allocator)
+    used_callee_saved: tuple[str, ...] = ()
+    returns_value: bool = True
+    line: int = 0
+
+    def label_at(self, index: int) -> list[str]:
+        return [name for name, pos in self.labels.items() if pos == index]
+
+
+class MachineBuilder:
+    """Accumulates instructions and label marks during ISel."""
+
+    def __init__(self, name: str, line: int = 0) -> None:
+        self.func = MachineFunction(name, line=line)
+        self._block = 0
+
+    def emit(self, mnemonic: str, *operands, line: int | None = None,
+             meta: dict | None = None) -> Instruction:
+        instr = Instruction(
+            mnemonic, tuple(operands), line=line, block=self._block, meta=meta
+        )
+        self.func.instrs.append(instr)
+        return instr
+
+    def mark(self, label: str) -> None:
+        self.func.labels[label] = len(self.func.instrs)
+        self._block += 1
+
+    def next_block(self) -> None:
+        self._block += 1
+
+
+_PARENT_TO_LOW8 = {"eax": "al", "ecx": "cl", "edx": "dl", "ebx": "bl"}
+
+
+def rewrite_registers(instr: Instruction,
+                      mapping: dict[str, str]) -> Instruction:
+    """Return ``instr`` with virtual register names replaced.
+
+    A virtual low-byte reference ``%t5.b`` follows its parent: when
+    ``%t5`` maps to ``eax`` the reference becomes ``al``.
+    """
+
+    def sub_name(name: str) -> str:
+        if name.endswith(".b"):
+            parent = mapping.get(name[:-2])
+            if parent is None:
+                return name
+            return _PARENT_TO_LOW8.get(parent, f"{parent}.b")
+        return mapping.get(name, name)
+
+    def sub_reg(reg: Reg | None) -> Reg | None:
+        if reg is None:
+            return None
+        return Reg(sub_name(reg.name))
+
+    changed = False
+    new_ops = []
+    for op in instr.operands:
+        if isinstance(op, Reg) and sub_name(op.name) != op.name:
+            new_ops.append(sub_reg(op))
+            changed = True
+        elif isinstance(op, ShiftedReg) and sub_name(op.reg.name) != op.reg.name:
+            new_ops.append(ShiftedReg(sub_reg(op.reg), op.shift, op.amount))
+            changed = True
+        elif isinstance(op, Mem) and (
+            (op.base and sub_name(op.base.name) != op.base.name)
+            or (op.index and sub_name(op.index.name) != op.index.name)
+        ):
+            new_ops.append(
+                Mem(
+                    sub_reg(op.base),
+                    sub_reg(op.index),
+                    op.scale,
+                    op.disp,
+                    op.var,
+                    op.disp_param,
+                )
+            )
+            changed = True
+        else:
+            new_ops.append(op)
+    if not changed:
+        return instr
+    return replace(instr, operands=tuple(new_ops))

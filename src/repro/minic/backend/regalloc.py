@@ -1,0 +1,326 @@
+"""Linear-scan register allocation shared by both backends.
+
+Operates on machine code with virtual registers, using per-ISA metadata
+(defs/uses) plus ABI annotations carried in ``Instruction.meta``:
+
+* ``meta["uses_regs"]`` — extra physical registers an instruction reads
+  (e.g. ``bl`` reading ARM argument registers),
+* ``meta["clobbers"]`` — physical registers it destroys (calls clobber
+  the caller-saved set).
+
+Physical registers participate in liveness like virtual ones, so fixed
+sequences (x86 ``mov/cltd/idivl``, ARM argument marshalling) are
+protected without any special pre-coloring machinery.  Allocation
+failures are resolved by spilling the failing register to the frame and
+re-running; spill code uses fresh short-lived virtual registers, so no
+scratch register needs to be reserved.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.minic.backend.mach import (
+    MachineFunction,
+    TargetInfo,
+    is_vreg,
+    rewrite_registers,
+)
+
+_MAX_ROUNDS = 60
+
+
+class RegisterAllocationError(Exception):
+    """Could not allocate registers even after spilling."""
+
+
+def _effective_uses(instr: Instruction, target: TargetInfo) -> tuple[str, ...]:
+    uses = list(target.uses(instr))
+    if instr.meta:
+        uses.extend(instr.meta.get("uses_regs", ()))
+    return tuple(uses)
+
+
+def _effective_defs(instr: Instruction, target: TargetInfo) -> tuple[str, ...]:
+    defs = list(target.defs(instr))
+    if instr.meta:
+        defs.extend(instr.meta.get("clobbers", ()))
+    return tuple(defs)
+
+
+def _blocks(func: MachineFunction, target: TargetInfo) -> list[tuple[int, int]]:
+    leaders = {0}
+    for pos in func.labels.values():
+        leaders.add(pos)
+    for index, instr in enumerate(func.instrs):
+        if target.is_branch(instr) and index + 1 < len(func.instrs):
+            leaders.add(index + 1)
+    ordered = sorted(p for p in leaders if p < len(func.instrs))
+    return [
+        (start, ordered[i + 1] if i + 1 < len(ordered) else len(func.instrs))
+        for i, start in enumerate(ordered)
+    ]
+
+
+def _successors(func: MachineFunction, target: TargetInfo,
+                blocks: list[tuple[int, int]]) -> dict[int, list[int]]:
+    starts = [start for start, _ in blocks]
+    succ: dict[int, list[int]] = {start: [] for start in starts}
+    from repro.isa.operands import Label
+
+    for start, end in blocks:
+        if end == start:
+            continue
+        last = func.instrs[end - 1]
+        fallthrough = True
+        if target.is_call(last):
+            # Calls return: plain fallthrough, and the callee's label is
+            # NOT a CFG successor (values stay live across the call).
+            pass
+        elif target.is_branch(last):
+            for op in last.operands:
+                if isinstance(op, Label) and op.name in func.labels:
+                    succ[start].append(func.labels[op.name])
+            # Unconditional jump/return: no fallthrough.
+            if target.branch_condition(last) is None:
+                fallthrough = False
+        if fallthrough and end < len(func.instrs):
+            succ[start].append(end)
+    return succ
+
+
+def _liveness(func: MachineFunction, target: TargetInfo
+              ) -> list[set[str]]:
+    """live-in set per instruction position."""
+    blocks = _blocks(func, target)
+    succ = _successors(func, target, blocks)
+    n = len(func.instrs)
+    uses_cache = [set(_effective_uses(i, target)) for i in func.instrs]
+    defs_cache = [set(_effective_defs(i, target)) for i in func.instrs]
+    live_in_block: dict[int, set[str]] = {start: set() for start, _ in blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start, end in reversed(blocks):
+            live: set[str] = set()
+            for next_start in succ[start]:
+                live |= live_in_block.get(next_start, set())
+            for index in range(end - 1, start - 1, -1):
+                live -= defs_cache[index]
+                live |= uses_cache[index]
+            if live != live_in_block[start]:
+                live_in_block[start] = live
+                changed = True
+    live_in: list[set[str]] = [set() for _ in range(n)]
+    for start, end in blocks:
+        live: set[str] = set()
+        for next_start in succ[start]:
+            live |= live_in_block.get(next_start, set())
+        for index in range(end - 1, start - 1, -1):
+            live -= defs_cache[index]
+            live |= uses_cache[index]
+            live_in[index] = set(live)
+    return live_in
+
+
+@dataclass
+class _Interval:
+    name: str
+    start: int
+    end: int
+    needs_low8: bool = False
+
+
+def _build_intervals(func: MachineFunction, target: TargetInfo
+                     ) -> tuple[list[_Interval], dict[str, list[int]]]:
+    live_in = _liveness(func, target)
+    vreg_positions: dict[str, list[int]] = {}
+    phys_busy: dict[str, list[int]] = {}
+    for index, instr in enumerate(func.instrs):
+        touched = set(live_in[index])
+        touched.update(_effective_defs(instr, target))
+        touched.update(_effective_uses(instr, target))
+        for name in touched:
+            bucket = vreg_positions if is_vreg(name) else phys_busy
+            bucket.setdefault(name, []).append(index)
+    low8 = _low8_requirements(func, target)
+    intervals = [
+        _Interval(name, positions[0], positions[-1], name in low8)
+        for name, positions in vreg_positions.items()
+    ]
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    for positions in phys_busy.values():
+        positions.sort()
+    return intervals, phys_busy
+
+
+def _low8_requirements(func: MachineFunction, target: TargetInfo) -> set[str]:
+    if not target.low8_regs:
+        return set()
+    needs: set[str] = set()
+    for instr in func.instrs:
+        if instr.meta and instr.meta.get("needs_low8"):
+            needs.update(
+                name for name in instr.meta["needs_low8"] if is_vreg(name)
+            )
+    return needs
+
+
+def _conflicts(busy: list[int], start: int, end: int) -> bool:
+    index = bisect.bisect_left(busy, start)
+    return index < len(busy) and busy[index] <= end
+
+
+def allocate(func: MachineFunction, target: TargetInfo) -> dict[str, str]:
+    """Assign physical registers; mutates ``func`` (spill code, operand
+    rewriting) and returns the final vreg -> phys mapping."""
+    for _ in range(_MAX_ROUNDS):
+        intervals, phys_busy = _build_intervals(func, target)
+        mapping, failed = _linear_scan(intervals, phys_busy, target)
+        if failed is None:
+            _apply(func, target, mapping)
+            return mapping
+        victim = _choose_victim(intervals, mapping, failed, target)
+        _spill(func, target, victim)
+    raise RegisterAllocationError(
+        f"{func.name}: allocation did not converge after {_MAX_ROUNDS} rounds"
+    )
+
+
+def _choose_victim(intervals: list[_Interval], mapping: dict[str, str],
+                   failed: _Interval, target: TargetInfo) -> _Interval:
+    """Pick what to spill when ``failed`` found no register.
+
+    Spilling the failing interval is pointless when its (possibly
+    constrained) candidate registers are all held by *other* long
+    intervals at the conflict point — the reload temps would fail the
+    same way.  Prefer evicting the longest overlapping unconstrained
+    interval that occupies one of the failing interval's candidates.
+    """
+    candidates = set(
+        target.low8_regs if failed.needs_low8 else target.alloc_order
+    )
+
+    def pick(allow_low8: bool) -> _Interval | None:
+        best: _Interval | None = None
+        for interval in intervals:
+            if interval.name == failed.name:
+                continue
+            if interval.needs_low8 and not allow_low8:
+                continue
+            if interval.name.startswith("%spill"):
+                continue
+            reg = mapping.get(interval.name)
+            if reg not in candidates:
+                continue
+            if interval.end < failed.start or interval.start > failed.end:
+                continue
+            if best is None or (interval.end - interval.start) > \
+                    (best.end - best.start):
+                best = interval
+        return best
+
+    best = pick(allow_low8=False)
+    if best is None or (best.end - best.start) <= (failed.end - failed.start):
+        # No unconstrained long victim: evict a longer byte-constrained
+        # interval instead (its reload temps are tiny and will fit).
+        fallback = pick(allow_low8=True)
+        if fallback is not None and (
+            (fallback.end - fallback.start) > (failed.end - failed.start)
+            or failed.name.startswith("%spill")
+        ):
+            return fallback
+    if best is not None and (
+        (best.end - best.start) > (failed.end - failed.start)
+        or failed.name.startswith("%spill")
+    ):
+        return best
+    return failed
+
+
+def _linear_scan(
+    intervals: list[_Interval],
+    phys_busy: dict[str, list[int]],
+    target: TargetInfo,
+) -> tuple[dict[str, str], _Interval | None]:
+    mapping: dict[str, str] = {}
+    active: list[_Interval] = []
+    assigned_end: dict[str, list[_Interval]] = {}
+    for interval in intervals:
+        active = [iv for iv in active if iv.end >= interval.start]
+        candidates = target.low8_regs if interval.needs_low8 else \
+            target.alloc_order
+        chosen = None
+        for reg in candidates:
+            if _conflicts(phys_busy.get(reg, []), interval.start, interval.end):
+                continue
+            conflict = any(
+                mapping[iv.name] == reg and iv.end >= interval.start
+                for iv in active
+            )
+            if conflict:
+                continue
+            chosen = reg
+            break
+        if chosen is None:
+            return mapping, interval
+        mapping[interval.name] = chosen
+        active.append(interval)
+    return mapping, None
+
+
+def _apply(func: MachineFunction, target: TargetInfo,
+           mapping: dict[str, str]) -> None:
+    func.instrs = [
+        rewrite_registers(instr, mapping) for instr in func.instrs
+    ]
+    used = set()
+    for instr in func.instrs:
+        for reg in instr.registers():
+            used.add(reg.name)
+    for name in mapping.values():
+        used.add(name)
+    func.used_callee_saved = tuple(
+        reg for reg in target.callee_saved if reg in used
+    )
+
+
+def _spill(func: MachineFunction, target: TargetInfo,
+           interval: _Interval) -> None:
+    """Spill ``interval``'s vreg to the frame and rewrite its accesses."""
+    victim = interval.name
+    offset = func.frame_slots + func.spill_bytes
+    func.spill_bytes += target.word_size
+    new_instrs: list[Instruction] = []
+    moved: list[tuple[int, int]] = []  # (old position, new position)
+    counter = 0
+    for old_pos, instr in enumerate(func.instrs):
+        uses = victim in _effective_uses(instr, target)
+        defines = victim in _effective_defs(instr, target)
+        new_pos = len(new_instrs)
+        if not uses and not defines:
+            new_instrs.append(instr)
+            moved.append((old_pos, new_pos))
+            continue
+        counter += 1
+        temp = f"%spill{offset}_{counter}"
+        rewritten = rewrite_registers(instr, {victim: temp})
+        if rewritten.meta and victim in rewritten.meta.get("needs_low8", ()):
+            rewritten.meta["needs_low8"] = tuple(
+                temp if name == victim else name
+                for name in rewritten.meta["needs_low8"]
+            )
+        if uses:
+            new_instrs.append(target.spill_load(temp, offset))
+        new_instrs.append(rewritten)
+        if defines:
+            new_instrs.append(target.spill_store(temp, offset))
+        moved.append((old_pos, new_pos))
+    position_map = dict(moved)
+    func.labels = {
+        name: position_map.get(pos, len(new_instrs))
+        for name, pos in func.labels.items()
+    }
+    func.instrs = new_instrs

@@ -1,0 +1,431 @@
+"""IA-32 instruction selection and frame finalization.
+
+Lowers TAC to the x86 subset of :mod:`repro.host_x86` (AT&T operand
+order).  cdecl-flavoured ABI: args on the stack, result in ``eax``,
+``ebx``/``esi``/``edi``/``ebp`` callee-saved.
+
+Codegen styles:
+
+* ``llvm`` — frame-pointer-omitted, esp-relative frames, outgoing call
+  arguments written with ``movl`` into a pre-allocated area, ``leal``
+  used for three-operand adds and scaled-index adds at -O1+.
+* ``gcc`` — classic ``ebp`` frames, ``pushl``-based argument passing,
+  ``incl``/``decl`` for +-1, plain ``movl``+``addl`` instead of ``leal``.
+
+Frame markers: slot addresses are emitted against the ``FRAME`` pseudo
+base register and incoming parameters against ``INCOMING``; both are
+rewritten to real esp/ebp-relative addresses in :func:`finalize`, once
+the spill area and callee-saved push count are known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.host_x86 import isa as x86_isa
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.minic.backend.mach import MachineBuilder, MachineFunction, TargetInfo
+from repro.minic.errors import SemanticError
+from repro.minic.tac import Instr, TacFunction, TAddr
+
+_CALLER_SAVED = ("eax", "ecx", "edx")
+_CALLEE_SAVED_LLVM = ("ebx", "esi", "edi")          # ebp not used at all
+_CALLEE_SAVED_GCC = ("ebx", "esi", "edi")           # ebp is the frame pointer
+_LOW8 = ("eax", "ecx", "edx", "ebx")
+_CMP_TO_CC = {
+    "==": "e", "!=": "ne", "<": "l", "<=": "le", ">": "g", ">=": "ge",
+    "u<": "b", "u<=": "be", "u>": "a", "u>=": "ae",
+}
+
+
+def target_info(style: str) -> TargetInfo:
+    if style == "gcc":
+        order = ("eax", "edx", "ecx", "ebx", "edi", "esi")
+    else:
+        order = ("eax", "ecx", "edx", "ebx", "esi", "edi")
+    return TargetInfo(
+        name=f"x86-{style}",
+        alloc_order=order,
+        callee_saved=_CALLEE_SAVED_GCC if style == "gcc" else _CALLEE_SAVED_LLVM,
+        caller_saved=_CALLER_SAVED,
+        low8_regs=_LOW8,
+        defs=x86_isa.defined_registers,
+        uses=x86_isa.used_registers,
+        is_branch=x86_isa.is_branch,
+        branch_condition=x86_isa.branch_condition,
+        is_call=x86_isa.is_call,
+        spill_load=lambda reg, off: Instruction(
+            "movl", (Mem(base=Reg("FRAME"), disp=off, var="spill"), Reg(reg))
+        ),
+        spill_store=lambda reg, off: Instruction(
+            "movl", (Reg(reg), Mem(base=Reg("FRAME"), disp=off, var="spill"))
+        ),
+    )
+
+
+class X86Selector:
+    """Selects x86 instructions for one TAC function."""
+
+    def __init__(self, func: TacFunction, style: str, opt_level: int,
+                 global_addrs: dict[str, int]) -> None:
+        self.tac = func
+        self.style = style
+        self.opt_level = opt_level
+        self.global_addrs = global_addrs
+        self.builder = MachineBuilder(func.name, line=func.line)
+        self.slot_offsets: dict[str, int] = {}
+        self.temp_counter = 0
+        self.fused: set[int] = set()
+        self.shl_defs: dict[str, tuple[int, str, int]] = {}
+        self.epilogue = f".Lep_{func.name}"
+        out_args = 0
+        if style == "llvm":
+            for instr in func.instrs:
+                if instr.op == "call":
+                    out_args = max(out_args, len(instr.args))
+        self.out_arg_bytes = out_args * 4
+        offset = self.out_arg_bytes
+        for slot in func.slots.values():
+            self.slot_offsets[slot.name] = offset
+            offset += (slot.size + 3) & ~3
+        self.builder.func.frame_slots = offset
+        self.builder.func.returns_value = func.returns_value
+
+    # -- helpers -----------------------------------------------------------------
+
+    def new_temp(self) -> str:
+        self.temp_counter += 1
+        return f"%x{self.temp_counter}"
+
+    def emit(self, mnemonic: str, *operands, line=None, meta=None):
+        return self.builder.emit(mnemonic, *operands, line=line, meta=meta)
+
+    def value_reg(self, value, line: int) -> Reg:
+        if isinstance(value, str):
+            return Reg(value)
+        temp = self.new_temp()
+        self.emit("movl", Imm(value), Reg(temp), line=line)
+        return Reg(temp)
+
+    def operand(self, value, line: int):
+        """Immediate or register source operand."""
+        if isinstance(value, int):
+            return Imm(value)
+        return Reg(value)
+
+    def address(self, taddr: TAddr, line: int) -> Mem:
+        base: Reg | None = None
+        disp = taddr.disp
+        if taddr.symbol is not None:
+            if taddr.symbol in self.slot_offsets:
+                base = Reg("FRAME")
+                disp += self.slot_offsets[taddr.symbol]
+            else:
+                disp += self.global_addrs[taddr.symbol]
+        if taddr.base is not None:
+            if base is None:
+                base = Reg(taddr.base)
+            else:
+                temp = self.new_temp()
+                self.emit("leal", Mem(base=base, disp=disp), Reg(temp),
+                          line=line)
+                base, disp = Reg(temp), 0
+                base_extra = Reg(taddr.base)
+                temp2 = self.new_temp()
+                self.emit("leal", Mem(base=base, index=base_extra),
+                          Reg(temp2), line=line)
+                base = Reg(temp2)
+        index = Reg(taddr.index) if taddr.index is not None else None
+        scale = taddr.scale
+        if index is not None and scale not in (1, 2, 4, 8):
+            # x86 SIB scales are limited (paper Section 5, host ISA
+            # constraints): pre-shift the index.
+            shift = scale.bit_length() - 1
+            temp = self.new_temp()
+            self.emit("movl", index, Reg(temp), line=line)
+            self.emit("shll", Imm(shift), Reg(temp), line=line)
+            index, scale = Reg(temp), 1
+        return Mem(base=base, index=index, scale=scale, disp=disp,
+                   var=taddr.var)
+
+    # -- selection --------------------------------------------------------------
+
+    def select(self) -> MachineFunction:
+        self._find_fusions()
+        for i, vreg in enumerate(self.tac.params):
+            self.emit("movl", Mem(base=Reg("INCOMING"), disp=4 * i),
+                      Reg(vreg), line=self.tac.line)
+        for index, instr in enumerate(self.tac.instrs):
+            if index in self.fused:
+                continue
+            self._select_instr(index, instr)
+        self.builder.mark(self.epilogue)
+        return self.builder.func
+
+    def _find_fusions(self) -> None:
+        """Single-use shl (by 1..3) feeding add -> leal scaled index."""
+        if self.opt_level < 1 or self.style != "llvm":
+            return
+        use_counts: dict[str, int] = {}
+        for instr in self.tac.instrs:
+            for use in instr.uses():
+                use_counts[use] = use_counts.get(use, 0) + 1
+        defs: dict[str, tuple[int, Instr]] = {}
+        for index, instr in enumerate(self.tac.instrs):
+            if instr.op == "bin" and instr.bin_op == "<<" and \
+                    isinstance(instr.b, int) and 1 <= instr.b <= 3 and \
+                    isinstance(instr.a, str):
+                defs[instr.dest] = (index, instr)
+            if instr.op == "bin" and instr.bin_op == "+":
+                operand = instr.b if isinstance(instr.b, str) else None
+                if operand and operand in defs and use_counts[operand] == 1 \
+                        and isinstance(instr.a, str):
+                    shl_index, shl_instr = defs[operand]
+                    if self._fusable_range(shl_index, index, shl_instr.a):
+                        self.fused.add(shl_index)
+                        self.shl_defs[operand] = (
+                            shl_index, shl_instr.a, shl_instr.b
+                        )
+
+    def _fusable_range(self, start: int, end: int, source: str) -> bool:
+        for instr in self.tac.instrs[start + 1 : end]:
+            if instr.op in ("label", "jmp", "cbr", "ret", "call"):
+                return False
+            if instr.dest == source:
+                return False
+        return True
+
+    def _select_instr(self, index: int, instr: Instr) -> None:
+        line = instr.line
+        op = instr.op
+        if op == "label":
+            self.builder.mark(instr.label)
+            return
+        if op == "const":
+            self.emit("movl", Imm(instr.a), Reg(instr.dest), line=line)
+            return
+        if op == "copy":
+            self.emit("movl", self.operand(instr.a, line), Reg(instr.dest),
+                      line=line)
+            return
+        if op == "bin":
+            self._select_bin(instr, line)
+            return
+        if op == "un":
+            self.emit("movl", self.operand(instr.a, line), Reg(instr.dest),
+                      line=line)
+            mnemonic = "negl" if instr.bin_op == "neg" else "notl"
+            self.emit(mnemonic, Reg(instr.dest), line=line)
+            return
+        if op == "load":
+            mem = self.address(instr.addr, line)
+            if instr.size == 4:
+                self.emit("movl", mem, Reg(instr.dest), line=line)
+            else:
+                self.emit("movzbl", mem, Reg(instr.dest), line=line)
+            return
+        if op == "store":
+            source = self.value_reg(instr.a, line)
+            mem = self.address(instr.addr, line)
+            if instr.size == 4:
+                self.emit("movl", source, mem, line=line)
+            else:
+                self.emit("movb", source, mem, line=line,
+                          meta={"needs_low8": (source.name,)})
+            return
+        if op == "la":
+            mem = self.address(instr.addr, line)
+            self.emit("leal", mem, Reg(instr.dest), line=line)
+            return
+        if op == "call":
+            self._select_call(instr, line)
+            return
+        if op == "ret":
+            meta = None
+            if instr.a is not None and self.tac.returns_value:
+                self.emit("movl", self.operand(instr.a, line), Reg("eax"),
+                          line=line)
+                meta = {"uses_regs": ("eax",)}
+            self.emit("jmp", Label(self.epilogue), line=line, meta=meta)
+            self.builder.next_block()
+            return
+        if op == "jmp":
+            self.emit("jmp", Label(instr.label), line=line)
+            self.builder.next_block()
+            return
+        if op == "cbr":
+            self._emit_compare(instr, line)
+            self.emit(f"j{_CMP_TO_CC[instr.bin_op]}", Label(instr.label),
+                      line=line)
+            self.emit("jmp", Label(instr.label2), line=line)
+            self.builder.next_block()
+            return
+        if op == "select":
+            self._emit_compare(instr, line)
+            self.emit("movl", self.operand(instr.fval, line), Reg(instr.dest),
+                      line=line)
+            tval = self.value_reg(instr.tval, line)  # cmov needs a register
+            self.emit(f"cmov{_CMP_TO_CC[instr.bin_op]}", tval,
+                      Reg(instr.dest), line=line)
+            return
+        raise SemanticError(f"x86 backend: unhandled TAC op {op!r}")
+
+    def _emit_compare(self, instr: Instr, line: int) -> None:
+        """cmpl b, a (AT&T order) computing flags of a - b."""
+        left = self.value_reg(instr.a, line)
+        if isinstance(instr.b, int) and instr.b == 0 and \
+                instr.bin_op in ("==", "!="):
+            self.emit("testl", left, left, line=line)
+            return
+        self.emit("cmpl", self.operand(instr.b, line), left, line=line)
+
+    def _select_bin(self, instr: Instr, line: int) -> None:
+        op = instr.bin_op
+        dest = Reg(instr.dest)
+        if op in ("/", "%"):
+            self._select_division(instr, line)
+            return
+        if op in ("<<", ">>", "u>>"):
+            mnemonic = {"<<": "shll", ">>": "sarl", "u>>": "shrl"}[op]
+            self.emit("movl", self.operand(instr.a, line), dest, line=line)
+            if isinstance(instr.b, int):
+                self.emit(mnemonic, Imm(instr.b & 31), dest, line=line)
+            else:
+                self.emit("movl", Reg(instr.b), Reg("ecx"), line=line)
+                self.emit(mnemonic, Reg("cl"), dest, line=line)
+            return
+        if op == "+":
+            if self._select_lea_add(instr, line):
+                return
+            if self.style == "gcc" and instr.b == 1 and \
+                    isinstance(instr.a, str):
+                self.emit("movl", Reg(instr.a), dest, line=line)
+                self.emit("incl", dest, line=line)
+                return
+        if op == "-" and self.style == "gcc" and instr.b == 1 and \
+                isinstance(instr.a, str):
+            self.emit("movl", Reg(instr.a), dest, line=line)
+            self.emit("decl", dest, line=line)
+            return
+        mnemonics = {"+": "addl", "-": "subl", "*": "imull", "&": "andl",
+                     "|": "orl", "^": "xorl"}
+        if op == "-" and isinstance(instr.a, int):
+            # c - x: materialize c then subtract.
+            self.emit("movl", Imm(instr.a), dest, line=line)
+            self.emit("subl", self.operand(instr.b, line), dest, line=line)
+            return
+        self.emit("movl", self.operand(instr.a, line), dest, line=line)
+        self.emit(mnemonics[op], self.operand(instr.b, line), dest, line=line)
+
+    def _select_lea_add(self, instr: Instr, line: int) -> bool:
+        """llvm style: use leal for 3-operand adds when profitable."""
+        if self.style != "llvm" or self.opt_level < 1:
+            return False
+        fusion = self.shl_defs.get(instr.b) if isinstance(instr.b, str) else None
+        if fusion is not None and isinstance(instr.a, str):
+            _, source, shift = fusion
+            self.emit(
+                "leal",
+                Mem(base=Reg(instr.a), index=Reg(source), scale=1 << shift),
+                Reg(instr.dest), line=line,
+            )
+            return True
+        if isinstance(instr.a, str) and isinstance(instr.b, str):
+            self.emit("leal", Mem(base=Reg(instr.a), index=Reg(instr.b)),
+                      Reg(instr.dest), line=line)
+            return True
+        if isinstance(instr.a, str) and isinstance(instr.b, int):
+            self.emit("leal", Mem(base=Reg(instr.a), disp=instr.b),
+                      Reg(instr.dest), line=line)
+            return True
+        return False
+
+    def _select_division(self, instr: Instr, line: int) -> None:
+        self.emit("movl", self.operand(instr.a, line), Reg("eax"), line=line)
+        divisor = self.value_reg(instr.b, line)
+        self.emit("cltd", line=line)
+        self.emit("idivl", divisor, line=line)
+        result = "eax" if instr.bin_op == "/" else "edx"
+        self.emit("movl", Reg(result), Reg(instr.dest), line=line)
+
+    def _select_call(self, instr: Instr, line: int) -> None:
+        if self.style == "llvm":
+            for i, arg in enumerate(instr.args):
+                self.emit("movl", self.operand(arg, line),
+                          Mem(base=Reg("esp"), disp=4 * i), line=line)
+            self.emit("call", Label(instr.name), line=line,
+                      meta={"clobbers": _CALLER_SAVED})
+        else:
+            for arg in reversed(instr.args):
+                self.emit("pushl", self.operand(arg, line), line=line)
+            self.emit("call", Label(instr.name), line=line,
+                      meta={"clobbers": _CALLER_SAVED})
+            if instr.args:
+                self.emit("addl", Imm(4 * len(instr.args)), Reg("esp"),
+                          line=line)
+        if instr.dest is not None:
+            self.emit("movl", Reg("eax"), Reg(instr.dest), line=line)
+
+
+def finalize(func: MachineFunction, style: str) -> None:
+    """Insert prologue/epilogue, resolve FRAME/INCOMING markers."""
+    frame = func.frame_slots + func.spill_bytes
+    frame = (frame + 3) & ~3
+    saved = list(func.used_callee_saved)
+    prologue: list[Instruction] = []
+    epilogue: list[Instruction] = []
+    if style == "gcc":
+        prologue.append(Instruction("pushl", (Reg("ebp"),)))
+        prologue.append(Instruction("movl", (Reg("esp"), Reg("ebp"))))
+    for reg in saved:
+        prologue.append(Instruction("pushl", (Reg(reg),)))
+    if frame:
+        prologue.append(Instruction("subl", (Imm(frame), Reg("esp"))))
+        epilogue.append(Instruction("addl", (Imm(frame), Reg("esp"))))
+    for reg in reversed(saved):
+        epilogue.append(Instruction("popl", (Reg(reg),)))
+    if style == "gcc":
+        epilogue.append(Instruction("popl", (Reg("ebp"),)))
+    epilogue.append(Instruction("ret", ()))
+
+    n_saved = len(saved)
+    rewritten: list[Instruction] = []
+    for instr in func.instrs:
+        rewritten.append(_resolve_markers(instr, style, frame, n_saved))
+    shift = len(prologue)
+    func.labels = {name: pos + shift for name, pos in func.labels.items()}
+    func.instrs = prologue + rewritten + epilogue
+
+
+def _resolve_markers(instr: Instruction, style: str, frame: int,
+                     n_saved: int) -> Instruction:
+    new_ops = []
+    changed = False
+    for op in instr.operands:
+        if isinstance(op, Mem) and op.base is not None and \
+                op.base.name in ("FRAME", "INCOMING"):
+            changed = True
+            if op.base.name == "FRAME":
+                if style == "gcc":
+                    # Slots grow downward from below the saved registers:
+                    # slot at offset k sits at ebp - 4*n_saved - frame + k.
+                    disp = -4 * n_saved - frame + op.disp
+                    new_ops.append(Mem(Reg("ebp"), op.index, op.scale, disp,
+                                       op.var))
+                else:
+                    new_ops.append(Mem(Reg("esp"), op.index, op.scale,
+                                       op.disp, op.var))
+            else:  # INCOMING parameter area
+                if style == "gcc":
+                    new_ops.append(Mem(Reg("ebp"), op.index, op.scale,
+                                       8 + op.disp, op.var))
+                else:
+                    disp = frame + 4 * n_saved + 4 + op.disp
+                    new_ops.append(Mem(Reg("esp"), op.index, op.scale, disp,
+                                       op.var))
+        else:
+            new_ops.append(op)
+    if not changed:
+        return instr
+    return replace(instr, operands=tuple(new_ops))

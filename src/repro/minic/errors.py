@@ -1,0 +1,21 @@
+"""MiniC compiler error types."""
+
+from __future__ import annotations
+
+
+class MiniCError(Exception):
+    """Base class for all MiniC compilation errors."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ParseError(MiniCError):
+    """Lexical or syntactic error."""
+
+
+class SemanticError(MiniCError):
+    """Type/sema error (undeclared identifier, bad operand types, ...)."""

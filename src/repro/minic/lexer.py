@@ -1,0 +1,95 @@
+"""MiniC lexer.
+
+Tokenizes the C subset: identifiers, integer/char literals, operators,
+punctuation.  ``//`` and ``/* */`` comments are skipped; every token
+carries its 1-based source line (the learner's learning scope is the
+source line, so line fidelity matters here).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.minic.errors import ParseError
+
+KEYWORDS = frozenset(
+    {"int", "char", "void", "if", "else", "while", "for", "return", "break",
+     "continue"}
+)
+
+# Longest-first so multi-char operators win.
+_OPERATORS = (
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<hex>0[xX][0-9a-fA-F]+)
+  | (?P<num>\d+)
+  | (?P<char>'(?:\\.|[^'\\])')
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, '"': 34, "r": 13}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # "ident" | "num" | "char" | "op" | "kw" | "eof"
+    text: str
+    line: int
+    value: int | None = None  # numeric value for num/char tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source into a token list ending with EOF."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if not match:
+            raise ParseError(f"unexpected character {source[pos]!r}", line)
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind in ("ws", "line_comment", "block_comment"):
+            line += text.count("\n")
+            pos = match.end()
+            continue
+        if kind == "hex":
+            tokens.append(Token("num", text, line, int(text, 16)))
+        elif kind == "num":
+            tokens.append(Token("num", text, line, int(text)))
+        elif kind == "char":
+            tokens.append(Token("char", text, line, _char_value(text, line)))
+        elif kind == "ident":
+            token_kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(token_kind, text, line))
+        else:
+            tokens.append(Token("op", text, line))
+        line += text.count("\n")
+        pos = match.end()
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _char_value(text: str, line: int) -> int:
+    body = text[1:-1]
+    if body.startswith("\\"):
+        escape = body[1]
+        if escape not in _ESCAPES:
+            raise ParseError(f"unknown escape {body!r}", line)
+        return _ESCAPES[escape]
+    return ord(body)

@@ -1,0 +1,52 @@
+"""Hand-written ARM assembly runtime for MiniC guest binaries.
+
+Real ARM compilers emit calls to ``__aeabi_idiv``/``__aeabi_idivmod``
+for integer division; these are their MiniC-world implementations, as
+hand-written assembly (binary long division).  Because this code has no
+C source, translation rules learned from source lines can never cover
+it — which is exactly the effect the paper reports for the hottest
+blocks of *omnetpp* (LLVM runtime functions written in assembly).
+"""
+
+AEABI_DIVMOD_ASM = """
+__aeabi_idivmod:
+    push {r4, r5, r6, lr}
+    eor r4, r0, r1
+    mov r5, r0
+    cmp r0, #0
+    rsblt r0, r0, #0
+    cmp r1, #0
+    rsblt r1, r1, #0
+    mov r2, #0
+    mov r3, #0
+    mov r6, #31
+.Ldivloop:
+    lsl r3, r3, #1
+    lsr r12, r0, r6
+    and r12, r12, #1
+    orr r3, r3, r12
+    cmp r3, r1
+    blo .Ldivskip
+    sub r3, r3, r1
+    mov r12, #1
+    lsl r12, r12, r6
+    orr r2, r2, r12
+.Ldivskip:
+    sub r6, r6, #1
+    cmp r6, #0
+    bge .Ldivloop
+    cmp r4, #0
+    rsblt r2, r2, #0
+    cmp r5, #0
+    rsblt r3, r3, #0
+    mov r0, r2
+    mov r1, r3
+    pop {r4, r5, r6, pc}
+
+__aeabi_idiv:
+    push {lr}
+    bl __aeabi_idivmod
+    pop {pc}
+"""
+
+RUNTIME_FUNCTIONS = ("__aeabi_idivmod", "__aeabi_idiv")

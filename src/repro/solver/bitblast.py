@@ -1,0 +1,110 @@
+"""Tseitin bit-blasting of IR expressions to CNF.
+
+The word-level circuits live in :mod:`repro.solver.gates`; this module
+provides the CNF gate backend (literals on a :class:`Solver`) plus the
+:class:`BitBlaster` facade used by the equivalence portfolio and tests.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import Expr
+from repro.solver.gates import CircuitBuilder
+from repro.solver.sat import Solver
+
+Bits = list[int]  # literal per bit, LSB first
+
+
+class CnfBackend:
+    """Gate backend emitting Tseitin clauses onto a SAT solver."""
+
+    def __init__(self, solver: Solver) -> None:
+        self.solver = solver
+        self._true = solver.new_var()
+        solver.add_clause([self._true])
+
+    @property
+    def true_bit(self) -> int:
+        return self._true
+
+    @property
+    def false_bit(self) -> int:
+        return -self._true
+
+    def not_gate(self, a: int) -> int:
+        return -a
+
+    def and_gate(self, a: int, b: int) -> int:
+        if a == self.false_bit or b == self.false_bit or a == -b:
+            return self.false_bit
+        if a == self.true_bit:
+            return b
+        if b == self.true_bit or a == b:
+            return a
+        out = self.solver.new_var()
+        self.solver.add_clause([-out, a])
+        self.solver.add_clause([-out, b])
+        self.solver.add_clause([out, -a, -b])
+        return out
+
+    def xor_gate(self, a: int, b: int) -> int:
+        if a == self.false_bit:
+            return b
+        if b == self.false_bit:
+            return a
+        if a == self.true_bit:
+            return -b
+        if b == self.true_bit:
+            return -a
+        if a == b:
+            return self.false_bit
+        if a == -b:
+            return self.true_bit
+        out = self.solver.new_var()
+        self.solver.add_clause([-out, a, b])
+        self.solver.add_clause([-out, -a, -b])
+        self.solver.add_clause([out, -a, b])
+        self.solver.add_clause([out, a, -b])
+        return out
+
+    def fresh_symbol_bits(self, name: str, width: int) -> Bits:
+        return [self.solver.new_var() for _ in range(width)]
+
+
+class BitBlaster:
+    """Facade pairing a CNF backend with the generic circuit builder."""
+
+    def __init__(self, solver: Solver) -> None:
+        self.solver = solver
+        self.backend = CnfBackend(solver)
+        self.circuit = CircuitBuilder(self.backend)
+
+    def blast(self, expr: Expr) -> Bits:
+        """Return the literal vector denoting ``expr``."""
+        return self.circuit.lower(expr)
+
+    def symbol_bits(self) -> dict[str, Bits]:
+        return self.circuit.symbol_bits()
+
+    @property
+    def true_lit(self) -> int:
+        return self.backend.true_bit
+
+    @property
+    def false_lit(self) -> int:
+        return self.backend.false_bit
+
+    def xor_bit(self, a: int, b: int) -> int:
+        return self.backend.xor_gate(a, b)
+
+    def decode_symbol(self, name: str, model: dict[int, bool]) -> int:
+        """Read a symbol's value out of a SAT model."""
+        bits = self.circuit.symbol_bits()[name]
+        value = 0
+        for i, lit in enumerate(bits):
+            var = abs(lit)
+            bit = model.get(var, False)
+            if lit < 0:
+                bit = not bit
+            if bit:
+                value |= 1 << i
+        return value

@@ -1,0 +1,159 @@
+"""Equivalence checking of IR expressions (the STP-substitute API).
+
+The decision procedure is a portfolio:
+
+1. canonicalization (:func:`repro.ir.simplify.simplify`) — structural
+   equality proves equivalence,
+2. directed + random concrete testing — a mismatch disproves it,
+3. ROBDD construction with interleaved variable order — identical BDDs
+   prove equivalence; differing BDDs yield a counterexample path,
+4. if the BDD node budget is exceeded (essentially only variable-times-
+   variable multiplication), CNF + CDCL SAT for narrow widths, else the
+   query is reported UNKNOWN and the caller decides (the rule learner
+   counts these as "Other" verification failures, like the paper's
+   symbolic-execution timeouts).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.ir.evaluate import evaluate
+from repro.ir.expr import Expr, mask
+from repro.ir.simplify import simplify
+from repro.ir.traverse import variables
+from repro.solver.bdd import BddBackend, BddBudgetExceeded, BddManager
+from repro.solver.bitblast import BitBlaster
+from repro.solver.gates import CircuitBuilder
+from repro.solver.sat import SatResult, Solver
+
+_RANDOM_SAMPLES = 24
+_INTERESTING = (0, 1, 2, 0xFF, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF)
+_SAT_FALLBACK_MAX_WIDTH = 8
+
+
+class Verdict(enum.Enum):
+    EQUAL = "equal"
+    NOT_EQUAL = "not_equal"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an equivalence query.
+
+    Attributes:
+        verdict: EQUAL, NOT_EQUAL, or UNKNOWN (budget exceeded).
+        counterexample: Symbol assignment witnessing inequality, if any.
+        method: Which engine decided ("syntactic", "random", "bdd",
+            "sat", "budget").
+    """
+
+    verdict: Verdict
+    counterexample: dict[str, int] | None
+    method: str
+
+    @property
+    def equal(self) -> bool:
+        return self.verdict is Verdict.EQUAL
+
+
+def check_equal(
+    a: Expr,
+    b: Expr,
+    *,
+    seed: int = 0,
+    bdd_budget: int = 400_000,
+) -> EquivalenceResult:
+    """Decide whether ``a`` and ``b`` denote the same function.
+
+    The two expressions must have the same width.  Free symbols with the
+    same name are shared between the two sides.
+    """
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width}")
+    sa, sb = simplify(a), simplify(b)
+    if sa == sb:
+        return EquivalenceResult(Verdict.EQUAL, None, "syntactic")
+
+    names: dict[str, int] = {}
+    names.update(variables(sa))
+    names.update(variables(sb))
+    rng = random.Random(seed)
+    for sample in range(_RANDOM_SAMPLES):
+        env = _sample_env(names, rng, sample)
+        if evaluate(sa, env) != evaluate(sb, env):
+            return EquivalenceResult(Verdict.NOT_EQUAL, env, "random")
+
+    try:
+        return _check_bdd(sa, sb, names, bdd_budget)
+    except BddBudgetExceeded:
+        pass
+
+    max_width = max(names.values(), default=1)
+    if max_width <= _SAT_FALLBACK_MAX_WIDTH:
+        return _check_sat(sa, sb, names)
+    return EquivalenceResult(Verdict.UNKNOWN, None, "budget")
+
+
+def prove_equal(a: Expr, b: Expr, *, seed: int = 0) -> bool:
+    """Convenience wrapper: True only when equivalence is *proven*."""
+    return check_equal(a, b, seed=seed).equal
+
+
+def find_counterexample(a: Expr, b: Expr, *, seed: int = 0) -> dict[str, int] | None:
+    """Return a symbol assignment where ``a`` and ``b`` differ, if any."""
+    return check_equal(a, b, seed=seed).counterexample
+
+
+def _check_bdd(
+    a: Expr, b: Expr, names: dict[str, int], budget: int
+) -> EquivalenceResult:
+    manager = BddManager(node_budget=budget)
+    backend = BddBackend(manager, names)
+    circuit = CircuitBuilder(backend)
+    bits_a = circuit.lower(a)
+    bits_b = circuit.lower(b)
+    for bit_a, bit_b in zip(bits_a, bits_b):
+        if bit_a == bit_b:
+            continue
+        diff = manager.xor(bit_a, bit_b)
+        path = manager.satisfying_path(diff)
+        if path is None:
+            continue
+        env = backend.decode_assignment(path)
+        for name, width in names.items():
+            env.setdefault(name, 0)
+            env[name] &= mask(width)
+        return EquivalenceResult(Verdict.NOT_EQUAL, env, "bdd")
+    return EquivalenceResult(Verdict.EQUAL, None, "bdd")
+
+
+def _check_sat(a: Expr, b: Expr, names: dict[str, int]) -> EquivalenceResult:
+    solver = Solver()
+    blaster = BitBlaster(solver)
+    bits_a = blaster.blast(a)
+    bits_b = blaster.blast(b)
+    diff_bits = [blaster.xor_bit(x, y) for x, y in zip(bits_a, bits_b)]
+    solver.add_clause(diff_bits)
+    if solver.solve() is SatResult.UNSAT:
+        return EquivalenceResult(Verdict.EQUAL, None, "sat")
+    model = solver.model()
+    env = {name: blaster.decode_symbol(name, model)
+           for name in blaster.symbol_bits()}
+    for name, width in names.items():
+        env.setdefault(name, 0)
+        env[name] &= mask(width)
+    return EquivalenceResult(Verdict.NOT_EQUAL, env, "sat")
+
+
+def _sample_env(names: dict[str, int], rng: random.Random, round_no: int) -> dict:
+    env: dict[str, int] = {}
+    for name, width in names.items():
+        if round_no < len(_INTERESTING):
+            env[name] = _INTERESTING[round_no] & mask(width)
+        else:
+            env[name] = rng.getrandbits(width)
+    return env

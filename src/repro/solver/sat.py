@@ -1,0 +1,282 @@
+"""A compact CDCL SAT solver.
+
+Implements the classic architecture: two-watched-literal propagation,
+first-UIP conflict analysis with clause learning, VSIDS-style activity
+heuristics, geometric restarts, and phase saving.  Variables are positive
+integers; literals are signed integers (``-v`` is the negation of ``v``),
+i.e. the DIMACS convention.
+
+It is deliberately minimal but complete — the bit-blasted formulas the
+learner produces are small (hundreds to a few thousand variables).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class SatResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+
+
+@dataclass
+class _Clause:
+    literals: list[int]
+    learned: bool = False
+    activity: float = 0.0
+
+
+@dataclass
+class Solver:
+    """CDCL SAT solver over DIMACS-style integer literals."""
+
+    _clauses: list[_Clause] = field(default_factory=list)
+    _num_vars: int = 0
+
+    def __post_init__(self) -> None:
+        self._watches: dict[int, list[_Clause]] = {}
+        self._assign: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, _Clause | None] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._activity: dict[int, float] = {}
+        self._phase: dict[int, bool] = {}
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._ok = True
+
+    # -- public API --------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, literals: list[int]) -> None:
+        """Add a clause (a disjunction of literals)."""
+        if not self._ok:
+            return
+        for lit in literals:
+            self._num_vars = max(self._num_vars, abs(lit))
+        seen: set[int] = set()
+        pruned: list[int] = []
+        for lit in literals:
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                pruned.append(lit)
+        if not pruned:
+            self._ok = False
+            return
+        if len(pruned) == 1:
+            if not self._enqueue(pruned[0], None):
+                self._ok = False
+            return
+        clause = _Clause(pruned)
+        self._clauses.append(clause)
+        self._watch(clause)
+
+    def solve(self, assumptions: list[int] | None = None) -> SatResult:
+        """Decide satisfiability; model is readable via :meth:`value`."""
+        if not self._ok:
+            return SatResult.UNSAT
+        if self._propagate() is not None:
+            self._ok = False
+            return SatResult.UNSAT
+        root_level = 0
+        for lit in assumptions or []:
+            if self.value(lit) is False:
+                return SatResult.UNSAT
+            if self.value(lit) is None:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                if self._propagate() is not None:
+                    self._cancel_until(0)
+                    return SatResult.UNSAT
+        root_level = len(self._trail_lim)
+        conflicts_before_restart = 100
+        conflict_count = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflict_count += 1
+                if self._decision_level() == root_level:
+                    self._cancel_until(0)
+                    return SatResult.UNSAT
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, root_level)
+                self._cancel_until(back_level)
+                self._record(learned)
+                self._decay_activities()
+                if conflict_count >= conflicts_before_restart:
+                    conflict_count = 0
+                    conflicts_before_restart = int(conflicts_before_restart * 1.5)
+                    self._cancel_until(root_level)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                return SatResult.SAT
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def value(self, lit: int) -> bool | None:
+        """Current assignment of a literal (None if unassigned)."""
+        var = abs(lit)
+        if var not in self._assign:
+            return None
+        val = self._assign[var]
+        return val if lit > 0 else not val
+
+    def model(self) -> dict[int, bool]:
+        """Return the satisfying assignment after a SAT result."""
+        return dict(self._assign)
+
+    # -- internals ----------------------------------------------------------
+
+    def _watch(self, clause: _Clause) -> None:
+        for lit in clause.literals[:2]:
+            self._watches.setdefault(-lit, []).append(clause)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: _Clause | None) -> bool:
+        current = self.value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self._assign[var] = lit > 0
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> _Clause | None:
+        index = getattr(self, "_qhead", 0)
+        while index < len(self._trail):
+            lit = self._trail[index]
+            index += 1
+            watchers = self._watches.get(lit, [])
+            self._watches[lit] = []
+            while watchers:
+                clause = watchers.pop()
+                if not self._propagate_clause(clause, lit):
+                    # Conflict: _propagate_clause already re-watched this
+                    # clause; restore the not-yet-visited watchers.
+                    self._watches[lit].extend(watchers)
+                    self._qhead = len(self._trail)
+                    return clause
+        self._qhead = index
+        return None
+
+    def _propagate_clause(self, clause: _Clause, false_lit: int) -> bool:
+        lits = clause.literals
+        # Ensure the false literal is in slot 1.
+        if lits[0] == -false_lit:
+            lits[0], lits[1] = lits[1], lits[0]
+        first = lits[0]
+        if self.value(first) is True:
+            self._watches.setdefault(false_lit, []).append(clause)
+            return True
+        for i in range(2, len(lits)):
+            if self.value(lits[i]) is not False:
+                lits[1], lits[i] = lits[i], lits[1]
+                self._watches.setdefault(-lits[1], []).append(clause)
+                return True
+        # Unit or conflicting.
+        self._watches.setdefault(false_lit, []).append(clause)
+        return self._enqueue(first, clause)
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        learned: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen: set[int] = set()
+        counter = 0
+        implied = 0  # the trail literal whose reason we are resolving on
+        clause: _Clause | None = conflict
+        index = len(self._trail) - 1
+        while True:
+            assert clause is not None
+            for cl_lit in clause.literals:
+                if cl_lit == implied:
+                    continue
+                var = abs(cl_lit)
+                if var in seen or self._level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self._level[var] == self._decision_level():
+                    counter += 1
+                else:
+                    learned.append(cl_lit)
+            # Find the next literal on the trail to resolve on.
+            while abs(self._trail[index]) not in seen:
+                index -= 1
+            implied = self._trail[index]
+            var = abs(implied)
+            seen.discard(var)
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            clause = self._reason[var]
+        learned[0] = -implied
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump level = max level among the non-asserting literals.
+        back = max(self._level[abs(l)] for l in learned[1:])
+        # Put a literal from the backjump level into slot 1 for watching.
+        for i in range(1, len(learned)):
+            if self._level[abs(learned[i])] == back:
+                learned[1], learned[i] = learned[i], learned[1]
+                break
+        return learned, back
+
+    def _record(self, learned: list[int]) -> None:
+        if len(learned) == 1:
+            self._enqueue(learned[0], None)
+            return
+        clause = _Clause(learned, learned=True)
+        self._clauses.append(clause)
+        self._watch(clause)
+        self._enqueue(learned[0], clause)
+
+    def _cancel_until(self, level: int) -> None:
+        while self._decision_level() > level:
+            limit = self._trail_lim.pop()
+            while len(self._trail) > limit:
+                lit = self._trail.pop()
+                var = abs(lit)
+                self._phase[var] = self._assign[var]
+                del self._assign[var]
+                del self._level[var]
+                self._reason.pop(var, None)
+        self._qhead = min(getattr(self, "_qhead", 0), len(self._trail))
+
+    def _pick_branch(self) -> int | None:
+        best_var = None
+        best_act = -1.0
+        for var in range(1, self._num_vars + 1):
+            if var in self._assign:
+                continue
+            act = self._activity.get(var, 0.0)
+            if act > best_act:
+                best_act = act
+                best_var = var
+        if best_var is None:
+            return None
+        phase = self._phase.get(best_var, False)
+        return best_var if phase else -best_var
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] = self._activity.get(var, 0.0) + self._var_inc
+        if self._activity[var] > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= 0.95

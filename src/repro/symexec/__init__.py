@@ -1,0 +1,26 @@
+"""Binary symbolic execution (the FuzzBALL substitute).
+
+Executes guest/host instruction snippets over symbolic machine states
+built from the IR of :mod:`repro.ir`.  The learner uses it to obtain,
+for each snippet, the symbolic expressions of every defined register,
+every stored memory value (together with the address expression *at the
+time of the access*, per paper Section 3.3), and the final branch
+condition.
+"""
+
+from repro.symexec.memory import MemoryAccess, SharedSymbolicMemory
+from repro.symexec.state import SymbolicState
+from repro.symexec.executor import (
+    SnippetResult,
+    SymbolicExecutionError,
+    run_snippet,
+)
+
+__all__ = [
+    "MemoryAccess",
+    "SharedSymbolicMemory",
+    "SymbolicState",
+    "SnippetResult",
+    "SymbolicExecutionError",
+    "run_snippet",
+]

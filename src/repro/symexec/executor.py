@@ -1,0 +1,68 @@
+"""Snippet execution: run instructions symbolically, collect outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.expr import Expr
+from repro.isa.alu import SymbolicALU
+from repro.isa.operands import Label
+from repro.isa.state import BranchOutcome
+from repro.symexec.state import SymbolicState
+
+_ALU = SymbolicALU()
+
+
+class SymbolicExecutionError(Exception):
+    """The snippet hit something the symbolic engine cannot handle.
+
+    The learner counts these as "Other" verification failures, like the
+    engine crashes/timeouts reported in the paper's Table 1.
+    """
+
+
+@dataclass
+class SnippetResult:
+    """Outcome of symbolically executing a straight-line snippet.
+
+    Attributes:
+        state: The final symbolic state.
+        branch_cond: Condition expression of the final branch, if the
+            snippet ends in a conditional/unconditional branch.
+        branch_target: Its target label (or address expression).
+        mid_branches: Number of non-final branch outcomes encountered —
+            a well-formed learning snippet must have none.
+    """
+
+    state: SymbolicState
+    branch_cond: Expr | None = None
+    branch_target: object | None = None
+    mid_branches: int = 0
+    notes: dict = field(default_factory=dict)
+
+
+def run_snippet(instructions, execute, state: SymbolicState) -> SnippetResult:
+    """Execute ``instructions`` with the ISA's ``execute`` function.
+
+    Raises :class:`SymbolicExecutionError` when an instruction's
+    semantics raise (unsupported opcode/operand shape).
+    """
+    result = SnippetResult(state)
+    last_index = len(instructions) - 1
+    for i, instr in enumerate(instructions):
+        try:
+            outcome = execute(instr, state, _ALU)
+        except SymbolicExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - engine boundary
+            raise SymbolicExecutionError(f"{instr}: {exc}") from exc
+        branch: BranchOutcome | None = outcome.branch
+        if branch is None:
+            continue
+        if i != last_index:
+            result.mid_branches += 1
+            continue
+        result.branch_cond = branch.cond
+        target = branch.target
+        result.branch_target = target.name if isinstance(target, Label) else target
+    return result

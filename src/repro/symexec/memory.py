@@ -1,0 +1,65 @@
+"""Symbolic memory shared between a guest and a host snippet execution.
+
+Initial memory contents are symbols keyed by the *canonical address
+expression* of the access: when the learner's initial operand mapping is
+correct, a guest address and its host counterpart simplify to the same
+canonical expression over the shared parameter symbols, so both sides
+automatically read the same content symbol.  When the mapping is wrong,
+the keys differ, the sides read unrelated symbols, and verification
+fails — which is exactly the conservative behaviour the learner needs.
+
+Each executing state keeps its own write log (with the address
+expression recorded at access time, per Section 3.3 of the paper) and
+reads its own writes before falling back to the shared initial contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import ir
+from repro.ir.expr import Expr
+from repro.ir.simplify import simplify
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One load or store.
+
+    Attributes:
+        key: Canonical string of the simplified address expression.
+        addr: The address expression as recorded at access time.
+        size: Access size in bytes (1 or 4).
+        value: Loaded or stored value expression.
+    """
+
+    key: str
+    addr: Expr
+    size: int
+    value: Expr
+
+
+@dataclass
+class SharedSymbolicMemory:
+    """Initial-content registry shared by both sides of a verification."""
+
+    _contents: dict[tuple[str, int], Expr] = field(default_factory=dict)
+    _counter: int = 0
+
+    def canonical_key(self, addr: Expr) -> str:
+        return str(simplify(addr))
+
+    def initial_value(self, addr: Expr, size: int) -> Expr:
+        """The (lazily created) symbol for the initial contents at
+        ``addr``."""
+        key = (self.canonical_key(addr), size)
+        value = self._contents.get(key)
+        if value is None:
+            value = ir.sym(size * 8, f"mem{self._counter}")
+            self._counter += 1
+            self._contents[key] = value
+        return value
+
+    @property
+    def locations(self) -> dict[tuple[str, int], Expr]:
+        return dict(self._contents)

@@ -1,0 +1,146 @@
+"""Symbolic machine state implementing the MachineState protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import ir
+from repro.ir.expr import Expr
+from repro.symexec.memory import MemoryAccess, SharedSymbolicMemory
+
+
+@dataclass
+class SymbolicState:
+    """Register/flag/memory state holding IR expressions.
+
+    Attributes:
+        prefix: Namespace for the fresh symbols this state mints (e.g.
+            ``"g"`` for guest, ``"h"`` for host) so guest and host never
+            accidentally share an *unmapped* input.
+        initial_regs: Pre-seeded register expressions.  The verifier
+            seeds mapped live-in registers of both sides with shared
+            parameter symbols.
+        memory: The shared initial-contents registry.
+    """
+
+    prefix: str
+    initial_regs: dict[str, Expr] = field(default_factory=dict)
+    memory: SharedSymbolicMemory = field(default_factory=SharedSymbolicMemory)
+
+    def __post_init__(self) -> None:
+        self._regs: dict[str, Expr] = dict(self.initial_regs)
+        self._flags: dict[str, Expr] = {}
+        self._written_regs: list[str] = []
+        self._written_flags: list[str] = []
+        self._read_regs: list[str] = []
+        self._loads: list[MemoryAccess] = []
+        self._stores: list[MemoryAccess] = []
+        self._imm_ops = {
+            "const": lambda c: ir.bv(32, c),
+            "neg": ir.neg,
+            "not": ir.not_,
+            "add": ir.add,
+            "sub": ir.sub,
+            "mul": ir.mul,
+            "and": ir.and_,
+            "or": ir.or_,
+            "xor": ir.xor,
+            "shl": ir.shl,
+            "shr": ir.lshr,
+        }
+
+    def imm_value(self, expr: tuple) -> Expr:
+        """Evaluate a template immediate AST; slots become shared 32-bit
+        symbols named after the slot (``i0``, ``i1``, ...)."""
+        from repro.isa.operands import eval_immexpr
+
+        class _SlotEnv:
+            def __getitem__(_self, name: str) -> Expr:
+                return ir.sym(32, str(name))
+
+        return eval_immexpr(expr, _SlotEnv(), self._imm_ops)
+
+    # -- MachineState protocol -----------------------------------------------
+
+    def get_reg(self, name: str) -> Expr:
+        value = self._regs.get(name)
+        if value is None:
+            value = ir.sym(32, f"{self.prefix}_{name}")
+            self._regs[name] = value
+        if name not in self._read_regs:
+            self._read_regs.append(name)
+        return value
+
+    def set_reg(self, name: str, value: Expr) -> None:
+        self._regs[name] = value
+        if name not in self._written_regs:
+            self._written_regs.append(name)
+
+    def get_flag(self, name: str) -> Expr:
+        value = self._flags.get(name)
+        if value is None:
+            value = ir.sym(1, f"{self.prefix}_flag_{name}")
+            self._flags[name] = value
+        return value
+
+    def set_flag(self, name: str, value: Expr) -> None:
+        self._flags[name] = value
+        if name not in self._written_flags:
+            self._written_flags.append(name)
+
+    def load(self, addr: Expr, size: int) -> Expr:
+        key = self.memory.canonical_key(addr)
+        for store in reversed(self._stores):
+            if store.key == key and store.size == size:
+                value = store.value
+                break
+        else:
+            value = self.memory.initial_value(addr, size)
+        self._loads.append(MemoryAccess(key, addr, size, value))
+        return value
+
+    def store(self, addr: Expr, value: Expr, size: int) -> None:
+        key = self.memory.canonical_key(addr)
+        self._stores.append(MemoryAccess(key, addr, size, value))
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def written_regs(self) -> tuple[str, ...]:
+        return tuple(self._written_regs)
+
+    @property
+    def written_flags(self) -> tuple[str, ...]:
+        return tuple(self._written_flags)
+
+    @property
+    def read_regs(self) -> tuple[str, ...]:
+        return tuple(self._read_regs)
+
+    @property
+    def stores(self) -> tuple[MemoryAccess, ...]:
+        return tuple(self._stores)
+
+    @property
+    def loads(self) -> tuple[MemoryAccess, ...]:
+        return tuple(self._loads)
+
+    def reg_value(self, name: str) -> Expr:
+        """Current value of a register without recording a read."""
+        value = self._regs.get(name)
+        if value is None:
+            raise KeyError(f"register {name} has no value")
+        return value
+
+    def flag_value(self, name: str) -> Expr:
+        value = self._flags.get(name)
+        if value is None:
+            raise KeyError(f"flag {name} has no value")
+        return value
+
+    def final_stores(self) -> dict[tuple[str, int], Expr]:
+        """Last-written value per (canonical address, size) location."""
+        result: dict[tuple[str, int], Expr] = {}
+        for store in self._stores:
+            result[(store.key, store.size)] = store.value
+        return result

@@ -1,0 +1,172 @@
+"""TCG lowering, peephole, env caching, llvmjit TCG optimizer."""
+
+from repro.dbt import codegen
+from repro.dbt.codegen import BlockAssembler, env_mem, peephole, tb_label
+from repro.dbt.llvmjit import optimize_tcg
+from repro.dbt.tcg import TcgBlock, TcgCond, TcgOp
+from repro.host_x86 import parse_instruction as parse
+from repro.isa.operands import Imm, Mem, Reg
+
+
+class TestAssembler:
+    def test_guest_reg_loaded_once(self):
+        assembler = BlockAssembler()
+        first = assembler.guest_vreg("r0")
+        loads = [i for i in assembler.instrs if i.mnemonic == "movl"]
+        assert len(loads) == 1
+        assert assembler.guest_vreg("r0") == first
+        assert len(assembler.instrs) == 1  # no second load
+
+    def test_writeback_only_dirty(self):
+        assembler = BlockAssembler()
+        assembler.guest_vreg("r0")  # read-only
+        dest = assembler.guest_vreg("r1", load=False)
+        assembler.emit("movl", Imm(5), Reg(dest))
+        assembler.mark_dirty("r1")
+        before = len(assembler.instrs)
+        assembler.writeback()
+        writebacks = assembler.instrs[before:]
+        assert len(writebacks) == 1
+        assert writebacks[0].operands[1] == env_mem(codegen.REG_OFFSET["r1"])
+
+    def test_flags_have_env_slots(self):
+        assembler = BlockAssembler()
+        assembler.guest_vreg("flag:N", load=False)
+        assembler.mark_dirty("flag:N")
+        assembler.writeback()
+        assert assembler.instrs[-1].operands[1] == \
+            env_mem(codegen.FLAG_OFFSET["N"])
+
+
+class TestLowering:
+    def lower(self, *ops):
+        assembler = BlockAssembler()
+        for op in ops:
+            codegen.lower_tcg_op(assembler, op)
+        return assembler
+
+    def test_add_two_address(self):
+        assembler = self.lower(
+            TcgOp("movi", out="%t1", a=7),
+            TcgOp("movi", out="%t2", a=8),
+            TcgOp("add", out="%t3", a="%t1", b="%t2"),
+        )
+        mnemonics = [i.mnemonic for i in assembler.instrs]
+        assert mnemonics == ["movl", "movl", "movl", "addl"]
+
+    def test_optimized_add_uses_lea(self):
+        assembler = BlockAssembler()
+        codegen.lower_tcg_op(assembler, TcgOp("movi", out="%t1", a=7))
+        codegen.lower_tcg_op(
+            assembler, TcgOp("add", out="%t2", a="%t1", b=5), optimized=True
+        )
+        assert assembler.instrs[-1].mnemonic == "leal"
+
+    def test_cmp_flags_sub_lowering(self):
+        assembler = self.lower(
+            TcgOp("movi", out="%t1", a=7),
+            TcgOp("cmp_flags", flag="sub", a="%t1", b=3),
+        )
+        mnemonics = [i.mnemonic for i in assembler.instrs]
+        assert "cmpl" in mnemonics
+        for cc in ("sets", "sete", "setae", "seto"):
+            assert cc in mnemonics
+        # All four guest flags are dirty.
+        assert {"flag:N", "flag:Z", "flag:C", "flag:V"} <= assembler._dirty
+
+    def test_brcond_writes_back_before_exit(self):
+        assembler = self.lower(
+            TcgOp("movi", out="%t1", a=1),
+            TcgOp("st_reg", reg="r0", a="%t1"),
+            TcgOp("brcond", cond=TcgCond.NE, a="%t1", b=0,
+                  taken=0x8100, fallthrough=0x8104),
+        )
+        mnemonics = [i.mnemonic for i in assembler.instrs]
+        jcc_index = mnemonics.index("jne")
+        writeback = [
+            i for i, instr in enumerate(assembler.instrs)
+            if instr.mnemonic == "movl"
+            and instr.operands[1] == env_mem(codegen.REG_OFFSET["r0"])
+        ]
+        assert writeback and writeback[0] < jcc_index
+        assert assembler.instrs[-1].operands[0].name == tb_label(0x8104)
+
+
+class TestPeephole:
+    def test_copy_propagation(self):
+        instrs = [
+            parse("movl %eax, %ecx").with_operands(
+                (Reg("%v1"), Reg("%v2"))
+            ),
+            parse("addl %eax, %ecx").with_operands(
+                (Reg("%v2"), Reg("%v3"))
+            ),
+        ]
+        # %v2 is just a copy of %v1; the use should read %v1 and the
+        # copy should disappear.
+        result = peephole(instrs)
+        assert len(result) == 1
+        assert result[0].operands[0] == Reg("%v1")
+
+    def test_destination_never_substituted(self):
+        instrs = [
+            parse("movl %eax, %ecx").with_operands((Reg("%v1"), Reg("%v2"))),
+            parse("subl $1, %eax").with_operands((Imm(1), Reg("%v2"))),
+            parse("movl %eax, %ecx").with_operands(
+                (Reg("%v2"), Mem(base=None, disp=0x1000))
+            ),
+        ]
+        result = peephole(instrs)
+        # subl's destination %v2 must stay %v2 (two-address semantics).
+        assert result[0].operands[1] == Reg("%v2") or \
+            result[0].mnemonic == "movl"
+        sub = [i for i in result if i.mnemonic == "subl"][0]
+        assert sub.operands[1] == Reg("%v2")
+
+    def test_self_move_dropped(self):
+        instrs = [
+            parse("movl %eax, %eax").with_operands((Reg("%v1"), Reg("%v1"))),
+        ]
+        assert peephole(instrs) == []
+
+
+class TestLlvmJitOptimizer:
+    def test_redundant_reg_load_eliminated(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="ld_reg", out="%t1", reg="r0")
+        block.emit(op="ld_reg", out="%t2", reg="r0")
+        block.emit(op="add", out="%t3", a="%t1", b="%t2")
+        block.emit(op="st_reg", reg="r1", a="%t3")
+        ops = optimize_tcg(block.ops)
+        assert sum(1 for op in ops if op.op == "ld_reg") == 1
+
+    def test_dead_store_eliminated(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="movi", out="%t1", a=1)
+        block.emit(op="st_reg", reg="r0", a="%t1")
+        block.emit(op="movi", out="%t2", a=2)
+        block.emit(op="st_reg", reg="r0", a="%t2")
+        ops = optimize_tcg(block.ops)
+        stores = [op for op in ops if op.op == "st_reg"]
+        assert len(stores) == 1
+        assert stores[0].a == "%t2" or isinstance(stores[0].a, int)
+
+    def test_store_with_intervening_load_kept(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="movi", out="%t1", a=1)
+        block.emit(op="st_reg", reg="r0", a="%t1")
+        block.emit(op="ld_reg", out="%t2", reg="r0")
+        block.emit(op="st_reg", reg="r1", a="%t2")
+        block.emit(op="movi", out="%t3", a=2)
+        block.emit(op="st_reg", reg="r0", a="%t3")
+        ops = optimize_tcg(block.ops)
+        r0_stores = [op for op in ops if op.op == "st_reg" and op.reg == "r0"]
+        assert len(r0_stores) == 2
+
+    def test_dead_temp_removed(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="movi", out="%t1", a=1)
+        block.emit(op="movi", out="%t2", a=2)  # never used
+        block.emit(op="st_reg", reg="r0", a="%t1")
+        ops = optimize_tcg(block.ops)
+        assert not any(op.out == "%t2" for op in ops)

@@ -1,0 +1,122 @@
+"""The soundness property that makes learned rules safe to ship:
+
+rules learned from program A, applied while translating *unrelated*
+program B, never change B's behaviour.  This is the paper's central
+safety argument (verified rules are universally quantified over operand
+values), exercised here over randomized programs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbt.direct import run_arm_program
+from repro.dbt.engine import run_dbt
+from repro.learning import learn_rules
+from repro.learning.store import RuleStore
+from repro.minic import compile_source
+
+# A diverse rule-source program: arithmetic, compares, loads/stores.
+TRAINER = """
+int scratch[32];
+int work(int *p, int n, int bias) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    int v = p[i];
+    acc = acc + v - 1;
+    acc = acc ^ (v << 2);
+    if (acc > 10000) {
+      acc -= 10000;
+    }
+    p[i] = acc & 255;
+    i += 1;
+  }
+  return acc + bias;
+}
+int main(void) {
+  int i = 0;
+  while (i < 32) {
+    scratch[i] = i * 13 + 7;
+    i += 1;
+  }
+  return work(scratch, 32, 5);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def trained_store():
+    guest = compile_source(TRAINER, "arm", 2, "llvm")
+    host = compile_source(TRAINER, "x86", 2, "llvm")
+    outcome = learn_rules(guest, host, benchmark="trainer")
+    assert outcome.rules, "trainer must yield rules"
+    return RuleStore.from_rules(outcome.rules)
+
+
+@st.composite
+def random_minic_program(draw):
+    seed = draw(st.integers(1, 1 << 20))
+    loop_n = draw(st.integers(1, 12))
+    shift = draw(st.integers(0, 4))
+    mask = draw(st.integers(1, 255))
+    op_a = draw(st.sampled_from(["+", "-", "^", "&", "|"]))
+    op_b = draw(st.sampled_from(["+", "-", "^"]))
+    use_array = draw(st.booleans())
+    body = f"acc = acc {op_a} (i << {shift});"
+    if use_array:
+        body += f"\n    buf[i & 7] = acc & {mask};"
+        body += f"\n    acc = acc {op_b} buf[(i + 1) & 7];"
+    return f"""
+int buf[8];
+int main(void) {{
+  int acc = {seed};
+  int i = 0;
+  while (i < {loop_n}) {{
+    {body}
+    i += 1;
+  }}
+  if (acc < 0) {{
+    acc = 0 - acc;
+  }}
+  return acc;
+}}
+"""
+
+
+@settings(max_examples=20, deadline=None)
+@given(source=random_minic_program())
+def test_foreign_rules_never_change_behaviour(trained_store, source):
+    guest = compile_source(source, "arm", 2, "llvm")
+    expected = run_arm_program(guest).return_value
+    result = run_dbt(guest, "rules", trained_store)
+    assert result.return_value == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(source=random_minic_program())
+def test_foreign_rules_on_gcc_style_guests(trained_store, source):
+    """Rules learned from llvm-style binaries applied to gcc-style
+    binaries of unrelated programs (the Figure 9 transfer property)."""
+    guest = compile_source(source, "arm", 2, "gcc")
+    expected = run_arm_program(guest).return_value
+    result = run_dbt(guest, "rules", trained_store)
+    assert result.return_value == expected
+
+
+def test_trained_rules_actually_fire(trained_store):
+    """Sanity: the foreign rules must actually match something, or the
+    property above is vacuous."""
+    source = """
+    int main(void) {
+      int acc = 3;
+      int i = 0;
+      while (i < 50) {
+        acc = acc + i - 1;
+        i += 1;
+      }
+      return acc;
+    }
+    """
+    guest = compile_source(source, "arm", 2, "llvm")
+    result = run_dbt(guest, "rules", trained_store)
+    assert result.stats.dynamic_coverage > 0.2

@@ -1,0 +1,75 @@
+"""Direct emulators and the concrete machine state."""
+
+import pytest
+
+from repro.dbt.direct import EmulationError, run_arm_program, run_x86_program
+from repro.dbt.machine import ConcreteState
+from repro.minic import compile_source
+
+
+class TestConcreteState:
+    def test_word_little_endian(self):
+        state = ConcreteState()
+        state.store(0x100, 0xAABBCCDD, 4)
+        assert state.load(0x100, 1) == 0xDD
+        assert state.load(0x103, 1) == 0xAA
+        assert state.load(0x100, 4) == 0xAABBCCDD
+
+    def test_registers_masked(self):
+        state = ConcreteState()
+        state.set_reg("r0", 1 << 35 | 7)
+        assert state.get_reg("r0") == 7
+
+    def test_flags_masked(self):
+        state = ConcreteState()
+        state.set_flag("Z", 2)
+        assert state.get_flag("Z") == 0
+
+    def test_unwritten_memory_reads_zero(self):
+        assert ConcreteState().load(0x5000, 4) == 0
+
+    def test_address_wraps(self):
+        state = ConcreteState()
+        state.store(-4, 0x11, 1)
+        assert state.load(0xFFFFFFFC, 1) == 0x11
+
+
+class TestRunners:
+    SOURCE = """
+    int main(void) {
+      int s = 0;
+      int i = 0;
+      while (i < 5) { s += i * i; i += 1; }
+      return s;
+    }
+    """
+
+    def test_arm_and_x86_agree(self):
+        arm = compile_source(self.SOURCE, "arm", 2, "llvm")
+        x86 = compile_source(self.SOURCE, "x86", 2, "llvm")
+        assert run_arm_program(arm).return_value == \
+            run_x86_program(x86).return_value == 30
+
+    def test_wrong_target_rejected(self):
+        arm = compile_source(self.SOURCE, "arm", 2, "llvm")
+        with pytest.raises(EmulationError):
+            run_x86_program(arm)
+        x86 = compile_source(self.SOURCE, "x86", 2, "llvm")
+        with pytest.raises(EmulationError):
+            run_arm_program(x86)
+
+    def test_step_limit(self):
+        source = "int main(void) { int i = 0; while (1) { i += 1; } return i; }"
+        arm = compile_source(source, "arm", 2, "llvm")
+        with pytest.raises(EmulationError):
+            run_arm_program(arm, step_limit=1000)
+
+    def test_arguments_passed_in_r0(self):
+        source = "int main(int n) { return n * 2 + 1; }"
+        arm = compile_source(source, "arm", 2, "llvm")
+        assert run_arm_program(arm, args=(20,)).return_value == 41
+
+    def test_dynamic_instruction_count_positive(self):
+        arm = compile_source(self.SOURCE, "arm", 2, "llvm")
+        result = run_arm_program(arm)
+        assert result.dynamic_instructions > 10

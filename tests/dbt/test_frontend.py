@@ -1,0 +1,115 @@
+"""ARM -> TCG frontend."""
+
+from repro.dbt.frontend import discover_block, translate_block
+from repro.minic import compile_source
+
+
+SOURCE = """
+int a[8];
+int f(int x) {
+  if (x < 0) { x = 0 - x; }
+  return x * 2;
+}
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (i < 8) {
+    a[i] = f(i - 4);
+    s += a[i];
+    i += 1;
+  }
+  return s;
+}
+"""
+
+
+def build():
+    return compile_source(SOURCE, "arm", 2, "llvm")
+
+
+class TestDiscoverBlock:
+    def test_block_ends_at_branch_or_label(self):
+        program = build()
+        from repro.guest_arm import isa as arm_isa
+
+        index = program.labels["main"]
+        block = discover_block(program, index)
+        ends_at_branch = arm_isa.is_branch(block[-1])
+        ends_at_label = (index + len(block)) in set(program.labels.values())
+        assert ends_at_branch or ends_at_label
+        assert all(not arm_isa.is_branch(i) for i in block[:-1])
+
+    def test_block_splits_at_labels(self):
+        program = build()
+        label_positions = set(program.labels.values())
+        for start in sorted(label_positions):
+            if start >= len(program.code):
+                continue
+            block = discover_block(program, start)
+            for offset in range(1, len(block)):
+                assert (start + offset) not in label_positions
+
+
+class TestTranslateBlock:
+    def test_every_block_ends_in_control_op(self):
+        program = build()
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            tcg, _ = translate_block(program, start)
+            assert tcg.ops[-1].op in ("brcond", "goto_tb", "exit_indirect")
+
+    def test_cmp_uses_fused_flags_op(self):
+        program = build()
+        found = False
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            tcg, guest = translate_block(program, start)
+            if any(i.mnemonic == "cmp" for i in guest):
+                assert any(op.op == "cmp_flags" for op in tcg.ops)
+                found = True
+        assert found
+
+    def test_expansion_factor(self):
+        """One guest instruction -> several TCG ops (the paper's
+        IR-expansion premise)."""
+        program = build()
+        total_guest = 0
+        total_ops = 0
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            tcg, guest = translate_block(program, start)
+            total_guest += len(guest)
+            total_ops += len(tcg.ops)
+        assert total_ops > 2 * total_guest
+
+    def test_predicated_instructions_become_movcond(self):
+        program = build()
+        ops = []
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            tcg, guest = translate_block(program, start)
+            if any("lt" in i.mnemonic and i.mnemonic.startswith("rsb")
+                   for i in guest):
+                ops = [op.op for op in tcg.ops]
+        if ops:  # only if the compiler emitted rsblt here
+            assert "movcond" in ops
+
+    def test_call_sets_lr_then_jumps(self):
+        program = build()
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            tcg, guest = translate_block(program, start)
+            if guest[-1].mnemonic == "bl":
+                kinds = [op.op for op in tcg.ops]
+                assert kinds[-1] == "goto_tb"
+                assert "st_reg" in kinds  # lr updated
+                lr_store = [op for op in tcg.ops
+                            if op.op == "st_reg" and op.reg == "lr"]
+                assert lr_store
+                return
+        raise AssertionError("no call block found")

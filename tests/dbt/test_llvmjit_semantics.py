@@ -1,0 +1,97 @@
+"""The LLVM-JIT TCG optimizer must preserve block semantics.
+
+Random straight-line TCG blocks are lowered and executed twice — raw
+and optimized — and the final guest-visible state must match.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dbt import codegen
+from repro.dbt.codegen import ENV_BASE, REG_OFFSET
+from repro.dbt.llvmjit import optimize_tcg
+from repro.dbt.machine import ConcreteState
+from repro.dbt.tcg import TcgBlock, TcgCond
+from repro.host_x86 import execute as execute_x86
+from repro.isa.alu import ConcreteALU
+
+ALU = ConcreteALU()
+GUEST_REGS = ("r0", "r1", "r2", "r3")
+
+
+def random_block(rng: random.Random) -> TcgBlock:
+    block = TcgBlock(0x8000)
+    temps: list[str] = []
+
+    def value():
+        if temps and rng.random() < 0.7:
+            return rng.choice(temps)
+        return rng.randrange(0, 1 << 16)
+
+    for _ in range(rng.randrange(3, 14)):
+        kind = rng.randrange(0, 7)
+        out = block.new_temp()
+        if kind == 0:
+            block.emit(op="movi", out=out, a=rng.randrange(0, 1 << 20))
+            temps.append(out)
+        elif kind == 1:
+            block.emit(op="ld_reg", out=out, reg=rng.choice(GUEST_REGS))
+            temps.append(out)
+        elif kind == 2 and temps:
+            block.emit(op="st_reg", reg=rng.choice(GUEST_REGS),
+                       a=rng.choice(temps))
+        elif kind == 3 and temps:
+            block.emit(op=rng.choice(["add", "sub", "and", "or", "xor"]),
+                       out=out, a=rng.choice(temps), b=value())
+            temps.append(out)
+        elif kind == 4 and temps:
+            block.emit(op=rng.choice(["shl", "shr", "sar"]), out=out,
+                       a=rng.choice(temps), b=rng.randrange(0, 32))
+            temps.append(out)
+        elif kind == 5 and temps:
+            block.emit(op="setcond", out=out, cond=TcgCond.LTU,
+                       a=rng.choice(temps), b=value())
+            temps.append(out)
+        elif kind == 6 and temps:
+            block.emit(op="cmp_flags",
+                       flag=rng.choice(["sub", "add", "and"]),
+                       a=rng.choice(temps), b=value())
+    block.emit(op="goto_tb", taken=0x9000)
+    return block
+
+
+def run_ops(ops, seed: int) -> dict:
+    assembler = codegen.BlockAssembler()
+    for op in ops:
+        codegen.lower_tcg_op(assembler, op)
+    tb = codegen.finalize_block(assembler, 0x8000)
+    state = ConcreteState()
+    rng = random.Random(seed ^ 0x5EED)
+    for reg in GUEST_REGS:
+        state.store(ENV_BASE + REG_OFFSET[reg], rng.getrandbits(32), 4)
+    index = 0
+    while index < len(tb.host_instrs):
+        outcome = execute_x86(tb.host_instrs[index], state, ALU)
+        if outcome.branch is not None and outcome.branch.cond:
+            break
+        index += 1
+    return {
+        reg: state.load(ENV_BASE + REG_OFFSET[reg], 4) for reg in GUEST_REGS
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_optimizer_preserves_guest_state(seed):
+    block = random_block(random.Random(seed))
+    raw = run_ops(list(block.ops), seed)
+    optimized = run_ops(optimize_tcg(list(block.ops)), seed)
+    assert raw == optimized
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_optimizer_never_grows_the_block(seed):
+    block = random_block(random.Random(seed))
+    assert len(optimize_tcg(list(block.ops))) <= len(block.ops)

@@ -1,0 +1,39 @@
+"""Cycle model unit tests."""
+
+from repro.dbt.perf import PerfModel, instruction_cycles, speedup
+from repro.host_x86 import parse_instruction as parse
+
+
+class TestInstructionCycles:
+    def test_alu_cheapest(self):
+        assert instruction_cycles(parse("addl %ecx, %eax")) == 1.0
+
+    def test_memory_costs_more(self):
+        assert instruction_cycles(parse("movl (%esi), %eax")) > \
+            instruction_cycles(parse("movl %ecx, %eax"))
+
+    def test_lea_is_alu_not_memory(self):
+        assert instruction_cycles(parse("leal (%esi,%edi,4), %eax")) == \
+            instruction_cycles(parse("addl %ecx, %eax"))
+
+    def test_division_most_expensive(self):
+        assert instruction_cycles(parse("idivl %ebx")) > \
+            instruction_cycles(parse("imull %ecx, %eax")) > \
+            instruction_cycles(parse("addl %ecx, %eax"))
+
+    def test_branches_cost_more_than_alu(self):
+        assert instruction_cycles(parse("jne .L")) > \
+            instruction_cycles(parse("addl %ecx, %eax"))
+
+
+class TestPerfModel:
+    def test_total_includes_all_parts(self):
+        model = PerfModel(exec_cycles=100.0, translation_cycles=50.0,
+                          dispatches=2)
+        assert model.total_cycles > 150.0
+
+    def test_speedup_direction(self):
+        slow = PerfModel(exec_cycles=200.0)
+        fast = PerfModel(exec_cycles=100.0)
+        assert speedup(slow, fast) == 2.0
+        assert speedup(fast, slow) == 0.5

@@ -1,0 +1,109 @@
+"""Rule-enhanced block translation: matching, cc analysis, integration."""
+
+from repro.dbt.ruletrans import flags_dead_after, translate_block_with_rules
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.learning.extract import SnippetPair
+from repro.learning.paramize import analyze_pair, generate_mappings
+from repro.learning.store import RuleStore
+from repro.learning.verify import verify_candidate
+from repro.minic import compile_source
+
+
+def learn_rule(guest_lines, host_lines):
+    pair = SnippetPair(
+        "t", 1,
+        [parse_arm(line) for line in guest_lines],
+        [parse_x86(line) for line in host_lines],
+    )
+    context = analyze_pair(pair)
+    mappings, _ = generate_mappings(context)
+    for mapping in mappings:
+        result = verify_candidate(context, mapping)
+        if result.rule is not None:
+            return result.rule
+    raise AssertionError("did not learn")
+
+
+CMP_RULE = learn_rule(["cmp r2, r3", "blt .L"],
+                      ["cmpl %ecx, %edx", "jl .L"])
+CMP_ONLY_RULE = learn_rule(["cmp r2, r3"], ["cmpl %ecx, %edx"])
+ADD_RULE = learn_rule(["add r1, r1, r0", "sub r1, r1, #1"],
+                      ["leal -1(%edx,%eax), %edx"])
+
+
+class TestFlagsDeadAnalysis:
+    def test_branch_rules_always_ok(self):
+        assert flags_dead_after(CMP_RULE, [], 0)
+
+    def test_cmp_followed_by_branch_blocks_rule(self):
+        # A bare cmp rule cannot be applied when the branch that
+        # consumes the flags is translated by TCG (the rule does not
+        # materialize env flags).
+        block = [parse_arm("cmp r2, r3"), parse_arm("blt .L")]
+        assert not flags_dead_after(CMP_ONLY_RULE, block, 1)
+
+    def test_flags_overwritten_ok(self):
+        block = [
+            parse_arm("cmp r2, r3"),
+            parse_arm("cmp r4, r5"),  # rewrites all flags
+            parse_arm("blt .L"),
+        ]
+        assert flags_dead_after(CMP_ONLY_RULE, block, 1)
+
+    def test_flagless_rule_always_ok(self):
+        block = [parse_arm("add r1, r1, r0"), parse_arm("blt .L")]
+        assert flags_dead_after(ADD_RULE, block, 1)
+
+
+class TestBlockTranslation:
+    def _program(self):
+        return compile_source("""
+        int main(void) {
+          int acc = 10;
+          int bound = 3;
+          int i = 0;
+          while (i < bound) {
+            acc = acc + i;
+            acc -= 1;
+            i += 1;
+          }
+          return acc;
+        }
+        """, "arm", 2, "llvm")
+
+    def test_rule_coverage_marked(self):
+        program = self._program()
+        store = RuleStore.from_rules([CMP_RULE, ADD_RULE])
+        covered_any = False
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            result = translate_block_with_rules(program, start, store)
+            assert len(result.rule_covered) == len(result.guest_instrs)
+            covered_any |= any(result.rule_covered)
+        assert covered_any
+
+    def test_no_rules_means_no_coverage(self):
+        program = self._program()
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            result = translate_block_with_rules(program, start, RuleStore())
+            assert not any(result.rule_covered)
+
+    def test_host_code_smaller_with_rules(self):
+        program = self._program()
+        store = RuleStore.from_rules([CMP_RULE, ADD_RULE])
+        with_rules = 0
+        without = 0
+        for start in sorted(set(program.labels.values())):
+            if start >= len(program.code):
+                continue
+            with_rules += len(
+                translate_block_with_rules(program, start, store).host_instrs
+            )
+            without += len(
+                translate_block_with_rules(program, start, None).host_instrs
+            )
+        assert with_rules < without

@@ -1,0 +1,47 @@
+"""TCG IR containers and rendering."""
+
+from repro.dbt.tcg import TcgBlock, TcgCond, TcgOp
+
+
+class TestTcgOp:
+    def test_temps_used(self):
+        op = TcgOp("add", out="%t3", a="%t1", b="%t2")
+        assert op.temps_used() == ("%t1", "%t2")
+
+    def test_immediates_not_temps(self):
+        op = TcgOp("add", out="%t3", a="%t1", b=7)
+        assert op.temps_used() == ("%t1",)
+
+    def test_movcond_third_operand_counted(self):
+        op = TcgOp("movcond", out="%t4", a="%c", b="%then", c="%else")
+        assert op.temps_used() == ("%c", "%then", "%else")
+
+    def test_str_forms(self):
+        assert str(TcgOp("movi", out="%t1", a=5)) == "movi %t1, 5"
+        assert str(TcgOp("ld_reg", out="%t1", reg="r3")) == "%t1 = env.r3"
+        assert str(TcgOp("st_flag", flag="Z", a="%t2")) == \
+            "env.flag_Z = %t2"
+        assert str(TcgOp("qemu_ld", out="%t1", a="%t0", size=4)) == \
+            "%t1 = ld4 [%t0]"
+        assert "brcond" in str(
+            TcgOp("brcond", cond=TcgCond.NE, a="%t1", b=0,
+                  taken=0x8000, fallthrough=0x8004)
+        )
+        assert str(TcgOp("goto_tb", taken=0x9000)) == "goto_tb 0x9000"
+
+
+class TestTcgBlock:
+    def test_temps_unique(self):
+        block = TcgBlock(0x8000)
+        assert block.new_temp() != block.new_temp()
+
+    def test_emit_appends(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="movi", out="%t1", a=1)
+        block.emit(op="goto_tb", taken=0x9000)
+        assert [op.op for op in block.ops] == ["movi", "goto_tb"]
+
+    def test_dump(self):
+        block = TcgBlock(0x8000)
+        block.emit(op="movi", out="%t1", a=1)
+        assert block.dump() == "movi %t1, 1"

@@ -1,0 +1,126 @@
+"""ARM opcode metadata: mnemonic splitting, defs/uses, flags."""
+
+import pytest
+
+from repro.guest_arm import parse_instruction as parse
+from repro.guest_arm.isa import (
+    branch_condition,
+    defined_flags,
+    defined_registers,
+    is_branch,
+    is_call,
+    is_indirect_branch,
+    is_predicated,
+    is_return,
+    opcode_id,
+    split_mnemonic,
+    used_flags,
+    used_registers,
+)
+
+
+class TestSplitMnemonic:
+    @pytest.mark.parametrize("text,expected", [
+        ("add", ("add", None, False)),
+        ("adds", ("add", None, True)),
+        ("addeq", ("add", "eq", False)),
+        ("b", ("b", None, False)),
+        ("beq", ("b", "eq", False)),
+        ("bls", ("b", "ls", False)),   # not bl + s!
+        ("blo", ("b", "lo", False)),
+        ("blt", ("b", "lt", False)),
+        ("bl", ("bl", None, False)),
+        ("bic", ("bic", None, False)),  # not b + ic
+        ("movne", ("mov", "ne", False)),
+        ("rsblt", ("rsb", "lt", False)),
+    ])
+    def test_cases(self, text, expected):
+        assert split_mnemonic(text) == expected
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            split_mnemonic("bogus")
+
+
+class TestClassification:
+    def test_branches(self):
+        assert is_branch(parse("b .L1"))
+        assert is_branch(parse("beq .L1"))
+        assert is_branch(parse("bl f"))
+        assert is_branch(parse("bx lr"))
+        assert is_branch(parse("pop {r4, pc}"))
+        assert not is_branch(parse("pop {r4, r5}"))
+        assert not is_branch(parse("add r0, r1, r2"))
+
+    def test_calls_and_returns(self):
+        assert is_call(parse("bl f"))
+        assert not is_call(parse("b .L1"))
+        assert is_return(parse("bx lr"))
+        assert is_return(parse("pop {r4, pc}"))
+        assert is_indirect_branch(parse("bx r3"))
+
+    def test_predication(self):
+        assert is_predicated(parse("movne r0, #1"))
+        assert is_predicated(parse("rsblt r0, r0, #0"))
+        assert not is_predicated(parse("bne .L1"))
+        assert not is_predicated(parse("mov r0, #1"))
+
+    def test_branch_condition(self):
+        assert branch_condition(parse("blt .L1")) == "lt"
+        assert branch_condition(parse("b .L1")) is None
+        assert branch_condition(parse("add r0, r1, r2")) is None
+
+
+class TestDefsUses:
+    @pytest.mark.parametrize("text,defs,uses", [
+        ("add r0, r1, r2", ("r0",), ("r1", "r2")),
+        ("add r0, r1, r2, lsl #3", ("r0",), ("r1", "r2")),
+        ("mov r0, #1", ("r0",), ()),
+        ("cmp r1, r2", (), ("r1", "r2")),
+        ("ldr r0, [r1, r2, lsl #2]", ("r0",), ("r1", "r2")),
+        ("str r0, [r1, #4]", (), ("r0", "r1")),
+        ("bl f", ("lr",), ()),
+        ("push {r4, r5}", ("sp",), ("sp", "r4", "r5")),
+        ("pop {r4, r5}", ("sp", "r4", "r5"), ("sp",)),
+        ("bx lr", (), ("lr",)),
+        ("lsl r0, r1, r2", ("r0",), ("r1", "r2")),
+        ("mul r0, r1, r2", ("r0",), ("r1", "r2")),
+    ])
+    def test_table(self, text, defs, uses):
+        instr = parse(text)
+        assert defined_registers(instr) == defs
+        assert used_registers(instr) == uses
+
+    def test_predicated_destination_is_also_used(self):
+        instr = parse("movne r0, r1")
+        assert "r0" in used_registers(instr)
+
+
+class TestFlags:
+    def test_cmp_defines_all(self):
+        assert defined_flags(parse("cmp r0, r1")) == ("N", "Z", "C", "V")
+
+    def test_tst_defines_nz(self):
+        assert defined_flags(parse("tst r0, r1")) == ("N", "Z")
+
+    def test_subs_defines_all(self):
+        assert defined_flags(parse("subs r0, r0, #1")) == ("N", "Z", "C", "V")
+
+    def test_plain_add_defines_none(self):
+        assert defined_flags(parse("add r0, r0, #1")) == ()
+
+    @pytest.mark.parametrize("cond,flags", [
+        ("eq", ("Z",)), ("lt", ("N", "V")), ("hi", ("C", "Z")),
+        ("le", ("N", "Z", "V")), ("lo", ("C",)),
+    ])
+    def test_condition_uses(self, cond, flags):
+        assert used_flags(parse(f"b{cond} .L1")) == flags
+
+
+class TestOpcodeIds:
+    def test_stable_and_cond_insensitive(self):
+        assert opcode_id(parse("beq .L1")) == opcode_id(parse("bne .L1"))
+        assert opcode_id(parse("add r0, r0, #1")) == \
+            opcode_id(parse("adds r0, r0, #1"))
+        assert opcode_id(parse("add r0, r0, #1")) != \
+            opcode_id(parse("sub r0, r0, #1"))

@@ -1,0 +1,107 @@
+"""ARM parser + printer round trips and structure checks."""
+
+import pytest
+
+from repro.guest_arm import parse_instruction, parse_program
+from repro.guest_arm.printer import format_instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg
+
+
+class TestOperands:
+    def test_data_three_operand(self):
+        instr = parse_instruction("add r0, r1, r2")
+        assert instr.mnemonic == "add"
+        assert instr.operands == (Reg("r0"), Reg("r1"), Reg("r2"))
+
+    def test_immediate(self):
+        instr = parse_instruction("sub r1, r1, #1")
+        assert instr.operands[2] == Imm(1)
+
+    def test_negative_and_hex_immediates(self):
+        assert parse_instruction("mov r0, #-4").operands[1] == Imm(-4)
+        assert parse_instruction("mov r0, #0xff").operands[1] == Imm(255)
+
+    def test_shifted_register(self):
+        instr = parse_instruction("add r0, r1, r0, lsl #2")
+        assert instr.operands[2] == ShiftedReg(Reg("r0"), "lsl", 2)
+
+    def test_memory_with_displacement(self):
+        instr = parse_instruction("ldr r0, [r1, #-4]")
+        assert instr.operands[1] == Mem(base=Reg("r1"), disp=-4)
+
+    def test_memory_with_scaled_index(self):
+        instr = parse_instruction("ldr r0, [r1, r2, lsl #2]")
+        assert instr.operands[1] == Mem(base=Reg("r1"), index=Reg("r2"),
+                                        scale=4)
+
+    def test_register_aliases(self):
+        instr = parse_instruction("mov r0, r13")
+        assert instr.operands[1] == Reg("sp")
+
+    def test_push_pop_lists(self):
+        push = parse_instruction("push {r4, r5, lr}")
+        assert push.operands == (Reg("r4"), Reg("r5"), Reg("lr"))
+        pop = parse_instruction("pop {r4-r6, pc}")
+        assert pop.operands == (Reg("r4"), Reg("r5"), Reg("r6"), Reg("pc"))
+
+    def test_branch_label(self):
+        assert parse_instruction("bne .L1").operands == (Label(".L1"),)
+        assert parse_instruction("bl func").operands == (Label("func"),)
+
+    def test_bls_is_branch_not_call(self):
+        # "bls" must parse as b+ls, never bl+s.
+        instr = parse_instruction("bls .L2")
+        from repro.guest_arm.isa import split_mnemonic
+
+        assert split_mnemonic(instr.mnemonic) == ("b", "ls", False)
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            parse_instruction("frobnicate r0, r1")
+
+    def test_annotations(self):
+        instr = parse_instruction("ldr r0, [r1, #8]  @ line=42 var=count")
+        assert instr.line == 42
+        assert instr.operands[1].var == "count"
+
+
+class TestProgram:
+    def test_labels_and_instructions(self):
+        program = parse_program("""
+        start:
+            mov r0, #0
+        .loop:
+            add r0, r0, #1
+            cmp r0, #10
+            blt .loop
+            bx lr
+        """)
+        assert program.labels == {"start": 0, ".loop": 1}
+        assert len(program.instructions) == 5
+
+    def test_comment_only_lines_skipped(self):
+        program = parse_program("@ a comment\nmov r0, #1\n")
+        assert len(program.instructions) == 1
+
+
+class TestRoundTrip:
+    CASES = [
+        "add r0, r1, r2",
+        "sub r1, r1, #1",
+        "add r0, r1, r0, lsl #2",
+        "ldr r0, [r1, #-4]",
+        "ldr r0, [r1, r2, lsl #2]",
+        "strb r3, [r4]",
+        "cmp r2, r3",
+        "bne .L1",
+        "push {r4, r5, lr}",
+        "mvn r0, r1",
+        "moveq r0, #1",
+        "rsblt r0, r0, #0",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        instr = parse_instruction(text)
+        reprinted = format_instruction(instr)
+        assert parse_instruction(reprinted) == instr

@@ -1,0 +1,213 @@
+"""ARM semantics over the concrete ALU (flags, memory, branches)."""
+
+import pytest
+
+from repro.dbt.machine import ConcreteState
+from repro.guest_arm import execute, parse_instruction as parse
+from repro.isa.alu import ConcreteALU
+from repro.isa.state import BranchKind
+
+ALU = ConcreteALU()
+
+
+def run(state, *lines):
+    outcome = None
+    for line in lines:
+        outcome = execute(parse(line), state, ALU)
+    return outcome
+
+
+@pytest.fixture
+def state():
+    return ConcreteState()
+
+
+class TestDataProcessing:
+    def test_mov_and_add(self, state):
+        run(state, "mov r0, #5", "mov r1, #7", "add r2, r0, r1")
+        assert state.get_reg("r2") == 12
+
+    def test_shifted_operand(self, state):
+        state.set_reg("r1", 100)
+        state.set_reg("r0", 3)
+        run(state, "add r0, r1, r0, lsl #2")
+        assert state.get_reg("r0") == 112
+
+    def test_rsb(self, state):
+        state.set_reg("r1", 10)
+        run(state, "rsb r0, r1, #30")
+        assert state.get_reg("r0") == 20
+
+    def test_bic(self, state):
+        state.set_reg("r1", 0xFF)
+        state.set_reg("r2", 0x0F)
+        run(state, "bic r0, r1, r2")
+        assert state.get_reg("r0") == 0xF0
+
+    def test_mvn(self, state):
+        state.set_reg("r1", 0)
+        run(state, "mvn r0, r1")
+        assert state.get_reg("r0") == 0xFFFFFFFF
+
+    def test_mul_wraps(self, state):
+        state.set_reg("r1", 0x10000)
+        state.set_reg("r2", 0x10000)
+        run(state, "mul r0, r1, r2")
+        assert state.get_reg("r0") == 0
+
+    def test_shift_by_register_uses_low_byte(self, state):
+        state.set_reg("r1", 1)
+        state.set_reg("r2", 0x104)  # low byte 4
+        run(state, "lsl r0, r1, r2")
+        assert state.get_reg("r0") == 16
+
+    def test_asr_sign_fills(self, state):
+        state.set_reg("r1", 0x80000000)
+        run(state, "asr r0, r1, #31")
+        assert state.get_reg("r0") == 0xFFFFFFFF
+
+
+class TestFlags:
+    def test_cmp_equal_sets_z(self, state):
+        state.set_reg("r0", 5)
+        state.set_reg("r1", 5)
+        run(state, "cmp r0, r1")
+        assert state.get_flag("Z") == 1
+        assert state.get_flag("C") == 1  # no borrow
+        assert state.get_flag("N") == 0
+
+    def test_cmp_less_unsigned(self, state):
+        state.set_reg("r0", 3)
+        state.set_reg("r1", 5)
+        run(state, "cmp r0, r1")
+        assert state.get_flag("C") == 0  # borrow -> C clear (ARM)
+        assert state.get_flag("N") == 1
+
+    def test_cmp_signed_overflow(self, state):
+        state.set_reg("r0", 0x80000000)  # INT_MIN
+        state.set_reg("r1", 1)
+        run(state, "cmp r0, r1")
+        assert state.get_flag("V") == 1
+        assert state.get_flag("N") == 0  # INT_MIN - 1 wraps positive
+
+    def test_adds_carry(self, state):
+        state.set_reg("r1", 0xFFFFFFFF)
+        run(state, "adds r0, r1, #1")
+        assert state.get_reg("r0") == 0
+        assert state.get_flag("C") == 1
+        assert state.get_flag("Z") == 1
+        assert state.get_flag("V") == 0
+
+    def test_tst_nonzero_result(self, state):
+        state.set_reg("r0", 0b1010)
+        run(state, "tst r0, #2")
+        assert state.get_flag("Z") == 0
+
+    def test_tst_zero_result(self, state):
+        state.set_reg("r0", 0b1010)
+        run(state, "tst r0, #5")
+        assert state.get_flag("Z") == 1
+
+    def test_plain_add_preserves_flags(self, state):
+        state.set_flag("Z", 1)
+        state.set_reg("r1", 1)
+        run(state, "add r0, r1, #1")
+        assert state.get_flag("Z") == 1
+
+
+class TestPredication:
+    def test_taken(self, state):
+        state.set_reg("r0", 5)
+        state.set_reg("r1", 5)
+        run(state, "cmp r0, r1", "moveq r2, #1")
+        assert state.get_reg("r2") == 1
+
+    def test_not_taken_keeps_old_value(self, state):
+        state.set_reg("r2", 99)
+        state.set_reg("r0", 1)
+        state.set_reg("r1", 5)
+        run(state, "cmp r0, r1", "moveq r2, #1")
+        assert state.get_reg("r2") == 99
+
+    def test_rsblt_abs_pattern(self, state):
+        state.set_reg("r0", -7 & 0xFFFFFFFF)
+        run(state, "cmp r0, #0", "rsblt r0, r0, #0")
+        assert state.get_reg("r0") == 7
+
+
+class TestMemory:
+    def test_word_roundtrip(self, state):
+        state.set_reg("r0", 0xDEADBEEF)
+        state.set_reg("r1", 0x1000)
+        run(state, "str r0, [r1, #4]", "ldr r2, [r1, #4]")
+        assert state.get_reg("r2") == 0xDEADBEEF
+
+    def test_byte_store_truncates(self, state):
+        state.set_reg("r0", 0x1FF)
+        state.set_reg("r1", 0x1000)
+        run(state, "strb r0, [r1]", "ldrb r2, [r1]")
+        assert state.get_reg("r2") == 0xFF
+
+    def test_scaled_index_addressing(self, state):
+        state.set_reg("r1", 0x1000)
+        state.set_reg("r2", 3)
+        state.store(0x100C, 0x42, 4)
+        run(state, "ldr r0, [r1, r2, lsl #2]")
+        assert state.get_reg("r0") == 0x42
+
+    def test_push_pop_roundtrip(self, state):
+        state.set_reg("sp", 0x2000)
+        state.set_reg("r4", 11)
+        state.set_reg("r5", 22)
+        run(state, "push {r4, r5}")
+        assert state.get_reg("sp") == 0x2000 - 8
+        state.set_reg("r4", 0)
+        state.set_reg("r5", 0)
+        run(state, "pop {r4, r5}")
+        assert (state.get_reg("r4"), state.get_reg("r5")) == (11, 22)
+        assert state.get_reg("sp") == 0x2000
+
+
+class TestBranches:
+    def test_conditional_taken(self, state):
+        state.set_reg("r0", 1)
+        state.set_reg("r1", 2)
+        run(state, "cmp r0, r1")
+        outcome = run(state, "blt .target")
+        assert outcome.branch is not None
+        assert outcome.branch.cond == 1
+        assert outcome.branch.target.name == ".target"
+
+    def test_conditional_not_taken(self, state):
+        state.set_reg("r0", 5)
+        state.set_reg("r1", 2)
+        run(state, "cmp r0, r1")
+        outcome = run(state, "blt .target")
+        assert outcome.branch.cond == 0
+
+    def test_bl_sets_lr(self, state):
+        state.regs["pc"] = 0x8000
+        outcome = run(state, "bl func")
+        assert state.get_reg("lr") == 0x8004
+        assert outcome.branch.kind is BranchKind.CALL
+
+    def test_bx_lr_is_return(self, state):
+        state.set_reg("lr", 0x1234)
+        outcome = run(state, "bx lr")
+        assert outcome.branch.kind is BranchKind.RETURN
+        assert outcome.branch.target == 0x1234
+
+    @pytest.mark.parametrize("cond,a,b,taken", [
+        ("eq", 5, 5, True), ("ne", 5, 5, False),
+        ("lt", -1 & 0xFFFFFFFF, 0, True), ("ge", -1 & 0xFFFFFFFF, 0, False),
+        ("lo", 1, 2, True), ("hs", 1, 2, False),
+        ("hi", 0xFFFFFFFF, 1, True), ("ls", 1, 1, True),
+        ("gt", 3, 2, True), ("le", 3, 2, False),
+        ("mi", 0, 1, True), ("pl", 1, 0, True),
+    ])
+    def test_condition_table(self, state, cond, a, b, taken):
+        state.set_reg("r0", a)
+        state.set_reg("r1", b)
+        run(state, "cmp r0, r1")
+        outcome = run(state, f"b{cond} .t")
+        assert bool(outcome.branch.cond) == taken

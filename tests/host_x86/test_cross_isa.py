@@ -1,0 +1,90 @@
+"""Cross-ISA semantic agreements the learner's verification relies on."""
+
+from hypothesis import given, strategies as st
+
+from repro.dbt.machine import ConcreteState
+from repro.guest_arm import execute as execute_arm
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.guest_arm.semantics import conditions as arm_conditions
+from repro.host_x86 import execute as execute_x86
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.host_x86.semantics import conditions as x86_conditions
+from repro.isa.alu import ConcreteALU
+
+ALU = ConcreteALU()
+
+# ARM condition <-> x86 condition correspondence after a compare.
+_COND_PAIRS = [
+    ("eq", "e"), ("ne", "ne"), ("lt", "l"), ("ge", "ge"),
+    ("gt", "g"), ("le", "le"), ("lo", "b"), ("hs", "ae"),
+    ("hi", "a"), ("ls", "be"), ("mi", "s"), ("pl", "ns"),
+]
+
+
+@given(a=st.integers(0, 0xFFFFFFFF), b=st.integers(0, 0xFFFFFFFF))
+def test_compare_conditions_agree(a, b):
+    """After cmp / cmpl on the same operands, every ARM condition
+    evaluates identically to its x86 counterpart — even though the C/CF
+    polarity differs (the paper's Section 5 subtlety)."""
+    arm_state = ConcreteState()
+    arm_state.set_reg("r0", a)
+    arm_state.set_reg("r1", b)
+    execute_arm(parse_arm("cmp r0, r1"), arm_state, ALU)
+
+    x86_state = ConcreteState()
+    x86_state.set_reg("eax", a)
+    x86_state.set_reg("ecx", b)
+    execute_x86(parse_x86("cmpl %ecx, %eax"), x86_state, ALU)
+
+    for arm_cond, x86_cond in _COND_PAIRS:
+        assert arm_conditions(arm_cond, arm_state, ALU) == \
+            x86_conditions(x86_cond, x86_state, ALU), (arm_cond, a, b)
+    # ... and the carry flags themselves are INVERSES after subtraction.
+    assert arm_state.get_flag("C") == 1 - x86_state.get_flag("CF")
+
+
+@given(a=st.integers(0, 0xFFFFFFFF), b=st.integers(0, 0xFFFFFFFF))
+def test_add_sub_agree(a, b):
+    """add/sub produce identical register results on both ISAs."""
+    arm_state = ConcreteState()
+    arm_state.set_reg("r1", a)
+    arm_state.set_reg("r2", b)
+    execute_arm(parse_arm("add r0, r1, r2"), arm_state, ALU)
+    execute_arm(parse_arm("sub r3, r1, r2"), arm_state, ALU)
+
+    x86_state = ConcreteState()
+    x86_state.set_reg("eax", a)
+    execute_x86(parse_x86(f"addl ${b}, %eax"), x86_state, ALU)
+    assert arm_state.get_reg("r0") == x86_state.get_reg("eax")
+
+    x86_state.set_reg("edx", a)
+    execute_x86(parse_x86(f"subl ${b}, %edx"), x86_state, ALU)
+    assert arm_state.get_reg("r3") == x86_state.get_reg("edx")
+
+
+@given(a=st.integers(0, 0xFFFFFFFF), k=st.integers(1, 3))
+def test_lea_equals_add_shift(a, k):
+    """The Figure 1 family: ARM add with shifted operand == x86 lea."""
+    arm_state = ConcreteState()
+    arm_state.set_reg("r1", 1000)
+    arm_state.set_reg("r2", a)
+    execute_arm(parse_arm(f"add r0, r1, r2, lsl #{k}"), arm_state, ALU)
+
+    x86_state = ConcreteState()
+    x86_state.set_reg("ecx", 1000)
+    x86_state.set_reg("eax", a)
+    execute_x86(parse_x86(f"leal (%ecx,%eax,{1 << k}), %edx"),
+                x86_state, ALU)
+    assert arm_state.get_reg("r0") == x86_state.get_reg("edx")
+
+
+@given(value=st.integers(0, 0xFFFFFFFF))
+def test_movzbl_equals_and_255(value):
+    arm_state = ConcreteState()
+    arm_state.set_reg("r0", value)
+    execute_arm(parse_arm("and r0, r0, #255"), arm_state, ALU)
+
+    x86_state = ConcreteState()
+    x86_state.set_reg("eax", value)
+    execute_x86(parse_x86("movzbl %al, %eax"), x86_state, ALU)
+    assert arm_state.get_reg("r0") == x86_state.get_reg("eax")

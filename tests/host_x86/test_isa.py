@@ -1,0 +1,106 @@
+"""x86 opcode metadata: defs/uses/flags tables."""
+
+import pytest
+
+from repro.host_x86 import parse_instruction as parse
+from repro.host_x86.isa import (
+    branch_condition,
+    defined_flags,
+    defined_registers,
+    is_branch,
+    is_call,
+    is_indirect_branch,
+    is_predicated,
+    is_return,
+    opcode_id,
+    used_flags,
+    used_registers,
+)
+
+
+class TestClassification:
+    def test_branches(self):
+        assert is_branch(parse("jmp .L"))
+        assert is_branch(parse("jne .L"))
+        assert is_branch(parse("call f"))
+        assert is_branch(parse("ret"))
+        assert not is_branch(parse("cmovne %eax, %ecx"))
+        assert not is_branch(parse("sete %al"))
+
+    def test_call_return(self):
+        assert is_call(parse("call f"))
+        assert is_return(parse("ret"))
+        assert is_indirect_branch(parse("ret"))
+        assert not is_indirect_branch(parse("jmp .L"))
+
+    def test_predication_is_cmov(self):
+        assert is_predicated(parse("cmovge %eax, %ecx"))
+        assert not is_predicated(parse("movl %eax, %ecx"))
+
+    def test_branch_condition(self):
+        assert branch_condition(parse("jae .L")) == "ae"
+        assert branch_condition(parse("jmp .L")) is None
+
+
+class TestDefsUses:
+    @pytest.mark.parametrize("text,defs,uses", [
+        ("movl %eax, %ecx", ("ecx",), ("eax",)),
+        ("movl $5, %ecx", ("ecx",), ()),
+        ("movl (%esi), %eax", ("eax",), ("esi",)),
+        ("movl %eax, (%esi)", (), ("eax", "esi")),
+        ("addl %eax, %ecx", ("ecx",), ("eax", "ecx")),
+        ("cmpl %eax, %ecx", (), ("eax", "ecx")),
+        ("leal (%esi,%edi,2), %eax", ("eax",), ("esi", "edi")),
+        ("negl %eax", ("eax",), ("eax",)),
+        ("incl %eax", ("eax",), ("eax",)),
+        ("shll $3, %edx", ("edx",), ("edx",)),
+        ("sarl %cl, %edx", ("edx",), ("ecx", "edx")),
+        ("movzbl %al, %edx", ("edx",), ("eax",)),
+        ("movb %cl, (%esi)", (), ("ecx", "esi")),
+        ("sete %al", ("eax",), ("eax",)),
+        ("cmove %eax, %ecx", ("ecx",), ("eax", "ecx")),
+        ("cltd", ("edx",), ("eax",)),
+        ("idivl %ebx", ("eax", "edx"), ("eax", "edx", "ebx")),
+        ("pushl %eax", ("esp",), ("esp", "eax")),
+        ("popl %eax", ("esp", "eax"), ("esp",)),
+        ("ret", ("esp",), ("esp",)),
+    ])
+    def test_table(self, text, defs, uses):
+        instr = parse(text)
+        assert defined_registers(instr) == defs
+        assert used_registers(instr) == uses
+
+
+class TestFlags:
+    def test_full_writers(self):
+        assert set(defined_flags(parse("addl %eax, %ecx"))) == \
+            {"OF", "SF", "ZF", "CF"}
+        assert set(defined_flags(parse("cmpl %eax, %ecx"))) == \
+            {"OF", "SF", "ZF", "CF"}
+
+    def test_inc_preserves_cf(self):
+        assert "CF" not in defined_flags(parse("incl %eax"))
+        assert "OF" in defined_flags(parse("incl %eax"))
+
+    def test_mov_and_lea_touch_nothing(self):
+        assert defined_flags(parse("movl %eax, %ecx")) == ()
+        assert defined_flags(parse("leal (%esi), %eax")) == ()
+
+    @pytest.mark.parametrize("cc,flags", [
+        ("e", {"ZF"}), ("b", {"CF"}), ("l", {"SF", "OF"}),
+        ("le", {"ZF", "SF", "OF"}), ("a", {"CF", "ZF"}), ("o", {"OF"}),
+    ])
+    def test_condition_reads(self, cc, flags):
+        assert set(used_flags(parse(f"j{cc} .L"))) == flags
+        assert set(used_flags(parse(f"set{cc} %al"))) == flags
+        assert set(used_flags(parse(f"cmov{cc} %eax, %ecx"))) == flags
+
+
+class TestOpcodeIds:
+    def test_distinct(self):
+        assert opcode_id(parse("addl %eax, %ecx")) != \
+            opcode_id(parse("subl %eax, %ecx"))
+
+    def test_stable(self):
+        assert opcode_id(parse("movl %eax, %ecx")) == \
+            opcode_id(parse("movl $0, %edx"))

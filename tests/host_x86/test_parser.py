@@ -1,0 +1,103 @@
+"""x86 AT&T parser + printer round trips."""
+
+import pytest
+
+from repro.host_x86 import parse_instruction, parse_program
+from repro.host_x86.printer import format_instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+
+
+class TestOperands:
+    def test_reg_to_reg(self):
+        instr = parse_instruction("movl %eax, %edx")
+        assert instr.operands == (Reg("eax"), Reg("edx"))
+
+    def test_immediate(self):
+        assert parse_instruction("addl $5, %eax").operands[0] == Imm(5)
+        assert parse_instruction("movl $-1, %eax").operands[0] == Imm(-1)
+        assert parse_instruction("movl $0x70f0000, %ecx").operands[0] == \
+            Imm(0x70F0000)
+
+    def test_full_sib(self):
+        instr = parse_instruction("movl -0x4(%ecx,%eax,4), %eax")
+        assert instr.operands[0] == Mem(Reg("ecx"), Reg("eax"), 4, -4)
+
+    def test_bare_base(self):
+        assert parse_instruction("movl (%edi), %eax").operands[0] == \
+            Mem(base=Reg("edi"))
+
+    def test_disp_only(self):
+        mem = parse_instruction("movl 0x7f000000(), %eax").operands[0]
+        assert mem == Mem(base=None, disp=0x7F000000)
+
+    def test_index_only_scaled(self):
+        mem = parse_instruction("movl 0x100000(,%eax,4), %edx").operands[0]
+        assert mem == Mem(base=None, index=Reg("eax"), scale=4,
+                          disp=0x100000)
+
+    def test_low8(self):
+        instr = parse_instruction("movzbl %al, %eax")
+        assert instr.operands[0] == Reg("al")
+
+    def test_jump_and_call(self):
+        assert parse_instruction("jne .L1").operands == (Label(".L1"),)
+        assert parse_instruction("call func").operands == (Label("func"),)
+
+    def test_setcc(self):
+        instr = parse_instruction("setae %dl")
+        assert instr.mnemonic == "setae"
+        assert instr.operands == (Reg("dl"),)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            parse_instruction("vaddps %xmm0, %xmm1")
+
+    def test_annotations(self):
+        instr = parse_instruction("movl (%esi), %eax  # line=9 var=buf")
+        assert instr.line == 9
+        assert instr.operands[0].var == "buf"
+
+
+class TestProgram:
+    def test_labels(self):
+        program = parse_program("""
+        f:
+            movl $0, %eax
+        .loop:
+            addl $1, %eax
+            cmpl $10, %eax
+            jl .loop
+            ret
+        """)
+        assert program.labels == {"f": 0, ".loop": 1}
+        assert len(program.instructions) == 5
+
+
+class TestRoundTrip:
+    CASES = [
+        "movl %eax, %edx",
+        "addl $5, %eax",
+        "leal -0x4(%ecx,%eax,4), %eax",
+        "movl (%edi), %eax",
+        "movzbl %al, %eax",
+        "movb %dl, (%esi)",
+        "cmpl %ecx, %edx",
+        "jne .L1",
+        "sete %al",
+        "cmovge %ecx, %eax",
+        "shll $3, %edx",
+        "sarl %cl, %edx",
+        "idivl %ebx",
+        "cltd",
+        "ret",
+        "pushl %ebp",
+        "popl %ebp",
+        "negl %eax",
+        "testl %eax, %eax",
+        "incl %esi",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_parse_print_parse(self, text):
+        instr = parse_instruction(text)
+        assert parse_instruction(format_instruction(instr)) == instr

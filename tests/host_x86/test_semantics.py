@@ -1,0 +1,201 @@
+"""x86 semantics over the concrete ALU (EFLAGS, memory, control)."""
+
+import pytest
+
+from repro.dbt.machine import ConcreteState
+from repro.host_x86 import execute, parse_instruction as parse
+from repro.isa.alu import ConcreteALU
+from repro.isa.state import BranchKind
+
+ALU = ConcreteALU()
+
+
+def run(state, *lines):
+    outcome = None
+    for line in lines:
+        outcome = execute(parse(line), state, ALU)
+    return outcome
+
+
+@pytest.fixture
+def state():
+    return ConcreteState()
+
+
+class TestDataMoves:
+    def test_mov_imm(self, state):
+        run(state, "movl $42, %eax")
+        assert state.get_reg("eax") == 42
+
+    def test_mov_mem_roundtrip(self, state):
+        state.set_reg("esi", 0x1000)
+        run(state, "movl $7, %eax", "movl %eax, 0x34(%esi)",
+            "movl 0x34(%esi), %edx")
+        assert state.get_reg("edx") == 7
+
+    def test_movzbl(self, state):
+        state.set_reg("eax", 0x1234FF)
+        run(state, "movzbl %al, %eax")
+        assert state.get_reg("eax") == 0xFF
+
+    def test_movsbl(self, state):
+        state.set_reg("eax", 0x80)
+        run(state, "movsbl %al, %edx")
+        assert state.get_reg("edx") == 0xFFFFFF80
+
+    def test_movb_preserves_high_bytes(self, state):
+        state.set_reg("eax", 0xAABBCCDD)
+        state.set_reg("ecx", 0x11)
+        run(state, "movb %cl, %al")
+        assert state.get_reg("eax") == 0xAABBCC11
+
+    def test_lea_does_not_touch_memory_or_flags(self, state):
+        state.set_reg("ecx", 0x100)
+        state.set_reg("eax", 4)
+        state.set_flag("ZF", 1)
+        run(state, "leal -0x4(%ecx,%eax,4), %edx")
+        assert state.get_reg("edx") == 0x10C
+        assert state.get_flag("ZF") == 1
+        assert state.memory == {}
+
+
+class TestArithmeticFlags:
+    def test_sub_borrow_sets_cf(self, state):
+        state.set_reg("eax", 3)
+        run(state, "subl $5, %eax")
+        assert state.get_reg("eax") == 0xFFFFFFFE
+        assert state.get_flag("CF") == 1  # borrow (opposite of ARM C)
+        assert state.get_flag("SF") == 1
+
+    def test_cmp_sets_but_does_not_write(self, state):
+        state.set_reg("eax", 5)
+        run(state, "cmpl $5, %eax")
+        assert state.get_reg("eax") == 5
+        assert state.get_flag("ZF") == 1
+        assert state.get_flag("CF") == 0
+
+    def test_add_carry_and_overflow(self, state):
+        state.set_reg("eax", 0x7FFFFFFF)
+        run(state, "addl $1, %eax")
+        assert state.get_flag("OF") == 1
+        assert state.get_flag("CF") == 0
+        state.set_reg("eax", 0xFFFFFFFF)
+        run(state, "addl $1, %eax")
+        assert state.get_flag("CF") == 1
+
+    def test_logic_clears_cf_of(self, state):
+        state.set_flag("CF", 1)
+        state.set_flag("OF", 1)
+        state.set_reg("eax", 3)
+        run(state, "andl $1, %eax")
+        assert state.get_flag("CF") == 0
+        assert state.get_flag("OF") == 0
+
+    def test_inc_preserves_cf(self, state):
+        state.set_flag("CF", 1)
+        state.set_reg("eax", 1)
+        run(state, "incl %eax")
+        assert state.get_flag("CF") == 1
+        assert state.get_reg("eax") == 2
+
+    def test_shl_cf_is_last_bit_out(self, state):
+        state.set_reg("eax", 0x80000001)
+        run(state, "shll $1, %eax")
+        assert state.get_flag("CF") == 1
+        assert state.get_reg("eax") == 2
+
+    def test_sar_rounds_toward_minus_infinity(self, state):
+        state.set_reg("eax", -7 & 0xFFFFFFFF)
+        run(state, "sarl $1, %eax")
+        assert state.get_reg("eax") == -4 & 0xFFFFFFFF
+
+    def test_shift_by_cl_zero_preserves_flags(self, state):
+        state.set_flag("ZF", 1)
+        state.set_flag("CF", 1)
+        state.set_reg("ecx", 0)
+        state.set_reg("eax", 5)
+        run(state, "shll %cl, %eax")
+        assert state.get_reg("eax") == 5
+        assert state.get_flag("ZF") == 1
+        assert state.get_flag("CF") == 1
+
+
+class TestSetccCmov:
+    def test_sete(self, state):
+        state.set_reg("eax", 5)
+        state.set_reg("edx", 0xAABBCC00)
+        run(state, "cmpl $5, %eax", "sete %dl")
+        assert state.get_reg("edx") == 0xAABBCC01
+
+    def test_seto_after_overflow(self, state):
+        state.set_reg("eax", 0x80000000)
+        run(state, "cmpl $1, %eax", "seto %al")
+        assert state.get_reg("eax") & 0xFF == 1
+
+    def test_cmov_taken_and_not(self, state):
+        state.set_reg("eax", 1)
+        state.set_reg("ecx", 42)
+        state.set_reg("edx", 7)
+        run(state, "cmpl $1, %eax", "cmove %ecx, %edx")
+        assert state.get_reg("edx") == 42
+        run(state, "cmpl $2, %eax", "cmove %eax, %edx")
+        assert state.get_reg("edx") == 42  # unchanged
+
+
+class TestDivision:
+    def test_cltd_idivl(self, state):
+        state.set_reg("eax", 100)
+        state.set_reg("ebx", 7)
+        run(state, "cltd", "idivl %ebx")
+        assert state.get_reg("eax") == 14
+        assert state.get_reg("edx") == 2
+
+    def test_negative_dividend(self, state):
+        state.set_reg("eax", -100 & 0xFFFFFFFF)
+        state.set_reg("ebx", 7)
+        run(state, "cltd", "idivl %ebx")
+        assert state.get_reg("eax") == -14 & 0xFFFFFFFF
+        assert state.get_reg("edx") == -2 & 0xFFFFFFFF
+
+
+class TestControl:
+    def test_jcc_taken(self, state):
+        state.set_reg("eax", 2)
+        run(state, "cmpl $5, %eax")
+        outcome = run(state, "jl .L1")
+        assert outcome.branch.cond == 1
+        assert outcome.branch.target.name == ".L1"
+
+    def test_jmp_unconditional(self, state):
+        outcome = run(state, "jmp .L9")
+        assert outcome.branch.cond == 1
+
+    def test_push_pop(self, state):
+        state.set_reg("esp", 0x2000)
+        state.set_reg("eax", 99)
+        run(state, "pushl %eax", "popl %edx")
+        assert state.get_reg("edx") == 99
+        assert state.get_reg("esp") == 0x2000
+
+    def test_ret_pops_target(self, state):
+        state.set_reg("esp", 0x2000)
+        state.store(0x2000, 0x1234, 4)
+        outcome = run(state, "ret")
+        assert outcome.branch.kind is BranchKind.RETURN
+        assert outcome.branch.target == 0x1234
+        assert state.get_reg("esp") == 0x2004
+
+    @pytest.mark.parametrize("cc,a,b,taken", [
+        ("e", 5, 5, True), ("ne", 5, 5, False),
+        ("l", 3, 5, True), ("ge", 3, 5, False),
+        ("b", 1, 2, True), ("ae", 2, 2, True),
+        ("a", 3, 2, True), ("be", 2, 2, True),
+        ("g", 5, 3, True), ("le", 5, 3, False),
+        ("s", 1, 2, True), ("ns", 2, 1, True),
+    ])
+    def test_condition_table(self, state, cc, a, b, taken):
+        state.set_reg("eax", a)
+        state.set_reg("ecx", b)
+        run(state, "cmpl %ecx, %eax")  # computes eax - ecx
+        outcome = run(state, f"j{cc} .t")
+        assert bool(outcome.branch.cond) == taken

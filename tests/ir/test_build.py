@@ -1,0 +1,113 @@
+"""Smart-constructor folding behaviour."""
+
+from repro import ir
+from repro.ir.expr import BinOp, Const, Sym
+
+
+X = ir.sym(32, "x")
+Y = ir.sym(32, "y")
+
+
+class TestConstantFolding:
+    def test_add(self):
+        assert ir.add(ir.bv(32, 2), ir.bv(32, 3)) == ir.bv(32, 5)
+
+    def test_add_wraps(self):
+        assert ir.add(ir.bv(32, 0xFFFFFFFF), ir.bv(32, 1)) == ir.bv(32, 0)
+
+    def test_sub_wraps(self):
+        assert ir.sub(ir.bv(32, 0), ir.bv(32, 1)) == ir.bv(32, 0xFFFFFFFF)
+
+    def test_mul(self):
+        assert ir.mul(ir.bv(32, 6), ir.bv(32, 7)) == ir.bv(32, 42)
+
+    def test_udiv_by_zero_is_all_ones(self):
+        assert ir.udiv(ir.bv(32, 5), ir.bv(32, 0)) == ir.bv(32, 0xFFFFFFFF)
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert ir.sdiv(ir.bv(32, -7), ir.bv(32, 2)) == ir.bv(32, -3)
+        assert ir.sdiv(ir.bv(32, 7), ir.bv(32, -2)) == ir.bv(32, -3)
+
+    def test_srem_sign_follows_dividend(self):
+        assert ir.srem(ir.bv(32, -7), ir.bv(32, 2)) == ir.bv(32, -1)
+        assert ir.srem(ir.bv(32, 7), ir.bv(32, -2)) == ir.bv(32, 1)
+
+    def test_shift_beyond_width(self):
+        assert ir.shl(ir.bv(32, 1), ir.bv(32, 33)) == ir.bv(32, 0)
+        assert ir.lshr(ir.bv(32, 0xFF), ir.bv(32, 40)) == ir.bv(32, 0)
+
+    def test_ashr_sign_fills(self):
+        assert ir.ashr(ir.bv(32, 0x80000000), ir.bv(32, 40)) == \
+            ir.bv(32, 0xFFFFFFFF)
+
+    def test_comparisons(self):
+        assert ir.slt(ir.bv(32, -1), ir.bv(32, 0)) == ir.bv(1, 1)
+        assert ir.ult(ir.bv(32, -1), ir.bv(32, 0)) == ir.bv(1, 0)
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        assert ir.add(X, ir.bv(32, 0)) is X
+        assert ir.add(ir.bv(32, 0), X) is X
+
+    def test_and_identities(self):
+        assert ir.and_(X, ir.bv(32, 0)) == ir.bv(32, 0)
+        assert ir.and_(X, ir.bv(32, 0xFFFFFFFF)) is X
+
+    def test_mul_identities(self):
+        assert ir.mul(X, ir.bv(32, 1)) is X
+        assert ir.mul(X, ir.bv(32, 0)) == ir.bv(32, 0)
+
+    def test_double_negation(self):
+        assert ir.neg(ir.neg(X)) is X
+        assert ir.not_(ir.not_(X)) is X
+
+    def test_reflexive_comparisons(self):
+        assert ir.eq(X, X) == ir.bv(1, 1)
+        assert ir.ne(X, X) == ir.bv(1, 0)
+        assert ir.ule(X, X) == ir.bv(1, 1)
+        assert ir.sgt(X, X) == ir.bv(1, 0)
+
+
+class TestStructural:
+    def test_extract_full_width_is_identity(self):
+        assert ir.extract(31, 0, X) is X
+
+    def test_extract_of_constant(self):
+        assert ir.extract(15, 8, ir.bv(32, 0xAABB)) == ir.bv(8, 0xAA)
+
+    def test_extract_of_extract(self):
+        inner = ir.extract(23, 8, X)
+        assert ir.extract(7, 0, inner) == ir.extract(15, 8, X)
+
+    def test_extract_through_zext_high_bits(self):
+        wide = ir.zext(64, X)
+        assert ir.extract(63, 32, wide) == ir.bv(32, 0)
+
+    def test_zext_of_constant(self):
+        assert ir.zext(64, ir.bv(32, 5)) == ir.bv(64, 5)
+
+    def test_sext_of_constant(self):
+        assert ir.sext(64, ir.bv(32, -1)) == ir.bv(64, 0xFFFFFFFFFFFFFFFF)
+
+    def test_zext_same_width_identity(self):
+        assert ir.zext(32, X) is X
+
+    def test_concat_of_constants(self):
+        assert ir.concat(ir.bv(8, 0xAA), ir.bv(8, 0xBB)) == ir.bv(16, 0xAABB)
+
+    def test_ite_constant_condition(self):
+        assert ir.ite(ir.bv(1, 1), X, Y) is X
+        assert ir.ite(ir.bv(1, 0), X, Y) is Y
+
+    def test_ite_same_arms(self):
+        assert ir.ite(ir.eq(X, Y), X, X) is X
+
+    def test_ite_bool_arms_collapse_to_condition(self):
+        cond = ir.eq(X, Y)
+        assert ir.ite(cond, ir.bv(1, 1), ir.bv(1, 0)) is cond
+
+    def test_symbolic_stays_symbolic(self):
+        node = ir.add(X, Y)
+        assert isinstance(node, BinOp)
+        assert not isinstance(node, (Const, Sym))

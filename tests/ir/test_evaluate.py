@@ -1,0 +1,101 @@
+"""Concrete evaluation, including a hypothesis oracle check."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import ir
+from repro.ir.evaluate import UnboundSymbolError, evaluate
+
+
+X = ir.sym(32, "x")
+Y = ir.sym(32, "y")
+
+
+class TestEvaluate:
+    def test_symbol_lookup(self):
+        assert evaluate(X, {"x": 42}) == 42
+
+    def test_symbol_canonicalized(self):
+        assert evaluate(X, {"x": -1}) == 0xFFFFFFFF
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(UnboundSymbolError):
+            evaluate(X, {})
+
+    def test_nested_expression(self):
+        expr = ir.add(ir.mul(X, ir.bv(32, 3)), Y)
+        assert evaluate(expr, {"x": 10, "y": 5}) == 35
+
+    def test_ite(self):
+        expr = ir.ite(ir.slt(X, Y), X, Y)  # signed min
+        assert evaluate(expr, {"x": 0xFFFFFFFF, "y": 3}) == 0xFFFFFFFF
+
+    def test_extract_concat_roundtrip(self):
+        expr = ir.concat(ir.extract(31, 16, X), ir.extract(15, 0, X))
+        assert evaluate(expr, {"x": 0xDEADBEEF}) == 0xDEADBEEF
+
+    def test_deep_chain_no_recursion_error(self):
+        expr = X
+        for _ in range(5000):
+            expr = ir.add(expr, ir.sym(32, "y"))
+        assert evaluate(expr, {"x": 1, "y": 0}) == 1
+
+
+@given(
+    a=st.integers(0, 0xFFFFFFFF),
+    b=st.integers(0, 0xFFFFFFFF),
+)
+def test_binary_ops_match_python(a, b):
+    """Every binary op agrees with a reference Python computation."""
+    env = {"x": a, "y": b}
+    sa = a - (1 << 32) if a >> 31 else a
+    sb = b - (1 << 32) if b >> 31 else b
+    mask = 0xFFFFFFFF
+    cases = {
+        ir.add(X, Y): (a + b) & mask,
+        ir.sub(X, Y): (a - b) & mask,
+        ir.mul(X, Y): (a * b) & mask,
+        ir.and_(X, Y): a & b,
+        ir.or_(X, Y): a | b,
+        ir.xor(X, Y): a ^ b,
+        ir.eq(X, Y): int(a == b),
+        ir.ult(X, Y): int(a < b),
+        ir.slt(X, Y): int(sa < sb),
+        ir.not_(X): ~a & mask,
+        ir.neg(X): -a & mask,
+    }
+    for expr, expected in cases.items():
+        assert evaluate(expr, env) == expected
+
+
+@given(a=st.integers(0, 0xFFFFFFFF), shift=st.integers(0, 63))
+def test_shifts_match_python(a, shift):
+    env = {"x": a}
+    amount = ir.bv(32, shift)
+    mask = 0xFFFFFFFF
+    assert evaluate(ir.shl(X, amount), env) == \
+        (0 if shift >= 32 else (a << shift) & mask)
+    assert evaluate(ir.lshr(X, amount), env) == \
+        (0 if shift >= 32 else a >> shift)
+    signed = a - (1 << 32) if a >> 31 else a
+    assert evaluate(ir.ashr(X, amount), env) == \
+        (signed >> min(shift, 31)) & mask
+
+
+@given(a=st.integers(0, 0xFFFFFFFF), b=st.integers(0, 0xFFFFFFFF))
+def test_division_conventions(a, b):
+    env = {"x": a, "y": b}
+    mask = 0xFFFFFFFF
+    if b == 0:
+        assert evaluate(ir.udiv(X, Y), env) == mask
+        assert evaluate(ir.urem(X, Y), env) == a
+    else:
+        assert evaluate(ir.udiv(X, Y), env) == a // b
+        assert evaluate(ir.urem(X, Y), env) == a % b
+        sa = a - (1 << 32) if a >> 31 else a
+        sb = b - (1 << 32) if b >> 31 else b
+        quotient = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quotient = -quotient
+        assert evaluate(ir.sdiv(X, Y), env) == quotient & mask
+        assert evaluate(ir.srem(X, Y), env) == (sa - quotient * sb) & mask

@@ -1,0 +1,125 @@
+"""Node-construction invariants of the bitvector IR."""
+
+import pytest
+
+from repro.ir.expr import (
+    BinOp,
+    Binary,
+    CmpKind,
+    CmpOp,
+    Concat,
+    Const,
+    Extend,
+    Extract,
+    Ite,
+    Sym,
+    UnOp,
+    Unary,
+    mask,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_to_unsigned_wraps(self):
+        assert to_unsigned(-1, 32) == 0xFFFFFFFF
+        assert to_unsigned(1 << 32, 32) == 0
+        assert to_unsigned(0x1FF, 8) == 0xFF
+
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF, 32) == -1
+        assert to_signed(0x7FFFFFFF, 32) == 0x7FFFFFFF
+        assert to_signed(0x80, 8) == -128
+
+    def test_roundtrip(self):
+        for value in (-5, 0, 5, 127, -128):
+            assert to_signed(to_unsigned(value, 8), 8) == value
+
+
+class TestConst:
+    def test_canonicalizes_negative(self):
+        assert Const(32, -1).value == 0xFFFFFFFF
+
+    def test_signed_property(self):
+        assert Const(8, 0xFF).signed == -1
+        assert Const(8, 1).signed == 1
+
+    def test_equality_after_canonicalization(self):
+        assert Const(32, -1) == Const(32, 0xFFFFFFFF)
+
+    def test_hashable(self):
+        assert len({Const(32, 1), Const(32, 1), Const(32, 2)}) == 2
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            Const(0, 1)
+
+
+class TestSym:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Sym(32, "")
+
+    def test_same_name_same_node(self):
+        assert Sym(32, "x") == Sym(32, "x")
+        assert Sym(32, "x") != Sym(32, "y")
+
+
+class TestShapeChecks:
+    def test_binop_width_mismatch(self):
+        with pytest.raises(ValueError):
+            BinOp(32, Binary.ADD, Const(32, 1), Const(16, 1))
+
+    def test_unop_width_mismatch(self):
+        with pytest.raises(ValueError):
+            UnOp(16, Unary.NOT, Const(32, 1))
+
+    def test_cmp_must_be_one_bit(self):
+        with pytest.raises(ValueError):
+            CmpOp(32, CmpKind.EQ, Const(32, 1), Const(32, 1))
+
+    def test_cmp_operand_widths_match(self):
+        with pytest.raises(ValueError):
+            CmpOp(1, CmpKind.EQ, Const(32, 1), Const(8, 1))
+
+    def test_extract_bounds(self):
+        with pytest.raises(ValueError):
+            Extract(8, 34, 27, Const(32, 0))
+        with pytest.raises(ValueError):
+            Extract(9, 7, 0, Const(32, 0))  # inconsistent width
+
+    def test_extend_must_widen(self):
+        with pytest.raises(ValueError):
+            Extend(32, False, Const(32, 1))
+
+    def test_concat_width_is_sum(self):
+        node = Concat(40, Const(8, 1), Const(32, 2))
+        assert node.width == 40
+        with pytest.raises(ValueError):
+            Concat(32, Const(8, 1), Const(32, 2))
+
+    def test_ite_condition_one_bit(self):
+        with pytest.raises(ValueError):
+            Ite(32, Const(32, 1), Const(32, 1), Const(32, 2))
+
+    def test_ite_arm_widths(self):
+        with pytest.raises(ValueError):
+            Ite(32, Const(1, 1), Const(32, 1), Const(16, 2))
+
+
+class TestPrinting:
+    def test_const_str(self):
+        assert str(Const(32, 255)) == "0xff:32"
+
+    def test_sym_str(self):
+        assert str(Sym(8, "x")) == "x:8"
+
+    def test_binop_str(self):
+        node = BinOp(32, Binary.ADD, Sym(32, "a"), Const(32, 1))
+        assert str(node) == "(add a:32 0x1:32)"

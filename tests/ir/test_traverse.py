@@ -1,0 +1,54 @@
+"""variables / substitute / expr_size."""
+
+from repro import ir
+from repro.ir.traverse import expr_size, map_symbols, substitute, variables
+
+
+X = ir.sym(32, "x")
+Y = ir.sym(8, "y")
+
+
+class TestVariables:
+    def test_collects_names_and_widths(self):
+        expr = ir.add(X, ir.zext(32, Y))
+        assert variables(expr) == {"x": 32, "y": 8}
+
+    def test_constant_has_no_variables(self):
+        assert variables(ir.bv(32, 7)) == {}
+
+    def test_shared_subtree_counted_once(self):
+        shared = ir.add(X, X)
+        assert variables(shared) == {"x": 32}
+
+
+class TestSubstitute:
+    def test_replaces_symbol(self):
+        expr = ir.add(X, ir.bv(32, 1))
+        result = substitute(expr, {"x": ir.bv(32, 41)})
+        assert result == ir.bv(32, 42)
+
+    def test_partial_substitution(self):
+        expr = ir.add(X, ir.sym(32, "k"))
+        result = substitute(expr, {"k": ir.bv(32, 0)})
+        assert result is X  # folding through smart constructors
+
+    def test_symbol_for_symbol(self):
+        expr = ir.mul(X, X)
+        renamed = substitute(expr, {"x": ir.sym(32, "w")})
+        assert variables(renamed) == {"w": 32}
+
+    def test_map_symbols(self):
+        expr = ir.add(X, ir.zext(32, Y))
+        renamed = map_symbols(expr, lambda name: f"g_{name}")
+        assert set(variables(renamed)) == {"g_x", "g_y"}
+
+
+class TestExprSize:
+    def test_counts_distinct_nodes(self):
+        expr = ir.add(X, ir.bv(32, 1))
+        assert expr_size(expr) == 3
+
+    def test_shared_nodes_counted_once(self):
+        node = ir.add(X, ir.bv(32, 1))
+        expr = ir.mul(node, node)
+        assert expr_size(expr) == 4

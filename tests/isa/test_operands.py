@@ -1,0 +1,91 @@
+"""Operand algebra: Reg/Imm/SymImm/Mem/ShiftedReg invariants."""
+
+import pytest
+
+from repro.isa.operands import (
+    INT_IMMEXPR_OPS,
+    Imm,
+    Label,
+    Mem,
+    Reg,
+    ShiftedReg,
+    SymImm,
+    eval_immexpr,
+    format_immexpr,
+)
+
+
+class TestMem:
+    def test_scale_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Mem(base=Reg("r0"), index=Reg("r1"), scale=3)
+
+    def test_large_power_of_two_scale_allowed(self):
+        assert Mem(index=Reg("r1"), scale=16).scale == 16
+
+    def test_var_not_in_equality(self):
+        assert Mem(base=Reg("r0"), var="a") == Mem(base=Reg("r0"), var="b")
+
+    def test_disp_param_in_equality(self):
+        plain = Mem(base=Reg("r0"))
+        parameterized = Mem(base=Reg("r0"), disp_param=("slot", "i0"))
+        assert plain != parameterized
+
+    def test_registers(self):
+        mem = Mem(base=Reg("r1"), index=Reg("r2"), scale=4)
+        assert mem.registers() == (Reg("r1"), Reg("r2"))
+
+    def test_with_var_preserves_disp_param(self):
+        mem = Mem(base=Reg("r0"), disp_param=("slot", "i0"))
+        assert mem.with_var("x").disp_param == ("slot", "i0")
+
+
+class TestShiftedReg:
+    def test_valid_kinds_only(self):
+        with pytest.raises(ValueError):
+            ShiftedReg(Reg("r1"), "ror", 2)
+
+    def test_amount_range(self):
+        with pytest.raises(ValueError):
+            ShiftedReg(Reg("r1"), "lsl", 32)
+
+
+class TestImmExpr:
+    def test_slot_evaluation(self):
+        assert eval_immexpr(("slot", "i0"), {"i0": 42}, INT_IMMEXPR_OPS) == 42
+
+    def test_const(self):
+        assert eval_immexpr(("const", -1), {}, INT_IMMEXPR_OPS) == 0xFFFFFFFF
+
+    def test_neg(self):
+        expr = ("neg", ("slot", "i0"))
+        assert eval_immexpr(expr, {"i0": 1}, INT_IMMEXPR_OPS) == 0xFFFFFFFF
+
+    def test_or_of_two_slots(self):
+        expr = ("or", ("slot", "a"), ("slot", "b"))
+        env = {"a": 983040, "b": 117440512}
+        assert eval_immexpr(expr, env, INT_IMMEXPR_OPS) == 0x70F0000
+
+    def test_add_with_delta(self):
+        expr = ("add", ("slot", "i0"), ("const", 0x34))
+        assert eval_immexpr(expr, {"i0": 0}, INT_IMMEXPR_OPS) == 0x34
+
+    def test_shl_guard(self):
+        expr = ("shl", ("slot", "a"), ("slot", "b"))
+        assert eval_immexpr(expr, {"a": 1, "b": 40}, INT_IMMEXPR_OPS) == 0
+
+    def test_format(self):
+        assert format_immexpr(("add", ("slot", "i0"), ("const", 4))) == \
+            "(i0 add 4)"
+        assert str(SymImm(("slot", "i0"))) == "#<i0>"
+
+
+class TestPrinting:
+    def test_reg(self):
+        assert str(Reg("r3")) == "r3"
+
+    def test_imm(self):
+        assert str(Imm(-4)) == "#-4"
+
+    def test_label(self):
+        assert str(Label(".L1")) == ".L1"

@@ -1,0 +1,110 @@
+"""Address normalization: linear forms over live-in registers."""
+
+from repro.guest_arm import isa as arm_isa
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import isa as x86_isa
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.learning.addrnorm import LinForm, SlotNamer, analyze_snippet
+
+
+def analyze_arm(*lines):
+    namer = SlotNamer("ig")
+    accesses, forms = analyze_snippet(
+        [parse_arm(line) for line in lines], arm_isa, namer
+    )
+    return accesses, forms, namer
+
+
+def analyze_x86(*lines):
+    namer = SlotNamer("ih")
+    accesses, forms = analyze_snippet(
+        [parse_x86(line) for line in lines], x86_isa, namer
+    )
+    return accesses, forms, namer
+
+
+class TestLinForm:
+    def test_plus_and_cancel(self):
+        a = LinForm(regs={"r0": 1}, const=4)
+        b = LinForm(regs={"r0": 1, "r1": 2})
+        merged = a.plus(b, -1)
+        assert merged.regs == {"r1": -2}
+        assert merged.const == 4
+
+    def test_scaled(self):
+        form = LinForm(regs={"r0": 1}, slots={"ig0": 1}, const=3)
+        scaled = form.scaled(4)
+        assert scaled.regs == {"r0": 4}
+        assert scaled.slots == {"ig0": 4}
+        assert scaled.const == 12
+
+
+class TestArmNormalization:
+    def test_figure_2a(self):
+        """add r0, r1, r0 lsl 2; ldr r0, [r0, #-4]  =>  r1 + r0*4 + disp."""
+        accesses, _, namer = analyze_arm(
+            "add r0, r1, r0, lsl #2", "ldr r0, [r0, #-4]"
+        )
+        (access,) = accesses
+        assert access.form.regs == {"r1": 1, "r0": 4}
+        # The displacement is a slot valued -4.
+        (slot_name, coeff), = access.form.slots.items()
+        assert coeff == 1
+        assert namer.values[slot_name] == (-4) & 0xFFFFFFFF
+
+    def test_mov_imm_feeds_address(self):
+        accesses, _, namer = analyze_arm(
+            "mov r1, #1048576", "ldr r3, [r1, r2, lsl #2]"
+        )
+        (access,) = accesses
+        assert access.form.regs == {"r2": 4}
+        assert sum(
+            namer.values[slot] * c for slot, c in access.form.slots.items()
+        ) == 1048576
+
+    def test_opaque_after_load(self):
+        accesses, _, _ = analyze_arm("ldr r1, [r5]", "ldr r4, [r1]")
+        assert not accesses[0].form.is_opaque
+        assert accesses[1].form.is_opaque
+
+    def test_store_flagged(self):
+        accesses, _, _ = analyze_arm("str r0, [r1]")
+        assert accesses[0].is_store
+
+    def test_byte_access_size(self):
+        accesses, _, _ = analyze_arm("ldrb r0, [r1]")
+        assert accesses[0].size == 1
+
+
+class TestX86Normalization:
+    def test_full_sib(self):
+        accesses, _, namer = analyze_x86("movl -0x4(%ecx,%eax,4), %eax")
+        (access,) = accesses
+        assert access.form.regs == {"ecx": 1, "eax": 4}
+        (slot, _), = access.form.slots.items()
+        assert namer.values[slot] == (-4) & 0xFFFFFFFF
+
+    def test_lea_is_not_an_access_but_tracks_form(self):
+        accesses, forms, _ = analyze_x86(
+            "leal (%ecx,%eax,2), %edx", "movl (%edx), %esi"
+        )
+        (access,) = accesses  # only the movl
+        assert access.form.regs == {"ecx": 1, "eax": 2}
+
+    def test_add_chain_tracked(self):
+        accesses, _, _ = analyze_x86(
+            "movl %ebx, %edx", "addl %ecx, %edx", "movl (%edx), %eax"
+        )
+        (access,) = accesses
+        assert access.form.regs == {"ebx": 1, "ecx": 1}
+
+    def test_matching_guest_host_forms_align(self):
+        """The central property: paired accesses normalize to forms with
+        equal coefficient multisets."""
+        guest, _, _ = analyze_arm(
+            "add r0, r1, r0, lsl #2", "ldr r0, [r0, #-4]"
+        )
+        host, _, _ = analyze_x86("movl -0x4(%ecx,%eax,4), %eax")
+        guest_coeffs = sorted(guest[0].form.regs.values())
+        host_coeffs = sorted(host[0].form.regs.values())
+        assert guest_coeffs == host_coeffs == [1, 4]

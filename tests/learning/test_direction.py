@@ -1,0 +1,72 @@
+"""Direction registry and constraint functions."""
+
+import pytest
+
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.learning.direction import (
+    ARM_TO_X86,
+    DIRECTIONS,
+    X86_TO_ARM,
+    HostConstraintError,
+    arm_host_constraints,
+    x86_host_constraints,
+)
+
+
+class TestRegistry:
+    def test_both_directions_registered(self):
+        assert set(DIRECTIONS) == {"arm-x86", "x86-arm"}
+
+    def test_flag_partners_are_inverses(self):
+        forward = ARM_TO_X86.flag_partners
+        backward = X86_TO_ARM.flag_partners
+        assert {v: k for k, v in forward.items()} == backward
+
+    def test_opcode_ids_come_from_guest_isa(self):
+        arm_add = parse_arm("add r0, r0, #1")
+        x86_add = parse_x86("addl $1, %eax")
+        assert ARM_TO_X86.guest_opcode_id(arm_add) > 0
+        assert X86_TO_ARM.guest_opcode_id(x86_add) > 0
+        with pytest.raises(Exception):
+            ARM_TO_X86.guest_opcode_id(x86_add)
+
+    def test_low8_assignment(self):
+        assert ARM_TO_X86.host_has_low8 and not ARM_TO_X86.guest_has_low8
+        assert X86_TO_ARM.guest_has_low8 and not X86_TO_ARM.host_has_low8
+
+
+class TestX86Constraints:
+    def test_valid_scales(self):
+        for scale in (1, 2, 4, 8):
+            x86_host_constraints(
+                parse_x86(f"movl (%esi,%edi,{scale}), %eax")
+            )
+
+    def test_invalid_scale(self):
+        from repro.isa.instruction import Instruction
+        from repro.isa.operands import Mem, Reg
+
+        instr = Instruction(
+            "movl",
+            (Mem(base=Reg("esi"), index=Reg("edi"), scale=16), Reg("eax")),
+        )
+        with pytest.raises(HostConstraintError):
+            x86_host_constraints(instr)
+
+
+class TestArmConstraints:
+    @pytest.mark.parametrize("value", [0, 255, 0xFF00, 0xFF000000, 0x3FC00])
+    def test_encodable(self, value):
+        arm_host_constraints(parse_arm(f"add r0, r0, #{value}"))
+
+    @pytest.mark.parametrize("value", [257, 0x12345678, 0x101])
+    def test_unencodable(self, value):
+        with pytest.raises(HostConstraintError):
+            arm_host_constraints(parse_arm(f"add r0, r0, #{value}"))
+
+    def test_mov_wide_pseudo_allowed_range_check_applies(self):
+        # Our ISA models mov with arbitrary imm as a movw/movt pair, but
+        # rule-host assembly still enforces the single-instruction rule.
+        with pytest.raises(HostConstraintError):
+            arm_host_constraints(parse_arm("mov r0, #0x12345678"))

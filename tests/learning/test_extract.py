@@ -1,0 +1,112 @@
+"""Snippet extraction + preparation filters (Section 3.1)."""
+
+from repro.learning.extract import PrepFailure, extract_pairs
+from repro.minic import compile_source
+
+
+def _extract(source: str):
+    guest = compile_source(source, "arm", 2, "llvm")
+    host = compile_source(source, "x86", 2, "llvm")
+    return extract_pairs(guest, host)
+
+
+class TestGrouping:
+    def test_basic_pairing(self):
+        result = _extract("""
+        int f(int a, int b) {
+          int c = a + b;
+          int d = c * 2;
+          return d - a;
+        }
+        int main(void) { return f(1, 2); }
+        """)
+        assert result.pairs
+        lines = {pair.line for pair in result.pairs}
+        assert len(lines) == len(result.pairs)  # one pair per line
+
+    def test_snippets_are_single_block(self):
+        result = _extract("""
+        int main(void) {
+          int s = 0;
+          int i = 0;
+          while (i < 5) { s += i; i += 1; }
+          return s;
+        }
+        """)
+        for pair in result.pairs:
+            guest_blocks = {i.block for i in pair.guest}
+            assert len(guest_blocks) == 1
+
+    def test_runtime_functions_excluded(self):
+        result = _extract("""
+        int main(void) { return 100 / 7; }
+        """)
+        assert all(pair.function != "__aeabi_idivmod" for pair in result.pairs)
+
+
+class TestFailureClasses:
+    def test_call_lines_rejected(self):
+        result = _extract("""
+        int g(int x) { return x; }
+        int main(void) { int y = g(4); return y; }
+        """)
+        assert result.prep_failures[PrepFailure.CALL_OR_INDIRECT] > 0
+
+    def test_division_lines_are_call_failures(self):
+        # ARM division becomes a __aeabi_idiv call.
+        result = _extract("""
+        int f(int a, int b) { return a / b; }
+        int main(void) { return f(77, 7); }
+        """)
+        assert result.prep_failures[PrepFailure.CALL_OR_INDIRECT] > 0
+
+    def test_for_loop_lines_are_multi_block(self):
+        result = _extract("""
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 5; ++i) { s += 2; }
+          return s;
+        }
+        """)
+        assert result.prep_failures[PrepFailure.MULTI_BLOCK] > 0
+
+    def test_predicated_lines_rejected(self):
+        result = _extract("""
+        int f(int d) {
+          if (d < 0) { d = 0 - d; }
+          return d;
+        }
+        int main(void) { return f(-5); }
+        """)
+        assert result.prep_failures[PrepFailure.PREDICATED] > 0
+
+    def test_while_header_survives_backjump(self):
+        """The loop back-jump carries the header's line but is pure
+        control glue — the header's compare+branch must remain
+        learnable."""
+        result = _extract("""
+        int main(void) {
+          int i = 0;
+          while (i < 10) {
+            i += 2;
+          }
+          return i;
+        }
+        """)
+        header_pairs = [
+            pair for pair in result.pairs
+            if pair.guest and pair.guest[-1].mnemonic.startswith("b")
+        ]
+        assert header_pairs
+
+    def test_totals_are_consistent(self):
+        result = _extract("""
+        int a[4];
+        int main(void) {
+          int i = 0;
+          while (i < 4) { a[i] = i; i += 1; }
+          return a[2] / 2;
+        }
+        """)
+        failures = sum(result.prep_failures.values())
+        assert len(result.pairs) + failures <= result.total_sequences

@@ -1,0 +1,143 @@
+"""Initial-mapping generation heuristics (Section 3.2)."""
+
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.learning.extract import SnippetPair
+from repro.learning.paramize import (
+    ParamFailure,
+    analyze_pair,
+    generate_mappings,
+    live_in_registers,
+)
+from repro.guest_arm import isa as arm_isa
+
+
+def make_pair(guest_lines, host_lines):
+    return SnippetPair(
+        "t", 1,
+        [parse_arm(line) for line in guest_lines],
+        [parse_x86(line) for line in host_lines],
+    )
+
+
+def mappings_for(guest_lines, host_lines):
+    context = analyze_pair(make_pair(guest_lines, host_lines))
+    return generate_mappings(context)
+
+
+class TestLiveIn:
+    def test_use_before_def(self):
+        instrs = [parse_arm("add r0, r1, r2"), parse_arm("sub r3, r0, r1")]
+        assert live_in_registers(instrs, arm_isa) == ("r1", "r2")
+
+    def test_redefined_after_use_still_live_in(self):
+        instrs = [parse_arm("add r0, r0, r1")]
+        assert live_in_registers(instrs, arm_isa) == ("r0", "r1")
+
+
+class TestAddressMapping:
+    def test_figure_2a_mapping(self):
+        maps, failure = mappings_for(
+            ["add r0, r1, r0, lsl #2", "ldr r0, [r0, #-4]"],
+            ["movl -0x4(%ecx,%eax,4), %eax"],
+        )
+        assert failure is None
+        assert maps[0].reg_map == {"r1": "ecx", "r0": "eax"}
+
+    def test_figure_2b_base_mapping(self):
+        maps, failure = mappings_for(
+            ["ldr r1, [r5]", "ldr r4, [r1]"],
+            ["movl (%edi), %eax", "movl (%eax), %esi"],
+        )
+        assert failure is None
+        assert maps[0].reg_map == {"r5": "edi"}
+
+
+class TestOperationMapping:
+    def test_figure_3a_produces_correct_candidate(self):
+        maps, failure = mappings_for(
+            ["sub r0, r8, r4", "add r0, r1, r0"],
+            ["movl %ebp, %ecx", "subl %esi, %ecx", "addl %eax, %ecx"],
+        )
+        assert failure is None
+        expected = {"r1": "eax", "r8": "ebp", "r4": "esi"}
+        assert expected in [m.reg_map for m in maps]
+
+    def test_permutations_bounded(self):
+        maps, failure = mappings_for(
+            ["add r0, r1, r2"],
+            ["movl %ecx, %eax", "addl %edx, %eax"],
+        )
+        assert failure is None
+        assert 1 <= len(maps) <= 5
+
+    def test_different_live_in_counts_fail(self):
+        maps, failure = mappings_for(
+            ["add r0, r1, r2"],              # two live-ins
+            ["movl $3, %eax"],               # zero live-ins
+        )
+        assert failure is ParamFailure.LIVE_IN
+
+
+class TestMemoryPairing:
+    def test_count_mismatch(self):
+        maps, failure = mappings_for(
+            ["mov r0, r1"],
+            ["movl 0x4(%esp), %eax"],
+        )
+        assert failure is ParamFailure.MEM_COUNT
+
+    def test_name_mismatch(self):
+        pair = make_pair(["ldr r0, [r1]  @ var=alpha"],
+                         ["movl (%esi), %eax  # var=beta"])
+        context = analyze_pair(pair)
+        _, failure = generate_mappings(context)
+        assert failure is ParamFailure.MEM_NAME
+
+    def test_size_mismatch_counts_as_name_failure(self):
+        maps, failure = mappings_for(
+            ["ldrb r0, [r1]"],
+            ["movl (%esi), %eax"],
+        )
+        assert failure is ParamFailure.MEM_NAME
+
+
+class TestImmediateRelations:
+    def test_identity_relation(self):
+        maps, _ = mappings_for(["mov r0, #42"], ["movl $42, %eax"])
+        assert any(
+            ast == ("slot", "ig0") for ast in maps[0].imm_asts.values()
+        )
+
+    def test_or_relation_figure_4b(self):
+        maps, _ = mappings_for(
+            ["mov r1, #983040", "orr r1, r1, #117440512"],
+            ["movl $0x70f0000, %ecx"],
+        )
+        asts = list(maps[0].imm_asts.values())
+        assert any(ast[0] == "or" for ast in asts)
+
+    def test_additive_inverse_relation(self):
+        maps, _ = mappings_for(
+            ["sub r0, r0, #14"],
+            ["addl $-14, %eax"],
+        )
+        assert any(ast[0] == "neg" for ast in maps[0].imm_asts.values())
+
+    def test_unrelated_immediate_left_concrete(self):
+        maps, _ = mappings_for(
+            ["and r0, r0, #255"],
+            ["movzbl %al, %eax"],
+        )
+        # 255 has no host counterpart; it must not become a wildcard.
+        assert "ig0" not in maps[0].guest_param_slots
+
+    def test_offset_delta_figure_4a(self):
+        maps, _ = mappings_for(
+            ["str r1, [r6]"],
+            ["movl %eax, 0x34(%esi)"],
+        )
+        (ast,) = maps[0].imm_asts.values()
+        # host disp = guest disp + 0x34
+        assert ast == ("add", ("slot", "ig0"), ("const", 0x34)) or \
+            ast[0] in ("slot", "add")

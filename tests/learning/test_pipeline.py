@@ -1,0 +1,93 @@
+"""End-to-end learning pipeline + leave-one-out protocol."""
+
+import pytest
+
+from repro.learning import learn_rules
+from repro.learning.pipeline import LearningReport, leave_one_out
+from repro.learning.rule import dedup_rules
+from repro.minic import compile_source
+
+SOURCE = """
+int data[16];
+int process(int *p, int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    s = s + p[i] - 1;
+    i += 1;
+  }
+  return s;
+}
+int main(void) {
+  int i = 0;
+  while (i < 16) {
+    data[i] = i * 3;
+    i += 1;
+  }
+  return process(data, 16);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    guest = compile_source(SOURCE, "arm", 2, "llvm")
+    host = compile_source(SOURCE, "x86", 2, "llvm")
+    return learn_rules(guest, host, benchmark="unit")
+
+
+class TestPipeline:
+    def test_rules_learned(self, outcome):
+        assert outcome.report.rules == len(outcome.rules) > 0
+
+    def test_accounting_adds_up(self, outcome):
+        report = outcome.report
+        accounted = (report.prep_failures + report.param_failures
+                     + report.verify_failures + report.rules)
+        # Pairs whose line exists on only one side are not counted as
+        # failures, so accounted <= total.
+        assert accounted <= report.total_sequences
+        assert report.total_sequences > 0
+
+    def test_rules_are_deduplicated(self, outcome):
+        signatures = [rule.guest_signature() for rule in outcome.rules]
+        assert len(signatures) == len(set(signatures))
+
+    def test_timing_recorded(self, outcome):
+        assert outcome.report.learn_seconds > 0
+        assert 0 <= outcome.report.verify_seconds <= \
+            outcome.report.learn_seconds
+
+    def test_origin_recorded(self, outcome):
+        assert all(rule.origin == "unit" for rule in outcome.rules)
+
+
+class TestLeaveOneOut:
+    def test_excluded_benchmark_contributes_nothing(self, outcome):
+        other = learn_rules(
+            compile_source(SOURCE.replace("* 3", "* 5"), "arm", 2, "llvm"),
+            compile_source(SOURCE.replace("* 3", "* 5"), "x86", 2, "llvm"),
+            benchmark="other",
+        )
+        outcomes = {"unit": outcome, "other": other}
+        rules = leave_one_out(outcomes, "unit")
+        assert all(rule.origin != "unit" for rule in rules)
+
+    def test_dedup_across_benchmarks(self, outcome):
+        merged = dedup_rules(list(outcome.rules) + list(outcome.rules))
+        assert len(merged) == len(outcome.rules)
+
+
+class TestReportMerge:
+    def test_merge_sums_fields(self):
+        a = LearningReport(total_sequences=10, rules=2, prep_ci=1)
+        b = LearningReport(total_sequences=5, rules=1, verify_rg=3)
+        a.merge(b)
+        assert a.total_sequences == 15
+        assert a.rules == 3
+        assert a.prep_ci == 1
+        assert a.verify_rg == 3
+
+    def test_yield_fraction(self):
+        report = LearningReport(total_sequences=20, rules=5)
+        assert report.yield_fraction == 0.25

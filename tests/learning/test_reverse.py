@@ -1,0 +1,169 @@
+"""Reverse-direction learning (x86 guest -> ARM host) and Section 5
+host-ISA constraints."""
+
+import pytest
+
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.learning import (
+    X86_TO_ARM,
+    HostConstraintError,
+    instantiate_host,
+    learn_rules,
+    match_rule,
+)
+from repro.learning.direction import arm_host_constraints
+from repro.learning.extract import SnippetPair
+from repro.learning.paramize import analyze_pair, generate_mappings
+from repro.learning.store import RuleStore
+from repro.learning.verify import verify_candidate
+from repro.minic import compile_source
+
+SOURCE = """
+int a[16];
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (i < 16) {
+    a[i] = i * 4 + 2;
+    s = s + a[i] - 1;
+    i += 1;
+  }
+  return s;
+}
+"""
+
+
+def learn_reverse(guest_lines, host_lines):
+    pair = SnippetPair(
+        "t", 1,
+        [parse_x86(line) for line in guest_lines],
+        [parse_arm(line) for line in host_lines],
+    )
+    context = analyze_pair(pair, X86_TO_ARM)
+    mappings, failure = generate_mappings(context)
+    assert failure is None, failure
+    for mapping in mappings:
+        result = verify_candidate(context, mapping)
+        if result.rule is not None:
+            return result.rule
+    raise AssertionError(f"no rule: {result.failure} {result.detail}")
+
+
+class TestReverseLearning:
+    def test_whole_program(self):
+        x86 = compile_source(SOURCE, "x86", 2, "llvm")
+        arm = compile_source(SOURCE, "arm", 2, "llvm")
+        outcome = learn_rules(x86, arm, direction=X86_TO_ARM)
+        assert outcome.report.rules > 0
+        assert all(r.direction == "x86-arm" for r in outcome.rules)
+
+    def test_figure_4b_reversed(self):
+        """The paper: 'the same mapping could be concluded even if x86
+        is the guest ISA and ARM is the host ISA'."""
+        rule = learn_reverse(
+            ["movl $0x70f0000, %ecx"],
+            ["mov r1, #983040", "orr r1, r1, #117440512"],
+        )
+        assert rule.length == 1
+        assert len(rule.host) == 2
+
+    def test_lea_reversed(self):
+        rule = learn_reverse(
+            ["leal -1(%edx,%eax), %edx"],
+            ["add r1, r1, r0", "sub r1, r1, #1"],
+        )
+        assert rule.direction == "x86-arm"
+
+    def test_movzbl_reversed_binds_low8(self):
+        rule = learn_reverse(
+            ["movzbl %al, %eax"],
+            ["and r0, r0, #255"],
+        )
+        # Guest template uses a low-byte parameter; match against a
+        # different low8 register binds the parent.
+        binding = match_rule(rule, [parse_x86("movzbl %cl, %ecx")])
+        assert binding is not None
+        assert binding.regs["p0"] == "ecx"
+
+    def test_branch_reversed_flags(self):
+        rule = learn_reverse(
+            ["cmpl %ecx, %edx", "jb .L"],
+            ["cmp r2, r3", "blo .L"],
+        )
+        assert rule.has_branch
+        # x86 guest CF is emulated (inverted) by ARM host C.
+        assert rule.cc_info.get("CF") == "inverted"
+        assert rule.cc_info.get("ZF") == "direct"
+
+    def test_store_direction_homogeneous(self):
+        forward = learn_rules(
+            compile_source(SOURCE, "arm", 2, "llvm"),
+            compile_source(SOURCE, "x86", 2, "llvm"),
+        ).rules
+        reverse = learn_rules(
+            compile_source(SOURCE, "x86", 2, "llvm"),
+            compile_source(SOURCE, "arm", 2, "llvm"),
+            direction=X86_TO_ARM,
+        ).rules
+        store = RuleStore.from_rules(forward)
+        with pytest.raises(ValueError):
+            store.insert(reverse[0])
+
+
+class TestArmHostConstraints:
+    def test_encodable_immediate_ok(self):
+        arm_host_constraints(parse_arm("add r0, r0, #255"))
+        arm_host_constraints(parse_arm("mov r0, #0xff000000"))
+
+    def test_unencodable_immediate_rejected(self):
+        with pytest.raises(HostConstraintError):
+            arm_host_constraints(parse_arm("add r0, r0, #0x12345678"))
+
+    def test_offset_range(self):
+        arm_host_constraints(parse_arm("ldr r0, [r1, #4095]"))
+        with pytest.raises(HostConstraintError):
+            arm_host_constraints(parse_arm("ldr r0, [r1, #4096]"))
+
+    def test_shift_amounts_exempt(self):
+        arm_host_constraints(parse_arm("lsl r0, r1, #17"))
+
+    def test_instantiation_checks_immediates(self):
+        """Section 5: assembling a reverse rule with an immediate the
+        ARM encoding cannot express must fail loudly."""
+        rule = learn_reverse(["addl $12, %eax"], ["add r0, r0, #12"])
+        good = match_rule(rule, [parse_x86("addl $200, %eax")])
+        assert good is not None
+        instrs = instantiate_host(rule, good, {"p0": "r4"})
+        assert str(instrs[0]) == "add r4, r4, #200"
+
+        bad = match_rule(rule, [parse_x86("addl $305419896, %eax")])
+        assert bad is not None  # matching succeeds ...
+        with pytest.raises(HostConstraintError):  # ... assembling fails
+            instantiate_host(rule, bad, {"p0": "r4"})
+
+
+class TestEngineGuard:
+    def test_dbt_rejects_reverse_store(self):
+        from repro.dbt.engine import DBTEngine, DBTError
+
+        source = """
+        int main(void) {
+          int s = 0;
+          int i = 0;
+          while (i < 4) {
+            s = s + i - 1;
+            i += 1;
+          }
+          return s;
+        }
+        """
+        reverse_rules = learn_rules(
+            compile_source(source, "x86"),
+            compile_source(source, "arm"),
+            direction=X86_TO_ARM,
+        ).rules
+        store = RuleStore.from_rules(reverse_rules)
+        guest = compile_source(source, "arm")
+        with pytest.raises(DBTError):
+            DBTEngine(guest, "rules", store)

@@ -1,0 +1,129 @@
+"""RuleStore properties over the real learned-rule population."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.guest_arm import isa as arm_isa
+from repro.learning import learn_rules
+from repro.learning.rule import match_rule
+from repro.learning.store import RuleStore
+from repro.minic import compile_source
+
+SOURCE = """
+int a[16];
+int mix(int x, int y) { return (x + y) - (x & y); }
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (i < 16) {
+    a[i] = mix(i, s);
+    s = s + a[i] - 1;
+    if (s > 500) {
+      s -= 100;
+    }
+    i += 1;
+  }
+  return s;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def rules():
+    guest = compile_source(SOURCE, "arm", 2, "llvm")
+    host = compile_source(SOURCE, "x86", 2, "llvm")
+    return learn_rules(guest, host).rules
+
+
+@pytest.fixture(scope="module")
+def store(rules):
+    return RuleStore.from_rules(rules)
+
+
+class TestInvariants:
+    def test_every_rule_findable_from_its_own_guest(self, rules, store):
+        """Self-retrieval: matching a rule's own guest template rendered
+        concrete must find *some* rule of at least that length."""
+        for rule in rules:
+            concrete = _concretize(rule)
+            if concrete is None:
+                continue
+            match = store.match_at(concrete, 0)
+            assert match is not None, rule
+            assert match.length >= 1
+
+    def test_hash_buckets_hold_only_matching_keys(self, store):
+        for key, bucket in store._buckets.items():
+            for rule in bucket:
+                assert rule.hash_key() == key
+
+    def test_match_results_verify_against_hash(self, rules, store):
+        for rule in rules:
+            concrete = _concretize(rule)
+            if concrete is None:
+                continue
+            ids = [arm_isa.opcode_id(i) for i in concrete]
+            match = store.match_at(concrete, 0)
+            assert match is not None
+            matched_ids = ids[: match.length]
+            assert match.rule.hash_key() == \
+                sum(matched_ids) // len(matched_ids)
+
+    def test_all_rules_retrievable(self, rules, store):
+        assert sorted(r.guest_signature() for r in store.all_rules()) == \
+            sorted(r.guest_signature() for r in rules)
+
+
+def _concretize(rule):
+    """Render a rule's guest template as concrete instructions."""
+    from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg, SymImm
+
+    regs = {}
+    pool = iter(f"r{i}" for i in range(11))
+
+    def reg(name):
+        if name not in regs:
+            regs[name] = next(pool)
+        return Reg(regs[name])
+
+    instrs = []
+    for template in rule.guest:
+        ops = []
+        for op in template.operands:
+            if isinstance(op, Reg):
+                ops.append(reg(op.name))
+            elif isinstance(op, SymImm):
+                ops.append(Imm(12))
+            elif isinstance(op, ShiftedReg):
+                ops.append(ShiftedReg(reg(op.reg.name), op.shift, op.amount))
+            elif isinstance(op, Mem):
+                ops.append(Mem(
+                    reg(op.base.name) if op.base else None,
+                    reg(op.index.name) if op.index else None,
+                    op.scale,
+                    12 if op.disp_param is not None else op.disp,
+                ))
+            elif isinstance(op, (Imm, Label)):
+                ops.append(op)
+            else:
+                return None
+        instrs.append(template.with_operands(tuple(ops)))
+    return instrs
+
+
+@settings(max_examples=30, deadline=None)
+@given(start=st.integers(0, 3), limit=st.integers(1, 4))
+def test_limit_monotone(store, rules, start, limit):
+    """A larger limit never yields a shorter match."""
+    concrete = None
+    for rule in rules:
+        if rule.length >= 2:
+            concrete = _concretize(rule)
+            if concrete is not None:
+                break
+    if concrete is None or start >= len(concrete):
+        return
+    small = store.match_at(concrete, start, limit=limit)
+    large = store.match_at(concrete, start, limit=limit + 1)
+    if small is not None and large is not None:
+        assert large.length >= small.length

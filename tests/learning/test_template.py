@@ -1,0 +1,106 @@
+"""Template construction: parameter classes, temps, conflicts."""
+
+import pytest
+
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.isa.operands import Reg, SymImm
+from repro.learning.extract import SnippetPair
+from repro.learning.paramize import InitialMapping, analyze_pair
+from repro.learning.template import TemplateError, build_templates
+
+
+def make_context(guest_lines, host_lines):
+    pair = SnippetPair(
+        "t", 1,
+        [parse_arm(line) for line in guest_lines],
+        [parse_x86(line) for line in host_lines],
+    )
+    return analyze_pair(pair)
+
+
+class TestParameterClasses:
+    def test_shared_params_span_both_sides(self):
+        context = make_context(["add r1, r1, r0"], ["addl %eax, %edx"])
+        mapping = InitialMapping({"r1": "edx", "r0": "eax"}, {})
+        templates = build_templates(context, mapping, {"r1": "edx"}, (),
+                                    ("r1",))
+        assert templates.guest_of_param["p0"] == "r1"
+        assert templates.host_of_param["p0"] == "edx"
+        assert templates.written_params == ("p0",)
+
+    def test_host_temps_get_t_names(self):
+        context = make_context(
+            ["add r0, r1, r2"],
+            ["movl %ecx, %eax", "addl %edx, %eax"],
+        )
+        mapping = InitialMapping({"r1": "ecx", "r2": "edx"}, {})
+        templates = build_templates(
+            context, mapping, {"r0": "eax"}, ("ebx",), ("r0",)
+        )
+        assert templates.temps == ("t0",)
+
+    def test_initial_final_conflict_rejected(self):
+        context = make_context(["add r1, r1, r0"], ["addl %eax, %edx"])
+        mapping = InitialMapping({"r1": "edx", "r0": "eax"}, {})
+        with pytest.raises(TemplateError):
+            build_templates(context, mapping, {"r1": "eax"}, (), ("r1",))
+
+    def test_double_host_mapping_rejected(self):
+        context = make_context(
+            ["add r1, r1, r0", "mov r2, r1"],
+            ["addl %eax, %edx"],
+        )
+        mapping = InitialMapping({"r1": "edx", "r0": "eax"}, {})
+        with pytest.raises(TemplateError):
+            build_templates(
+                context, mapping, {"r1": "edx", "r2": "edx"}, (),
+                ("r1", "r2"),
+            )
+
+    def test_unmapped_register_rejected(self):
+        context = make_context(["add r1, r1, r0"], ["addl %eax, %edx"])
+        mapping = InitialMapping({"r1": "edx"}, {})  # r0 unmapped
+        with pytest.raises(TemplateError):
+            build_templates(context, mapping, {"r1": "edx"}, (), ("r1",))
+
+
+class TestOperandTemplating:
+    def test_guest_imm_parameterized_only_when_referenced(self):
+        context = make_context(["add r1, r1, #12"], ["addl $12, %edx"])
+        mapping = InitialMapping(
+            {"r1": "edx"}, {"ih0": ("slot", "ig0")}, {"ig0"}
+        )
+        templates = build_templates(context, mapping, {"r1": "edx"}, (),
+                                    ("r1",))
+        guest_ops = templates.guest[0].operands
+        assert any(isinstance(op, SymImm) for op in guest_ops)
+
+    def test_concrete_imm_without_relation(self):
+        context = make_context(["add r1, r1, #12"], ["addl $12, %edx"])
+        mapping = InitialMapping({"r1": "edx"}, {}, set())
+        templates = build_templates(context, mapping, {"r1": "edx"}, (),
+                                    ("r1",))
+        assert not any(
+            isinstance(op, SymImm) for op in templates.guest[0].operands
+        )
+
+    def test_host_low8_becomes_dotted_param(self):
+        context = make_context(
+            ["and r0, r0, #255"], ["movzbl %al, %eax"]
+        )
+        mapping = InitialMapping({"r0": "eax"}, {}, set())
+        templates = build_templates(context, mapping, {"r0": "eax"}, (),
+                                    ("r0",))
+        assert templates.host[0].operands[0] == Reg("p0.b")
+
+    def test_labels_become_l0(self):
+        context = make_context(
+            ["cmp r0, r1", "beq .somewhere"],
+            ["cmpl %ecx, %eax", "je .somewhere"],
+        )
+        mapping = InitialMapping({"r0": "eax", "r1": "ecx"}, {}, set())
+        templates = build_templates(context, mapping, {}, (), ())
+        assert str(templates.guest[-1].operands[0]) == "L0"
+        assert str(templates.host[-1].operands[0]) == "L0"
+        assert templates.has_branch

@@ -1,0 +1,100 @@
+"""Compile driver: linking, addresses, global layout, options."""
+
+import pytest
+
+from repro.minic import CompileOptions, compile_source
+from repro.minic.compile import CODE_BASE, GLOBAL_BASE
+
+
+SOURCE = """
+int first = 7;
+char bytes[10];
+int second[3] = {1, 2, 3};
+int helper(int x) { return x + first; }
+int main(void) { return helper(second[1]); }
+"""
+
+
+class TestOptions:
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            CompileOptions(target="mips")
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            CompileOptions(opt_level=5)
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            CompileOptions(style="icc")
+
+
+class TestLinking:
+    def test_every_function_has_an_entry_label(self):
+        program = compile_source(SOURCE, "arm")
+        for name in program.functions:
+            assert name in program.labels
+
+    def test_labels_unique_and_in_range(self):
+        program = compile_source(SOURCE, "arm")
+        positions = list(program.labels.values())
+        assert all(0 <= p <= len(program.code) for p in positions)
+
+    def test_function_of_index_consistent(self):
+        program = compile_source(SOURCE, "arm")
+        assert len(program.function_of_index) == len(program.code)
+        start = program.labels["helper"]
+        assert program.function_of_index[start] == "helper"
+
+    def test_addr_roundtrip(self):
+        program = compile_source(SOURCE, "arm")
+        addr = program.addr_of("main")
+        assert addr >= CODE_BASE
+        assert program.index_of_addr(addr) == program.labels["main"]
+
+    def test_bad_address_rejected(self):
+        program = compile_source(SOURCE, "arm")
+        with pytest.raises(ValueError):
+            program.index_of_addr(CODE_BASE - 4)
+        with pytest.raises(ValueError):
+            program.index_of_addr(CODE_BASE + 2)  # misaligned
+
+    def test_runtime_linked_for_arm_only(self):
+        arm = compile_source(SOURCE, "arm")
+        x86 = compile_source(SOURCE, "x86")
+        assert "__aeabi_idivmod" in arm.functions
+        assert "__aeabi_idivmod" not in x86.functions
+
+
+class TestGlobals:
+    def test_layout_word_aligned(self):
+        program = compile_source(SOURCE, "arm")
+        for addr in program.global_addrs.values():
+            assert addr % 4 == 0
+            assert addr >= GLOBAL_BASE
+
+    def test_layout_disjoint(self):
+        program = compile_source(SOURCE, "arm")
+        spans = []
+        for name, addr in program.global_addrs.items():
+            size = program.globals[name].size
+            spans.append((addr, addr + size))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_initial_memory_contents(self):
+        program = compile_source(SOURCE, "arm")
+        memory = program.initial_memory()
+        first_addr = program.global_addrs["first"]
+        assert memory[first_addr] == 7
+        second_addr = program.global_addrs["second"]
+        value = sum(memory.get(second_addr + 4 + i, 0) << (8 * i)
+                    for i in range(4))
+        assert value == 2
+
+    def test_uninitialized_globals_zero(self):
+        program = compile_source(SOURCE, "arm")
+        bytes_addr = program.global_addrs["bytes"]
+        memory = program.initial_memory()
+        assert all(memory.get(bytes_addr + i, 0) == 0 for i in range(10))

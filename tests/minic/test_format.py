@@ -1,0 +1,68 @@
+"""The statement-per-line reformatter and its effect on learning."""
+
+from repro.learning import learn_rules
+from repro.minic import compile_source
+from repro.minic.format import format_source
+from repro.minic.interp import run_tac
+from repro.minic.lower import lower_program
+from repro.minic.parser import parse
+from repro.minic.passes import optimize_program
+
+
+def oracle(source: str) -> int:
+    tac = lower_program(parse(source))
+    optimize_program(tac, 2)
+    return run_tac(tac) & 0xFFFFFFFF
+
+
+PACKED = (
+    "int a[4]; int main(void) { int s = 0; int i = 0; "
+    "while (i < 4) { a[i] = i * 3; s += a[i]; i += 1; } return s; }"
+)
+
+
+class TestFormatting:
+    def test_semantics_preserved(self):
+        assert oracle(format_source(PACKED)) == oracle(PACKED)
+
+    def test_one_statement_per_line(self):
+        formatted = format_source(PACKED)
+        for line in formatted.splitlines():
+            body = line.strip()
+            if body in ("{", "}") or body.endswith("{"):
+                continue
+            # At most one statement terminator outside for-headers.
+            assert body.count(";") <= 1 or body.startswith("for"), line
+
+    def test_for_header_kept_on_one_line(self):
+        formatted = format_source(
+            "int main(void) { int s = 0; "
+            "for (int i = 0; i < 3; ++i) { s += i; } return s; }"
+        )
+        header_lines = [l for l in formatted.splitlines() if "for" in l]
+        assert len(header_lines) == 1
+        assert header_lines[0].count(";") == 2
+
+    def test_idempotent(self):
+        once = format_source(PACKED)
+        assert format_source(once) == once
+
+    def test_comments_removed(self):
+        formatted = format_source("int main(void) { /* hi */ return 1; }")
+        assert "hi" not in formatted
+
+
+class TestLearnabilityEffect:
+    def test_packed_source_learns_nothing_per_line(self):
+        """All of main is one source line: every snippet is one huge
+        multi-block pair, so the packed program yields nothing."""
+        guest = compile_source(PACKED, "arm", 2, "llvm")
+        host = compile_source(PACKED, "x86", 2, "llvm")
+        packed_rules = learn_rules(guest, host).report.rules
+
+        formatted = format_source(PACKED)
+        guest2 = compile_source(formatted, "arm", 2, "llvm")
+        host2 = compile_source(formatted, "x86", 2, "llvm")
+        formatted_rules = learn_rules(guest2, host2).report.rules
+
+        assert formatted_rules > packed_rules

@@ -1,0 +1,212 @@
+"""MiniC lexer + parser + lowering + TAC interpreter."""
+
+import pytest
+
+from repro.minic.errors import ParseError, SemanticError
+from repro.minic.interp import TacRuntimeError, run_tac
+from repro.minic.lexer import tokenize
+from repro.minic.lower import lower_program
+from repro.minic.parser import parse
+
+
+def run_source(source: str, entry: str = "main") -> int:
+    return run_tac(lower_program(parse(source)), entry)
+
+
+class TestLexer:
+    def test_tokens_carry_lines(self):
+        tokens = tokenize("int x;\nint y;\n")
+        assert tokens[0].line == 1
+        assert tokens[3].line == 2
+
+    def test_comments_skipped(self):
+        tokens = tokenize("// c\nint /* block\n comment */ x;")
+        assert [t.text for t in tokens if t.kind != "eof"] == ["int", "x", ";"]
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:3]] == [97, 10, 0]
+
+    def test_hex_literals(self):
+        assert tokenize("0xFF")[0].value == 255
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            tokenize("int @x;")
+
+
+class TestParserErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { return 1 }")
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemanticError):
+            lower_program(parse("int main(void) { return nope; }"))
+
+    def test_redeclaration(self):
+        with pytest.raises(SemanticError):
+            lower_program(parse("int main(void) { int a; int a; return 0; }"))
+
+    def test_call_arity_checked(self):
+        source = "int f(int a) { return a; } int main(void) { return f(); }"
+        with pytest.raises(SemanticError):
+            lower_program(parse(source))
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            lower_program(parse("int main(void) { break; return 0; }"))
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 3", 3),
+        ("-10 / 3", -3 & 0xFFFFFFFF),
+        ("10 % 3", 1),
+        ("-10 % 3", -1 & 0xFFFFFFFF),
+        ("1 << 4", 16),
+        ("-16 >> 2", -4 & 0xFFFFFFFF),
+        ("6 & 3", 2),
+        ("6 | 3", 7),
+        ("6 ^ 3", 5),
+        ("~0", 0xFFFFFFFF),
+        ("!5", 0),
+        ("!0", 1),
+        ("3 < 4", 1),
+        ("4 <= 4", 1),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("1 && 0", 0),
+        ("1 || 0", 1),
+    ])
+    def test_expressions(self, expr, expected):
+        assert run_source(f"int main(void) {{ return {expr}; }}") == expected
+
+    def test_short_circuit_and(self):
+        source = """
+        int g;
+        int bump(void) { g += 1; return 1; }
+        int main(void) {
+          int r = 0 && bump();
+          return g * 10 + r;
+        }
+        """
+        assert run_source(source) == 0
+
+    def test_short_circuit_or(self):
+        source = """
+        int g;
+        int bump(void) { g += 1; return 1; }
+        int main(void) {
+          int r = 1 || bump();
+          return g * 10 + r;
+        }
+        """
+        assert run_source(source) == 1
+
+    def test_while_and_compound_assign(self):
+        source = """
+        int main(void) {
+          int s = 0;
+          int i = 0;
+          while (i < 10) { s += i; i += 1; }
+          return s;
+        }
+        """
+        assert run_source(source) == 45
+
+    def test_for_with_break_continue(self):
+        source = """
+        int main(void) {
+          int s = 0;
+          for (int i = 0; i < 100; ++i) {
+            if (i == 50) { break; }
+            if (i % 2 == 1) { continue; }
+            s += i;
+          }
+          return s;
+        }
+        """
+        assert run_source(source) == sum(range(0, 50, 2))
+
+    def test_recursion(self):
+        source = """
+        int fact(int n) {
+          if (n <= 1) { return 1; }
+          return n * fact(n - 1);
+        }
+        int main(void) { return fact(10); }
+        """
+        assert run_source(source) == 3628800
+
+    def test_mutual_recursion_without_prototypes(self):
+        source = """
+        int is_even(int n) {
+          if (n == 0) { return 1; }
+          return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        int main(void) { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert run_source(source) == 11
+
+    def test_global_arrays_and_pointers(self):
+        source = """
+        int a[8];
+        int sum(int *p, int n) {
+          int s = 0;
+          int i = 0;
+          while (i < n) { s += p[i]; i += 1; }
+          return s;
+        }
+        int main(void) {
+          int i = 0;
+          while (i < 8) { a[i] = i * i; i += 1; }
+          return sum(a, 8) + *(a + 2);
+        }
+        """
+        assert run_source(source) == sum(i * i for i in range(8)) + 4
+
+    def test_char_arrays_are_bytes(self):
+        source = """
+        char buf[4];
+        int main(void) {
+          buf[0] = 300;   // truncates to 44
+          buf[1] = 'A';
+          return buf[0] * 1000 + buf[1];
+        }
+        """
+        assert run_source(source) == 44 * 1000 + 65
+
+    def test_address_of_local(self):
+        source = """
+        int main(void) {
+          int x = 5;
+          int *p = &x;
+          *p = *p + 37;
+          return x;
+        }
+        """
+        assert run_source(source) == 42
+
+    def test_global_initializers(self):
+        source = """
+        int scalar = 7;
+        int table[4] = {1, 2, 3, 4};
+        int main(void) { return scalar * 100 + table[2]; }
+        """
+        assert run_source(source) == 703
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(TacRuntimeError):
+            run_source("int main(void) { int z = 0; return 5 / z; }")
+
+    def test_signed_wraparound(self):
+        assert run_source(
+            "int main(void) { int x = 2147483647; return x + 1; }"
+        ) == 0x80000000

@@ -1,0 +1,123 @@
+"""Register allocator unit tests on hand-built machine code."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.minic.backend.arm_backend import arm_imm_ok, target_info as arm_ti
+from repro.minic.backend.mach import MachineFunction, rewrite_registers
+from repro.minic.backend.regalloc import allocate
+from repro.minic.backend.x86_backend import target_info as x86_ti
+
+
+def instr(mnemonic, *ops, meta=None):
+    return Instruction(mnemonic, tuple(ops), meta=meta)
+
+
+class TestArmImmediates:
+    def test_small_values_ok(self):
+        assert arm_imm_ok(0)
+        assert arm_imm_ok(255)
+
+    def test_rotated_ok(self):
+        assert arm_imm_ok(0xFF000000)
+        assert arm_imm_ok(0x3FC00)
+
+    def test_arbitrary_not_ok(self):
+        assert not arm_imm_ok(0x12345678)
+        assert not arm_imm_ok(257)
+
+
+class TestRewriteRegisters:
+    def test_plain_and_mem(self):
+        original = instr(
+            "movl", Mem(base=Reg("%a"), index=Reg("%b"), scale=4), Reg("%c")
+        )
+        rewritten = rewrite_registers(
+            original, {"%a": "eax", "%b": "ecx", "%c": "edx"}
+        )
+        assert rewritten.operands[0] == Mem(Reg("eax"), Reg("ecx"), 4)
+        assert rewritten.operands[1] == Reg("edx")
+
+    def test_low8_follows_parent(self):
+        original = instr("sete", Reg("%t.b"))
+        rewritten = rewrite_registers(original, {"%t": "eax"})
+        assert rewritten.operands[0] == Reg("al")
+
+    def test_untouched_instruction_identical(self):
+        original = instr("movl", Reg("eax"), Reg("edx"))
+        assert rewrite_registers(original, {"%x": "ecx"}) is original
+
+
+class TestAllocation:
+    def test_simple_chain(self):
+        func = MachineFunction("f", instrs=[
+            instr("movl", Imm(1), Reg("%a")),
+            instr("movl", Imm(2), Reg("%b")),
+            instr("addl", Reg("%a"), Reg("%b")),
+            instr("movl", Reg("%b"), Mem(base=None, disp=0x1000)),
+        ])
+        mapping = allocate(func, x86_ti("llvm"))
+        assert set(mapping) == {"%a", "%b"}
+        assert mapping["%a"] != mapping["%b"]
+
+    def test_non_overlapping_reuse(self):
+        func = MachineFunction("f", instrs=[
+            instr("movl", Imm(1), Reg("%a")),
+            instr("movl", Reg("%a"), Mem(base=None, disp=0x1000)),
+            instr("movl", Imm(2), Reg("%b")),
+            instr("movl", Reg("%b"), Mem(base=None, disp=0x1004)),
+        ])
+        mapping = allocate(func, x86_ti("llvm"))
+        assert mapping["%a"] == mapping["%b"]  # intervals do not overlap
+
+    def test_values_live_across_call_get_callee_saved(self):
+        target = arm_ti("llvm")
+        func = MachineFunction("f", instrs=[
+            instr("mov", Reg("%x"), Imm(5)),
+            instr("bl", Label("g"),
+                  meta={"clobbers": ("r0", "r1", "r2", "r3", "r12")}),
+            instr("add", Reg("%y"), Reg("%x"), Imm(1)),
+            instr("mov", Reg("r0"), Reg("%y")),
+        ])
+        mapping = allocate(func, target)
+        assert mapping["%x"] in target.callee_saved
+
+    def test_spilling_when_out_of_registers(self):
+        # 9 simultaneously live values on x86 (6 registers available).
+        target = x86_ti("llvm")
+        n = 9
+        instrs = [instr("movl", Imm(i), Reg(f"%v{i}")) for i in range(n)]
+        for i in range(n):
+            instrs.append(
+                instr("movl", Reg(f"%v{i}"), Mem(base=None, disp=0x1000 + 4 * i))
+            )
+        # Interleave so all are live at once: uses come after all defs.
+        func = MachineFunction("f", instrs=instrs)
+        mapping = allocate(func, target)
+        # Spill code was inserted and everything got a register.
+        assert func.spill_bytes > 0
+        for i in func.instrs:
+            for reg in i.registers():
+                assert not reg.name.startswith("%"), i
+
+    def test_low8_constraint_respected(self):
+        target = x86_ti("llvm")
+        func = MachineFunction("f", instrs=[
+            instr("movl", Imm(0), Reg("%flag")),
+            instr("sete", Reg("%flag.b"), meta={"needs_low8": ("%flag",)}),
+            instr("movl", Reg("%flag"), Mem(base=None, disp=0x1000)),
+        ])
+        mapping = allocate(func, target)
+        assert mapping["%flag"] in target.low8_regs
+
+    def test_labels_updated_after_spill(self):
+        target = x86_ti("llvm")
+        n = 9
+        instrs = [instr("movl", Imm(i), Reg(f"%v{i}")) for i in range(n)]
+        for i in range(n):
+            instrs.append(
+                instr("movl", Reg(f"%v{i}"), Mem(base=None, disp=0x1000 + 4 * i))
+            )
+        instrs.append(instr("ret"))
+        func = MachineFunction("f", instrs=instrs, labels={"end": len(instrs) - 1})
+        allocate(func, target)
+        assert func.instrs[func.labels["end"]].mnemonic == "ret"

@@ -1,0 +1,92 @@
+"""TAC IR plumbing: uses/replace_uses, addresses, rendering."""
+
+from repro.minic.tac import GlobalData, Instr, TacFunction, TacProgram, TAddr
+
+
+class TestTAddr:
+    def test_values(self):
+        addr = TAddr(base="%a", index="%b", scale=4, disp=8)
+        assert addr.values() == ("%a", "%b")
+
+    def test_with_disp(self):
+        addr = TAddr(symbol="slot", disp=4)
+        assert addr.with_disp(12).disp == 12
+        assert addr.disp == 4  # original untouched
+
+    def test_str_forms(self):
+        assert str(TAddr(symbol="g", disp=4)) == "[g+4]"
+        assert str(TAddr(base="%a", index="%i", scale=4)) == "[%a+%i*4]"
+
+
+class TestInstrUses:
+    def test_bin_uses(self):
+        instr = Instr(op="bin", line=1, dest="%d", bin_op="+", a="%x", b=3)
+        assert instr.uses() == ("%x",)
+
+    def test_addr_registers_used(self):
+        instr = Instr(op="load", line=1, dest="%d",
+                      addr=TAddr(base="%p", index="%i", scale=4))
+        assert set(instr.uses()) == {"%p", "%i"}
+
+    def test_call_args_used(self):
+        instr = Instr(op="call", line=1, dest="%d", name="f",
+                      args=("%a", 7, "%b"))
+        assert instr.uses() == ("%a", "%b")
+
+    def test_select_uses_all(self):
+        instr = Instr(op="select", line=1, dest="%d", bin_op="<",
+                      a="%c1", b="%c2", tval="%t", fval="%f")
+        assert set(instr.uses()) == {"%c1", "%c2", "%t", "%f"}
+
+    def test_replace_uses_rewrites_values(self):
+        instr = Instr(op="bin", line=1, dest="%d", bin_op="+",
+                      a="%x", b="%y")
+        instr.replace_uses({"%x": "%z", "%y": 9})
+        assert instr.a == "%z"
+        assert instr.b == 9
+
+    def test_replace_uses_folds_constant_base(self):
+        instr = Instr(op="load", line=1, dest="%d",
+                      addr=TAddr(base="%p", disp=4))
+        instr.replace_uses({"%p": 0x1000})
+        assert instr.addr.base is None
+        assert instr.addr.disp == 0x1004
+
+    def test_replace_uses_folds_constant_index(self):
+        instr = Instr(op="load", line=1, dest="%d",
+                      addr=TAddr(base="%p", index="%i", scale=4, disp=4))
+        instr.replace_uses({"%i": 3})
+        assert instr.addr.index is None
+        assert instr.addr.disp == 16
+
+
+class TestContainers:
+    def test_temp_and_label_names_unique(self):
+        func = TacFunction("f", params=[])
+        names = {func.new_temp() for _ in range(10)}
+        labels = {func.new_label() for _ in range(10)}
+        assert len(names) == 10
+        assert len(labels) == 10
+
+    def test_program_dump_readable(self):
+        program = TacProgram()
+        func = TacFunction("f", params=["%a0"])
+        func.instrs.append(Instr(op="ret", line=1, a="%a0"))
+        program.functions["f"] = func
+        program.globals["g"] = GlobalData("g", 4, 4, [1])
+        text = program.dump()
+        assert "func f(%a0):" in text
+        assert "ret %a0" in text
+
+    def test_instr_str_forms(self):
+        cases = [
+            (Instr(op="const", line=1, dest="%d", a=5), "%d = 5"),
+            (Instr(op="bin", line=1, dest="%d", bin_op="*", a="%x", b=2),
+             "%d = %x * 2"),
+            (Instr(op="jmp", line=1, label=".L"), "jmp .L"),
+            (Instr(op="cbr", line=1, bin_op="<", a="%x", b=0,
+                   label=".t", label2=".f"),
+             "if %x < 0 goto .t else .f"),
+        ]
+        for instr, expected in cases:
+            assert str(instr) == expected

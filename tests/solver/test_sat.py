@@ -1,0 +1,108 @@
+"""The CDCL SAT solver on hand-built and random formulas."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.sat import SatResult, Solver
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is SatResult.SAT
+
+    def test_unit_clause(self):
+        solver = Solver()
+        solver.add_clause([1])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(1) is True
+
+    def test_contradicting_units(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_empty_clause_is_unsat(self):
+        solver = Solver()
+        solver.add_clause([])
+        assert solver.solve() is SatResult.UNSAT
+
+    def test_tautology_ignored(self):
+        solver = Solver()
+        solver.add_clause([1, -1])
+        assert solver.solve() is SatResult.SAT
+
+    def test_simple_implication_chain(self):
+        solver = Solver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() is SatResult.SAT
+        assert solver.value(3) is True
+
+    def test_model_satisfies_clauses(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3], [2, 3]]
+        solver = Solver()
+        for clause in clauses:
+            solver.add_clause(list(clause))
+        assert solver.solve() is SatResult.SAT
+        for clause in clauses:
+            assert any(solver.value(lit) for lit in clause)
+
+
+class TestPigeonhole:
+    """PHP(n+1, n) is classically UNSAT and exercises conflict analysis."""
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_unsat(self, holes):
+        pigeons = holes + 1
+        solver = Solver()
+
+        def var(p, h):
+            return p * holes + h + 1
+
+        for p in range(pigeons):
+            solver.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var(p1, h), -var(p2, h)])
+        assert solver.solve() is SatResult.UNSAT
+
+
+def _brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
+    for assignment in range(1 << num_vars):
+        def value(lit: int) -> bool:
+            bit = bool(assignment >> (abs(lit) - 1) & 1)
+            return bit if lit > 0 else not bit
+
+        if all(any(value(lit) for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.data())
+def test_random_3sat_matches_brute_force(data):
+    num_vars = data.draw(st.integers(3, 8))
+    num_clauses = data.draw(st.integers(1, 24))
+    rng = random.Random(data.draw(st.integers(0, 2**31)))
+    clauses = []
+    for _ in range(num_clauses):
+        width = rng.randint(1, 3)
+        clause = [
+            rng.choice([1, -1]) * rng.randint(1, num_vars)
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    result = solver.solve()
+    expected = _brute_force(num_vars, clauses)
+    assert (result is SatResult.SAT) == expected
+    if result is SatResult.SAT:
+        for clause in clauses:
+            assert any(solver.value(lit) for lit in clause)

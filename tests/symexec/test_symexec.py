@@ -1,0 +1,141 @@
+"""Symbolic execution engine: states, shared memory, snippet runs."""
+
+import pytest
+
+from repro import ir
+from repro.guest_arm import execute as execute_arm
+from repro.guest_arm import parse_instruction as parse_arm
+from repro.host_x86 import execute as execute_x86
+from repro.host_x86 import parse_instruction as parse_x86
+from repro.solver import prove_equal
+from repro.symexec import (
+    SharedSymbolicMemory,
+    SymbolicExecutionError,
+    SymbolicState,
+    run_snippet,
+)
+
+
+P0 = ir.sym(32, "p0")
+P1 = ir.sym(32, "p1")
+
+
+class TestState:
+    def test_fresh_register_gets_prefixed_symbol(self):
+        state = SymbolicState("g")
+        value = state.get_reg("r3")
+        assert value == ir.sym(32, "g_r3")
+
+    def test_seeded_register(self):
+        state = SymbolicState("g", {"r0": P0})
+        assert state.get_reg("r0") is P0
+
+    def test_written_registers_tracked_in_order(self):
+        state = SymbolicState("g")
+        state.set_reg("r1", P0)
+        state.set_reg("r0", P1)
+        state.set_reg("r1", P1)
+        assert state.written_regs == ("r1", "r0")
+
+    def test_flags_are_one_bit_symbols(self):
+        state = SymbolicState("h")
+        assert state.get_flag("ZF").width == 1
+
+    def test_reg_value_does_not_record_read(self):
+        state = SymbolicState("g", {"r0": P0})
+        state.reg_value("r0")
+        assert state.read_regs == ()
+
+
+class TestSharedMemory:
+    def test_same_canonical_address_same_symbol(self):
+        memory = SharedSymbolicMemory()
+        guest = SymbolicState("g", {"r0": P0}, memory)
+        host = SymbolicState("h", {"eax": P0}, memory)
+        # Same symbolic address (p0 + 4) spelled differently:
+        a1 = ir.add(P0, ir.bv(32, 4))
+        a2 = ir.sub(P0, ir.bv(32, -4))
+        assert guest.load(a1, 4) == host.load(a2, 4)
+
+    def test_different_addresses_different_symbols(self):
+        memory = SharedSymbolicMemory()
+        state = SymbolicState("g", {}, memory)
+        assert state.load(P0, 4) != state.load(P1, 4)
+
+    def test_sizes_keyed_separately(self):
+        memory = SharedSymbolicMemory()
+        state = SymbolicState("g", {}, memory)
+        assert state.load(P0, 4) != state.load(P0, 1)
+
+    def test_read_your_own_write(self):
+        state = SymbolicState("g", {}, SharedSymbolicMemory())
+        state.store(P0, P1, 4)
+        assert state.load(P0, 4) is P1
+
+    def test_writes_not_visible_across_states(self):
+        memory = SharedSymbolicMemory()
+        writer = SymbolicState("g", {}, memory)
+        reader = SymbolicState("h", {}, memory)
+        writer.store(P0, P1, 4)
+        assert reader.load(P0, 4) != P1
+
+    def test_final_stores_keeps_last(self):
+        state = SymbolicState("g", {}, SharedSymbolicMemory())
+        state.store(P0, P1, 4)
+        state.store(P0, ir.bv(32, 9), 4)
+        stores = state.final_stores()
+        assert list(stores.values()) == [ir.bv(32, 9)]
+
+
+class TestRunSnippet:
+    def test_figure1_register_result(self):
+        memory = SharedSymbolicMemory()
+        guest = SymbolicState("g", {"r0": P1, "r1": P0}, memory)
+        host = SymbolicState("h", {"eax": P1, "edx": P0}, memory)
+        run_snippet(
+            [parse_arm("add r1, r1, r0"), parse_arm("sub r1, r1, #1")],
+            execute_arm, guest,
+        )
+        run_snippet(
+            [parse_x86("leal -1(%edx,%eax), %edx")], execute_x86, host
+        )
+        assert prove_equal(guest.reg_value("r1"), host.reg_value("edx"))
+
+    def test_branch_condition_captured(self):
+        state = SymbolicState("g", {"r0": P0, "r1": P1},
+                              SharedSymbolicMemory())
+        result = run_snippet(
+            [parse_arm("cmp r0, r1"), parse_arm("bne .L")],
+            execute_arm, state,
+        )
+        assert result.branch_cond is not None
+        assert result.branch_target == ".L"
+        assert result.mid_branches == 0
+
+    def test_mid_branch_counted(self):
+        state = SymbolicState("g", {}, SharedSymbolicMemory())
+        result = run_snippet(
+            [parse_arm("b .skip"), parse_arm("mov r0, #1")],
+            execute_arm, state,
+        )
+        assert result.mid_branches == 1
+
+    def test_semantics_error_wrapped(self):
+        state = SymbolicState("g", {}, SharedSymbolicMemory())
+        from repro.isa.instruction import Instruction
+
+        bogus = Instruction("add", ())  # malformed operand list
+        with pytest.raises(SymbolicExecutionError):
+            run_snippet([bogus], execute_arm, state)
+
+    def test_recorded_store_addresses_use_value_at_access_time(self):
+        """Section 3.3: address registers modified after a store must
+        not change the recorded location."""
+        state = SymbolicState("g", {"r1": P0, "r0": P1},
+                              SharedSymbolicMemory())
+        run_snippet(
+            [parse_arm("str r0, [r1]"), parse_arm("add r1, r1, #4")],
+            execute_arm, state,
+        )
+        (store,) = state.stores
+        assert store.addr is P0  # not p0 + 4

@@ -1,0 +1,67 @@
+"""Every example script must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parent.parent.joinpath("examples")
+    .glob("*.py")
+)
+
+
+def run_example(path, *args):
+    return subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True, text=True, timeout=420,
+    )
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "paper_figures.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+def test_quickstart():
+    result = run_example("examples/quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "modeled speedup" in result.stdout
+    assert "verified rules" in result.stdout.replace("\n", " ") or \
+        "rules" in result.stdout
+
+
+def test_paper_figures():
+    result = run_example("examples/paper_figures.py")
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    # Every worked example learns its rule.
+    assert out.count("learned rule:") >= 6
+    assert "verification failed" not in out
+    assert "parameterization failed" not in out
+    # The carry-polarity subtlety resolves as the paper explains.
+    assert "ARM C == NOT x86 CF after compare?  equal" in out
+
+
+def test_inspect_rules():
+    result = run_example("examples/inspect_rules.py", "mcf")
+    assert result.returncode == 0, result.stderr
+    assert "learning report for mcf" in result.stdout
+    assert "rules ===" in result.stdout
+
+
+def test_reverse_direction():
+    result = run_example("examples/reverse_direction.py")
+    assert result.returncode == 0, result.stderr
+    assert "REJECTED" in result.stdout
+    assert "assembles to add" in result.stdout
+
+
+@pytest.mark.slow
+def test_spec_run():
+    result = run_example("examples/spec_run.py", "mcf", "test")
+    assert result.returncode == 0, result.stderr
+    assert "speedup over QEMU" in result.stdout

@@ -1,0 +1,40 @@
+"""Package-level checks: imports, version, doctest."""
+
+import doctest
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_all_subpackages_importable():
+    import importlib
+
+    import repro
+
+    for name in repro.__all__:
+        module = importlib.import_module(f"repro.{name}")
+        assert module.__doc__, f"repro.{name} lacks a module docstring"
+
+
+def test_root_doctest():
+    import repro
+
+    results = doctest.testmod(repro)
+    assert results.failed == 0
+
+
+def test_public_modules_have_docstrings():
+    import importlib
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+    for path in root.rglob("*.py"):
+        relative = path.relative_to(root.parent)
+        module_name = str(relative.with_suffix("")).replace("/", ".")
+        if module_name.endswith(".__init__"):
+            module_name = module_name[: -len(".__init__")]
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
