@@ -1,0 +1,127 @@
+"""Bench: rule-learning throughput — sequential vs parallel vs cached.
+
+Emits ``BENCH_learning.json`` at the repo root (candidates/sec, solver
+invocations, dedup savings, cache hit rate, sequential vs parallel
+wall-clock) so future PRs have a perf trajectory to compare against.
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.benchsuite import BENCHMARK_NAMES, build_learning_pair
+from repro.learning.cache import VerificationCache
+from repro.learning.parallel import learn_corpus_parallel
+from repro.learning.pipeline import learn_corpus
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_learning.json"
+JOBS = max(2, os.cpu_count() or 1)
+
+
+def _total(outcomes, field):
+    return sum(getattr(o.report, field) for o in outcomes.values())
+
+
+def _candidates(outcomes):
+    """Snippet pairs that reached the verify stage."""
+    return sum(
+        o.report.rules + o.report.verify_failures for o in outcomes.values()
+    )
+
+
+def test_learning_throughput(benchmark, tmp_path):
+    builds = {name: build_learning_pair(name) for name in BENCHMARK_NAMES}
+
+    def measure():
+        t0 = time.perf_counter()
+        sequential = learn_corpus(builds)
+        sequential_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cold = learn_corpus(builds, cache=VerificationCache.at_dir(tmp_path))
+        cold_seconds = time.perf_counter() - t0
+
+        warm_cache = VerificationCache.at_dir(tmp_path)
+        t0 = time.perf_counter()
+        warm = learn_corpus(builds, cache=warm_cache)
+        warm_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = learn_corpus_parallel(builds, jobs=JOBS)
+        parallel_seconds = time.perf_counter() - t0
+
+        candidates = _candidates(sequential)
+        return {
+            "bench": "learning_throughput",
+            "python": sys.version.split()[0],
+            "cpus": os.cpu_count(),
+            "jobs": JOBS,
+            "benchmarks": len(builds),
+            "rules": _total(sequential, "rules"),
+            "candidates": candidates,
+            "sequential": {
+                "seconds": round(sequential_seconds, 3),
+                "candidates_per_second": round(
+                    candidates / sequential_seconds, 1
+                ),
+                "verify_calls": _total(sequential, "verify_calls"),
+                "dedup_saved_calls": _total(sequential, "dedup_saved_calls"),
+            },
+            "cold_cache": {
+                "seconds": round(cold_seconds, 3),
+                "verify_calls": _total(cold, "verify_calls"),
+                "cache_misses": _total(cold, "cache_misses"),
+            },
+            "warm_cache": {
+                "seconds": round(warm_seconds, 3),
+                "candidates_per_second": round(candidates / warm_seconds, 1),
+                "verify_calls": _total(warm, "verify_calls"),
+                "cache_hits": _total(warm, "cache_hits"),
+                "hit_rate": round(warm_cache.stats.hit_rate, 4),
+                "speedup_over_cold": round(cold_seconds / warm_seconds, 2),
+            },
+            "parallel": {
+                "seconds": round(parallel_seconds, 3),
+                "speedup_over_sequential": round(
+                    sequential_seconds / parallel_seconds, 2
+                ),
+                "rules_match_sequential": all(
+                    parallel[name].rules == sequential[name].rules
+                    for name in builds
+                ),
+            },
+        }
+
+    payload = run_once(benchmark, measure)
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print()
+    print(f"  wrote {OUTPUT}")
+    print(f"  sequential: {payload['sequential']['seconds']}s "
+          f"({payload['sequential']['candidates_per_second']} cand/s, "
+          f"{payload['sequential']['verify_calls']} solver calls, "
+          f"{payload['sequential']['dedup_saved_calls']} deduped)")
+    print(f"  warm cache: {payload['warm_cache']['seconds']}s "
+          f"({payload['warm_cache']['speedup_over_cold']}x over cold, "
+          f"hit rate {payload['warm_cache']['hit_rate']:.0%})")
+    print(f"  parallel (jobs={JOBS}): {payload['parallel']['seconds']}s")
+
+    # Pre-verification dedup pays on a cold run.
+    assert payload["sequential"]["dedup_saved_calls"] > 0
+    # A warm cache eliminates >= 90% of solver invocations.
+    assert payload["warm_cache"]["verify_calls"] <= \
+        0.1 * payload["cold_cache"]["verify_calls"]
+    assert payload["warm_cache"]["hit_rate"] > 0.9
+    # And is substantially faster than a cold run.
+    assert payload["warm_cache"]["seconds"] < \
+        payload["cold_cache"]["seconds"]
+    # The parallel path stays equivalent.
+    assert payload["parallel"]["rules_match_sequential"]
+
+    benchmark.extra_info.update(
+        rules=payload["rules"],
+        candidates_per_second=payload["sequential"]["candidates_per_second"],
+        warm_hit_rate=payload["warm_cache"]["hit_rate"],
+    )

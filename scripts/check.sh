@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the fast checks every PR must keep green.
+#
+#   scripts/check.sh          # unit tests + lint
+#   scripts/check.sh --bench  # also regenerate BENCH_learning.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q
+
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src
+elif python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src
+else
+    echo "check.sh: ruff not installed; skipping lint" >&2
+fi
+
+if [[ "${1:-}" == "--bench" ]]; then
+    python -m pytest benchmarks/test_learning_throughput.py -x -q
+fi
+
+echo "check.sh: all checks passed"

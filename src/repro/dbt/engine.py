@@ -104,10 +104,10 @@ class DBTEngine:
         if mode == "rules" and rule_store is None:
             rule_store = RuleStore()
         if rule_store is not None and len(rule_store) and \
-                rule_store._direction != "arm-x86":
+                rule_store.direction != "arm-x86":
             raise DBTError(
                 "the DBT executes ARM guests: rule store direction "
-                f"{rule_store._direction!r} is not applicable"
+                f"{rule_store.direction!r} is not applicable"
             )
         self.program = program
         self.mode = mode
@@ -116,6 +116,7 @@ class DBTEngine:
         self._cache: dict[int, TranslatedBlock] = {}
         self._cycles_cache: dict[int, list[float]] = {}
         self._steps_cache: dict[int, list] = {}
+        self._has_run = False
         self.stats = DBTStats()
 
     # -- translation -----------------------------------------------------------
@@ -188,7 +189,17 @@ class DBTEngine:
 
     def run(self, args: tuple[int, ...] = (),
             block_limit: int = 50_000_000) -> DBTRunResult:
-        """Emulate the guest program's ``main`` until it returns."""
+        """Emulate the guest program's ``main`` until it returns.
+
+        Repeated ``run()`` calls on one engine reuse the translation
+        cache but reset the *dynamic* statistics first, so ``stats``
+        always describes the most recent run (translation-side stats —
+        translated blocks, static counts, translation cycles — stay
+        cumulative with the cache, exactly like a warm DBT process).
+        """
+        if self._has_run:
+            self._reset_dynamic_stats()
+        self._has_run = True
         state = ConcreteState(memory=dict(self.program.initial_memory()))
         self._env_write(state, REG_OFFSET["sp"], STACK_TOP)
         self._env_write(state, REG_OFFSET["lr"], HALT_ADDRESS)
@@ -264,6 +275,20 @@ class DBTEngine:
         raise DBTError(
             f"translated block {tb.guest_start:#x} fell off its end"
         )
+
+    def _reset_dynamic_stats(self) -> None:
+        """Zero everything a single run accumulates, so back-to-back
+        ``run()`` calls never double-count (regression: ``stats`` used
+        to mix execution counts of every run with exec_counts that
+        ``_finalize_dynamic_stats`` re-derives from scratch)."""
+        stats = self.stats
+        stats.dynamic_host_instructions = 0
+        stats.dynamic_guest_instructions = 0
+        stats.dynamic_rule_guest_instructions = 0
+        stats.perf.exec_cycles = 0.0
+        stats.perf.dispatches = 0
+        for tb in self._cache.values():
+            tb.exec_count = 0
 
     def _finalize_dynamic_stats(self) -> None:
         stats = self.stats

@@ -4,16 +4,21 @@ Usage::
 
     repro-experiments table1
     repro-experiments fig8 fig10
-    repro-experiments all
+    repro-experiments all --jobs 8
+    repro-experiments fig6 --cache-dir /tmp/verify-cache
+    repro-experiments table1 --no-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
+from repro.experiments.common import shared_context
+from repro.learning.cache import VerificationCache
 
 EXPERIMENTS = {
     "table1": table1,
@@ -25,6 +30,8 @@ EXPERIMENTS = {
     "fig12": fig12,
 }
 
+DEFAULT_CACHE_DIR = ".repro-cache"
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -35,7 +42,28 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which table/figure to regenerate",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for rule learning "
+             "(default: all CPUs; 1 = sequential)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help="persistent verification-cache directory "
+             f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="learn without the persistent verification cache",
+    )
     args = parser.parse_args(argv)
+
+    context = shared_context()
+    context.jobs = args.jobs if args.jobs is not None else \
+        (os.cpu_count() or 1)
+    if not args.no_cache:
+        context.cache = VerificationCache.at_dir(args.cache_dir)
+
     names = list(EXPERIMENTS) if "all" in args.experiments else \
         args.experiments
     for name in names:
@@ -44,6 +72,15 @@ def main(argv: list[str] | None = None) -> int:
         result = module.run()
         print(module.render(result))
         print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]\n")
+    if context.cache is not None:
+        context.cache.save()
+        stats = context.cache.stats
+        print(
+            f"[verification cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stale} stale; {len(context.cache)} entries at "
+            f"{context.cache.path}]",
+            file=sys.stderr,
+        )
     return 0
 
 

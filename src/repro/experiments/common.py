@@ -13,7 +13,14 @@ from dataclasses import dataclass, field
 from repro.benchsuite import BENCHMARK_NAMES, benchmark_source
 from repro.dbt.engine import DBTEngine, DBTRunResult
 from repro.dbt.perf import speedup
-from repro.learning.pipeline import LearningOutcome, learn_rules, leave_one_out
+from repro.learning.cache import VerificationCache
+from repro.learning.parallel import learn_corpus_parallel
+from repro.learning.pipeline import (
+    LearningOutcome,
+    learn_corpus,
+    learn_rules,
+    leave_one_out,
+)
 from repro.learning.store import RuleStore
 from repro.minic.compile import CompiledProgram, compile_source
 
@@ -27,9 +34,16 @@ class ExperimentContext:
 
     One context per process is enough; creating a fresh one simply
     recomputes from scratch (useful for isolation in tests).
+
+    ``jobs`` > 1 fans corpus learning out over a process pool;
+    ``cache`` (a :class:`VerificationCache`) lets repeated experiment
+    runs skip already-settled verifications.  Both only affect
+    wall-clock — learned rules and reports are deterministic.
     """
 
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES
+    jobs: int = 1
+    cache: VerificationCache | None = None
     _builds: dict = field(default_factory=dict)
     _learning: dict = field(default_factory=dict)
     _runs: dict = field(default_factory=dict)
@@ -59,14 +73,34 @@ class ExperimentContext:
         if outcome is None:
             guest = self.build(name, "arm", opt_level, style)
             host = self.build(name, "x86", opt_level, style)
-            outcome = learn_rules(guest, host, benchmark=name)
+            outcome = learn_rules(guest, host, benchmark=name,
+                                  cache=self.cache)
+            if self.cache is not None:
+                self.cache.save()
             self._learning[key] = outcome
         return outcome
 
     def all_learning(self, opt_level: int = LEARN_OPT_LEVEL,
                      style: str = LEARN_STYLE) -> dict[str, LearningOutcome]:
+        """Learning outcomes for the whole corpus (one shared dedup
+        memo, parallel when ``jobs`` > 1)."""
+        missing = [
+            name for name in self.benchmarks
+            if (name, opt_level, style) not in self._learning
+        ]
+        if missing:
+            builds = {
+                name: (self.build(name, "arm", opt_level, style),
+                       self.build(name, "x86", opt_level, style))
+                for name in missing
+            }
+            learner = learn_corpus_parallel if self.jobs > 1 else learn_corpus
+            kwargs = {"jobs": self.jobs} if self.jobs > 1 else {}
+            outcomes = learner(builds, cache=self.cache, **kwargs)
+            for name, outcome in outcomes.items():
+                self._learning[(name, opt_level, style)] = outcome
         return {
-            name: self.learning_outcome(name, opt_level, style)
+            name: self._learning[(name, opt_level, style)]
             for name in self.benchmarks
         }
 

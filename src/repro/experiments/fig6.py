@@ -27,11 +27,13 @@ class Fig6Result:
 
 def run(context: ExperimentContext | None = None) -> Fig6Result:
     context = context or shared_context()
+    by_level = {
+        level: context.all_learning(opt_level=level) for level in LEVELS
+    }
     result: dict[str, dict[int, int]] = {}
     for name in context.benchmarks:
         result[name] = {
-            level: context.learning_outcome(name, opt_level=level).report.rules
-            for level in LEVELS
+            level: by_level[level][name].report.rules for level in LEVELS
         }
     return Fig6Result(result)
 

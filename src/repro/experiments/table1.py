@@ -59,8 +59,8 @@ class Table1Result:
 def run(context: ExperimentContext | None = None) -> Table1Result:
     context = context or shared_context()
     return Table1Result(
-        {name: context.learning_outcome(name).report
-         for name in context.benchmarks}
+        {name: outcome.report
+         for name, outcome in context.all_learning().items()}
     )
 
 

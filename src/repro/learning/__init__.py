@@ -23,8 +23,16 @@ from repro.learning.direction import (
     Direction,
     HostConstraintError,
 )
+from repro.learning.cache import VerificationCache
 from repro.learning.extract import SnippetPair, extract_pairs
-from repro.learning.pipeline import LearningReport, learn_rules
+from repro.learning.parallel import learn_corpus_parallel
+from repro.learning.pipeline import (
+    LearningOutcome,
+    LearningReport,
+    learn_corpus,
+    learn_rules,
+    leave_one_out,
+)
 from repro.learning.rule import Binding, Rule, instantiate_host, match_rule
 from repro.learning.serialize import dump_rules, load_rules
 from repro.learning.store import RuleStore
@@ -36,8 +44,13 @@ __all__ = [
     "HostConstraintError",
     "SnippetPair",
     "extract_pairs",
+    "VerificationCache",
+    "LearningOutcome",
     "LearningReport",
     "learn_rules",
+    "learn_corpus",
+    "learn_corpus_parallel",
+    "leave_one_out",
     "Binding",
     "Rule",
     "instantiate_host",

@@ -1,0 +1,178 @@
+"""Persistent verification cache: canonical candidate -> verdict.
+
+Verification verdicts are pure functions of a candidate's canonical key
+(see :mod:`repro.learning.canon`), so they can be reused across runs:
+the leave-one-out protocol, the Figure 6 ``-O`` sweep and the
+corpus-scaling experiments all re-learn from the same builds, and each
+repeated run would otherwise re-pay the full symbolic-execution +
+SAT/BDD cost.
+
+The cache is a single JSON document keyed by candidate digest.  Every
+entry is implicitly versioned by :data:`SEMANTICS_VERSION`: bump it
+whenever anything that can change a verdict changes (instruction
+semantics, template construction, the solver, the canonical-key
+format), and every stored entry is discarded as *stale* on the next
+load instead of risking a wrong cached verdict.
+
+Counters: ``stats.hits`` / ``stats.misses`` count :meth:`get` lookups;
+``stats.stale`` counts entries dropped by a version mismatch or an
+explicit :meth:`invalidate`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.learning.canon import CandidateOutcome
+from repro.learning.serialize import rule_from_json, rule_to_json
+from repro.learning.verify import VerifyFailure
+
+#: Bump to invalidate every previously stored verdict.
+SEMANTICS_VERSION = 1
+
+CACHE_FORMAT = "repro-dbt-verify-cache"
+CACHE_FILE_VERSION = 1
+DEFAULT_CACHE_NAME = "verification-cache.json"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+def _encode_outcome(outcome: CandidateOutcome) -> dict:
+    if outcome.rule is not None:
+        return {
+            "verdict": "rule",
+            "rule": rule_to_json(outcome.rule),
+            "calls": outcome.calls,
+        }
+    return {
+        "verdict": "fail",
+        "failure": outcome.failure.name if outcome.failure else None,
+        "calls": outcome.calls,
+    }
+
+
+def _decode_outcome(data: dict) -> CandidateOutcome:
+    if data["verdict"] == "rule":
+        return CandidateOutcome(rule=rule_from_json(data["rule"]),
+                                calls=data["calls"])
+    failure = VerifyFailure[data["failure"]] if data["failure"] else None
+    return CandidateOutcome(failure=failure, calls=data["calls"])
+
+
+class VerificationCache:
+    """On-disk (or in-memory, when ``path`` is None) verdict cache."""
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 semantics_version: int = SEMANTICS_VERSION) -> None:
+        self.path = Path(path) if path is not None else None
+        self.semantics_version = semantics_version
+        self.stats = CacheStats()
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @classmethod
+    def at_dir(cls, cache_dir: str | os.PathLike,
+               name: str = DEFAULT_CACHE_NAME) -> "VerificationCache":
+        """The conventional cache file inside ``cache_dir``."""
+        directory = Path(cache_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def peek(self, digest: str) -> CandidateOutcome | None:
+        """Lookup without touching the hit/miss counters (used by the
+        parallel scheduler, which replays accounting deterministically
+        later)."""
+        entry = self._entries.get(digest)
+        if entry is None:
+            return None
+        return _decode_outcome(entry)
+
+    def get(self, digest: str) -> CandidateOutcome | None:
+        entry = self._entries.get(digest)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return _decode_outcome(entry)
+
+    def put(self, digest: str, outcome: CandidateOutcome) -> None:
+        self._entries[digest] = _encode_outcome(outcome)
+        self._dirty = True
+
+    def invalidate(self, new_semantics_version: int | None = None) -> None:
+        """Explicit invalidation: bump the semantics version and drop
+        every entry (counted as stale)."""
+        self.stats.stale += len(self._entries)
+        self._entries.clear()
+        self.semantics_version = (
+            new_semantics_version
+            if new_semantics_version is not None
+            else self.semantics_version + 1
+        )
+        self._dirty = True
+
+    # -- persistence ---------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as fp:
+                document = json.load(fp)
+        except (OSError, json.JSONDecodeError):
+            # A corrupt cache must never break learning: start empty.
+            self._dirty = True
+            return
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != CACHE_FORMAT
+            or document.get("version") != CACHE_FILE_VERSION
+        ):
+            self._dirty = True
+            return
+        entries = document.get("entries", {})
+        if document.get("semantics") != self.semantics_version:
+            self.stats.stale += len(entries)
+            self._dirty = True
+            return
+        self._entries = entries
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when clean or in-memory)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_FILE_VERSION,
+            "semantics": self.semantics_version,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "w") as fp:
+            json.dump(payload, fp)
+        os.replace(tmp, self.path)
+        self._dirty = False

@@ -4,16 +4,23 @@ Usage::
 
     repro-learn program.c -o rules.json --opt-level 2 --style llvm
     repro-learn program.c --print        # dump rules to stdout
+    repro-learn program.c --jobs 8       # parallel verification
+    repro-learn program.c --no-cache     # skip the persistent cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.learning.cache import VerificationCache
+from repro.learning.parallel import learn_corpus_parallel
 from repro.learning.pipeline import learn_rules
 from repro.learning.serialize import dump_rules
 from repro.minic import compile_source
+
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +39,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--reformat", action="store_true",
                         help="reformat to one statement per line before "
                              "compiling (the paper's clang-format step)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for candidate verification "
+                             "(default: all CPUs; 1 = sequential)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="persistent verification-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="learn without the persistent verification "
+                             "cache")
     args = parser.parse_args(argv)
 
     with open(args.source) as fp:
@@ -42,11 +59,34 @@ def main(argv: list[str] | None = None) -> int:
         source = format_source(source)
     guest = compile_source(source, "arm", args.opt_level, args.style)
     host = compile_source(source, "x86", args.opt_level, args.style)
-    outcome = learn_rules(guest, host, benchmark=args.source)
+
+    cache = None if args.no_cache else \
+        VerificationCache.at_dir(args.cache_dir)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if jobs > 1:
+        outcomes = learn_corpus_parallel(
+            {args.source: (guest, host)}, jobs=jobs, cache=cache
+        )
+        outcome = outcomes[args.source]
+    else:
+        outcome = learn_rules(guest, host, benchmark=args.source,
+                              cache=cache)
+        if cache is not None:
+            cache.save()
+
     report = outcome.report
     print(
         f"{report.total_sequences} snippet pairs -> {report.rules} rules "
         f"(yield {report.yield_fraction:.0%}) in {report.learn_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    print(
+        f"stages: extract {report.extract_seconds:.2f}s, "
+        f"paramize {report.paramize_seconds:.2f}s, "
+        f"verify {report.verify_seconds:.2f}s "
+        f"({report.verify_calls} solver calls, "
+        f"{report.dedup_saved_calls} deduped, "
+        f"{report.cache_hits} cache hits)",
         file=sys.stderr,
     )
     print(

@@ -77,6 +77,16 @@ class Direction:
     def guest_opcode_id(self, instr: Instruction) -> int:
         return self.guest_isa.opcode_id(instr)
 
+    def __reduce__(self):
+        # Directions hold ISA *modules*, which pickle rejects; round-trip
+        # through the registry by name (the process-pool learning path
+        # ships ParamContext objects to workers).
+        return (_direction_by_name, (self.name,))
+
+
+def _direction_by_name(name: str) -> "Direction":
+    return DIRECTIONS[name]
+
 
 ARM_TO_X86 = Direction(
     name="arm-x86",

@@ -1,0 +1,151 @@
+"""Parallel rule learning over a process pool.
+
+:func:`learn_corpus_parallel` fans the verify stage — the ~95% of
+learning wall-clock that is symbolic execution plus SAT/BDD checks —
+out to worker processes.  The schedule is:
+
+1. (parent) extract + paramize every benchmark, in corpus order;
+2. (parent) canonical dedup: collect the unique candidates, skipping
+   any already settled by the persistent cache;
+3. (pool) resolve the unique candidates in chunks — workers run the
+   pure :func:`~repro.learning.canon.resolve_candidate` and return
+   ``digest -> CandidateOutcome``;
+4. (parent) deterministic merge: replay the sequential verify-stage
+   accounting (:func:`~repro.learning.pipeline._verify_stage`) with
+   the worker results as the resolver.
+
+Because workers compute nothing but the pure per-candidate verdict and
+all counting/dedup/cache bookkeeping replays in corpus order in the
+parent, the learned rule lists and every deterministic
+:class:`~repro.learning.pipeline.LearningReport` field are identical
+to sequential :func:`~repro.learning.pipeline.learn_corpus` — only the
+timing fields reflect the parallel wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.learning.cache import VerificationCache
+from repro.learning.canon import CandidateOutcome, resolve_candidate
+from repro.learning.direction import ARM_TO_X86
+from repro.learning.paramize import InitialMapping, ParamContext
+from repro.learning.pipeline import (
+    Candidate,
+    LearningOutcome,
+    LearningReport,
+    _extract_stage,
+    _paramize_stage,
+    _verify_stage,
+    learn_corpus,
+)
+from repro.learning.rule import dedup_rules
+from repro.minic.compile import CompiledProgram
+
+#: Candidates per worker task: large enough to amortize IPC, small
+#: enough to keep the pool busy at the tail of the work list.
+DEFAULT_CHUNK_SIZE = 16
+
+_ChunkItem = tuple[str, ParamContext, list[InitialMapping]]
+
+
+def _resolve_chunk(
+    chunk: list[_ChunkItem],
+) -> list[tuple[str, CandidateOutcome]]:
+    """Worker entry point: verify one chunk of canonical candidates."""
+    return [
+        (digest, resolve_candidate(context, mappings))
+        for digest, context, mappings in chunk
+    ]
+
+
+def learn_corpus_parallel(
+    builds: dict[str, tuple[CompiledProgram, CompiledProgram]],
+    jobs: int | None = None,
+    cache: VerificationCache | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> dict[str, LearningOutcome]:
+    """Parallel drop-in for :func:`~repro.learning.pipeline.learn_corpus`.
+
+    ``jobs`` defaults to ``os.cpu_count()``; ``jobs <= 1`` falls back to
+    the sequential path (same results, no pool overhead).
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or not builds:
+        return learn_corpus(builds, cache=cache)
+
+    # Stage 1: extract + paramize in the parent, in corpus order.
+    staged: list[tuple[str, LearningReport, list[Candidate], float]] = []
+    for name, (guest, host) in builds.items():
+        start = time.perf_counter()
+        report = LearningReport(benchmark=name)
+        pairs = _extract_stage(guest, host, ARM_TO_X86, report)
+        candidates = _paramize_stage(pairs, ARM_TO_X86, report)
+        staged.append(
+            (name, report, candidates, time.perf_counter() - start)
+        )
+
+    # Stage 2: unique unsettled candidates, in first-encounter order.
+    pending: dict[str, Candidate] = {}
+    for _, _, candidates, _ in staged:
+        for candidate in candidates:
+            if candidate.digest in pending:
+                continue
+            if cache is not None and candidate.digest in cache:
+                continue
+            pending[candidate.digest] = candidate
+
+    # Stage 3: fan the unique candidates out to the pool in chunks.
+    items: list[_ChunkItem] = [
+        (digest, candidate.context, candidate.mappings)
+        for digest, candidate in pending.items()
+    ]
+    chunks = [
+        items[index:index + chunk_size]
+        for index in range(0, len(items), chunk_size)
+    ]
+    resolved: dict[str, CandidateOutcome] = {}
+    pool_seconds = 0.0
+    if chunks:
+        workers = min(jobs, len(chunks))
+        pool_start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_result in pool.map(_resolve_chunk, chunks):
+                for digest, outcome in chunk_result:
+                    resolved[digest] = outcome
+        pool_seconds = time.perf_counter() - pool_start
+
+    # Stage 4: deterministic merge — replay sequential accounting with
+    # the pre-computed verdicts as the resolver.
+    memo: dict[str, CandidateOutcome] = {}
+    outcomes: dict[str, LearningOutcome] = {}
+    for name, report, candidates, stage1_seconds in staged:
+        replay_start = time.perf_counter()
+        rules = _verify_stage(
+            candidates, report, name, cache, memo,
+            resolver=lambda candidate: resolved[candidate.digest],
+        )
+        rules = dedup_rules(rules)
+        report.rules = len(rules)
+        report.learn_seconds = (
+            stage1_seconds + time.perf_counter() - replay_start
+        )
+        outcomes[name] = LearningOutcome(rules=rules, report=report)
+    # The replay resolver is a dict lookup, so _verify_stage timed ~0s
+    # of verification; charge the pool's wall-clock to each benchmark
+    # in proportion to the solver calls attributed to it, so per-rule
+    # and verification-share summaries stay meaningful in parallel runs.
+    total_calls = sum(o.report.verify_calls for o in outcomes.values())
+    if total_calls:
+        for outcome in outcomes.values():
+            share = (
+                pool_seconds * outcome.report.verify_calls / total_calls
+            )
+            outcome.report.verify_seconds += share
+            outcome.report.learn_seconds += share
+    if cache is not None:
+        cache.save()
+    return outcomes

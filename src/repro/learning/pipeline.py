@@ -1,25 +1,55 @@
-"""End-to-end rule learning with Table 1-style reporting."""
+"""End-to-end rule learning with Table 1-style reporting.
+
+The pipeline runs in stages (extract -> paramize -> verify), and the
+verify stage — the wall-clock sink — is organized around *canonical
+candidates* (:mod:`repro.learning.canon`): textually identical
+pair+mapping work items are deduplicated **before** any solver call, an
+optional persistent :class:`~repro.learning.cache.VerificationCache`
+settles candidates seen in earlier runs, and only the remainder pays
+for symbolic execution.  Failure accounting stays Table 1-compatible:
+every snippet pair is still classified individually; duplicates simply
+share the (deterministic) verdict of their canonical representative.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
 
+from repro.learning.cache import VerificationCache
+from repro.learning.canon import (
+    CandidateOutcome,
+    candidate_digest,
+    resolve_candidate,
+)
 from repro.learning.direction import ARM_TO_X86, Direction
-from repro.learning.extract import PrepFailure, extract_pairs
+from repro.learning.extract import PrepFailure, SnippetPair, extract_pairs
 from repro.learning.paramize import (
+    InitialMapping,
+    ParamContext,
     ParamFailure,
     analyze_pair,
     generate_mappings,
 )
 from repro.learning.rule import Rule, dedup_rules
-from repro.learning.verify import VerifyFailure, verify_candidate
+from repro.learning.verify import VerifyFailure
 from repro.minic.compile import CompiledProgram
 
 
 @dataclass
 class LearningReport:
-    """Per-benchmark learning statistics (one Table 1 row)."""
+    """Per-benchmark learning statistics (one Table 1 row).
+
+    Besides the paper's failure breakdown, the report carries
+    stage-level timing (extract/paramize/verify) and the verification
+    economy counters: ``verify_calls`` (solver-backed
+    ``verify_candidate`` invocations actually performed),
+    ``dedup_saved_calls`` (invocations avoided because an identical
+    candidate was already settled earlier in the same run) and
+    ``cache_hits``/``cache_misses`` (persistent-cache lookups, counted
+    only when a cache is attached).
+    """
 
     benchmark: str = ""
     total_sequences: int = 0
@@ -35,7 +65,24 @@ class LearningReport:
     verify_other: int = 0
     rules: int = 0
     learn_seconds: float = 0.0
+    extract_seconds: float = 0.0
+    paramize_seconds: float = 0.0
     verify_seconds: float = 0.0
+    verify_calls: int = 0
+    dedup_saved_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    _COUNT_FIELDS = (
+        "total_sequences", "prep_ci", "prep_pi", "prep_mb", "param_num",
+        "param_name", "param_failg", "verify_rg", "verify_mm",
+        "verify_br", "verify_other", "rules", "verify_calls",
+        "dedup_saved_calls", "cache_hits", "cache_misses",
+    )
+    _TIMING_FIELDS = (
+        "learn_seconds", "extract_seconds", "paramize_seconds",
+        "verify_seconds",
+    )
 
     @property
     def prep_failures(self) -> int:
@@ -56,15 +103,16 @@ class LearningReport:
             return 0.0
         return self.rules / self.total_sequences
 
+    def count_signature(self) -> tuple:
+        """Every deterministic (non-timing) field, for equivalence
+        checks between the sequential and parallel paths."""
+        return (self.benchmark,) + tuple(
+            getattr(self, name) for name in self._COUNT_FIELDS
+        )
+
     def merge(self, other: "LearningReport") -> None:
-        for name in (
-            "total_sequences", "prep_ci", "prep_pi", "prep_mb", "param_num",
-            "param_name", "param_failg", "verify_rg", "verify_mm",
-            "verify_br", "verify_other", "rules",
-        ):
+        for name in self._COUNT_FIELDS + self._TIMING_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
-        self.learn_seconds += other.learn_seconds
-        self.verify_seconds += other.verify_seconds
 
 
 @dataclass
@@ -75,43 +123,121 @@ class LearningOutcome:
     report: LearningReport = field(default_factory=LearningReport)
 
 
-def learn_rules(
+@dataclass
+class Candidate:
+    """One verify-stage work item: a snippet pair plus its mappings."""
+
+    pair: SnippetPair
+    context: ParamContext
+    mappings: list[InitialMapping]
+    digest: str
+
+
+def _extract_stage(
     guest_program: CompiledProgram,
     host_program: CompiledProgram,
-    benchmark: str = "",
-    direction: Direction = ARM_TO_X86,
-) -> LearningOutcome:
-    """Learn translation rules from one dual-compiled program."""
+    direction: Direction,
+    report: LearningReport,
+) -> list[SnippetPair]:
     start = time.perf_counter()
-    report = LearningReport(benchmark=benchmark)
     extraction = extract_pairs(guest_program, host_program, direction)
     report.total_sequences = extraction.total_sequences
     report.prep_ci = extraction.prep_failures[PrepFailure.CALL_OR_INDIRECT]
     report.prep_pi = extraction.prep_failures[PrepFailure.PREDICATED]
     report.prep_mb = extraction.prep_failures[PrepFailure.MULTI_BLOCK]
+    report.extract_seconds = time.perf_counter() - start
+    return extraction.pairs
 
-    rules: list[Rule] = []
-    for pair in extraction.pairs:
+
+def _paramize_stage(
+    pairs: list[SnippetPair],
+    direction: Direction,
+    report: LearningReport,
+) -> list[Candidate]:
+    start = time.perf_counter()
+    candidates: list[Candidate] = []
+    for pair in pairs:
         context = analyze_pair(pair, direction)
         mappings, failure = generate_mappings(context)
         if failure is not None:
             _count_param_failure(report, failure)
             continue
-        verify_start = time.perf_counter()
-        last_failure: VerifyFailure | None = None
-        learned = None
-        for mapping in mappings:
-            result = verify_candidate(context, mapping, origin=benchmark)
-            if result.rule is not None:
-                learned = result.rule
-                break
-            last_failure = result.failure
-        report.verify_seconds += time.perf_counter() - verify_start
-        if learned is not None:
-            rules.append(learned)
+        candidates.append(
+            Candidate(pair, context, mappings,
+                      candidate_digest(context, mappings))
+        )
+    report.paramize_seconds = time.perf_counter() - start
+    return candidates
+
+
+def _verify_stage(
+    candidates: list[Candidate],
+    report: LearningReport,
+    benchmark: str,
+    cache: VerificationCache | None,
+    memo: dict[str, CandidateOutcome],
+    resolver: Callable[[Candidate], CandidateOutcome] | None = None,
+) -> list[Rule]:
+    """Settle every candidate: memo (pre-verification dedup), then the
+    persistent cache, then live verification via ``resolver``.
+
+    The sequential and parallel paths share this function — the parallel
+    path only swaps ``resolver`` for a lookup into pre-computed worker
+    results — so reports and rule lists are identical by construction.
+    """
+    if resolver is None:
+        def resolver(candidate: Candidate) -> CandidateOutcome:
+            return resolve_candidate(candidate.context, candidate.mappings)
+
+    rules: list[Rule] = []
+    for candidate in candidates:
+        start = time.perf_counter()
+        outcome = memo.get(candidate.digest)
+        if outcome is not None:
+            report.dedup_saved_calls += outcome.calls
+        else:
+            cached = cache.get(candidate.digest) if cache is not None \
+                else None
+            if cached is not None:
+                report.cache_hits += 1
+                outcome = cached
+            else:
+                outcome = resolver(candidate)
+                report.verify_calls += outcome.calls
+                if cache is not None:
+                    report.cache_misses += 1
+                    cache.put(candidate.digest, outcome)
+            memo[candidate.digest] = outcome
+        report.verify_seconds += time.perf_counter() - start
+        if outcome.rule is not None:
+            rules.append(replace(outcome.rule, origin=benchmark,
+                                 line=candidate.pair.line))
         else:
             # Only the last verification attempt is counted (Section 6.1).
-            _count_verify_failure(report, last_failure)
+            _count_verify_failure(report, outcome.failure)
+    return rules
+
+
+def learn_rules(
+    guest_program: CompiledProgram,
+    host_program: CompiledProgram,
+    benchmark: str = "",
+    direction: Direction = ARM_TO_X86,
+    cache: VerificationCache | None = None,
+    _memo: dict[str, CandidateOutcome] | None = None,
+) -> LearningOutcome:
+    """Learn translation rules from one dual-compiled program.
+
+    ``cache`` (optional) settles candidates verified in earlier runs;
+    ``_memo`` lets :func:`learn_corpus` share pre-verification dedup
+    across benchmarks.
+    """
+    start = time.perf_counter()
+    report = LearningReport(benchmark=benchmark)
+    pairs = _extract_stage(guest_program, host_program, direction, report)
+    candidates = _paramize_stage(pairs, direction, report)
+    memo = _memo if _memo is not None else {}
+    rules = _verify_stage(candidates, report, benchmark, cache, memo)
     rules = dedup_rules(rules)
     report.rules = len(rules)
     report.learn_seconds = time.perf_counter() - start
@@ -120,15 +246,23 @@ def learn_rules(
 
 def learn_corpus(
     builds: dict[str, tuple[CompiledProgram, CompiledProgram]],
+    cache: VerificationCache | None = None,
 ) -> dict[str, LearningOutcome]:
     """Learn rules independently from several benchmarks.
 
-    ``builds`` maps benchmark name -> (guest build, host build).
+    ``builds`` maps benchmark name -> (guest build, host build).  The
+    pre-verification dedup memo is shared across benchmarks, so a
+    candidate appearing in several benchmarks is verified once.
     """
-    return {
-        name: learn_rules(guest, host, benchmark=name)
+    memo: dict[str, CandidateOutcome] = {}
+    outcomes = {
+        name: learn_rules(guest, host, benchmark=name, cache=cache,
+                          _memo=memo)
         for name, (guest, host) in builds.items()
     }
+    if cache is not None:
+        cache.save()
+    return outcomes
 
 
 def leave_one_out(

@@ -42,6 +42,11 @@ class RuleStore:
             store.insert(rule)
         return store
 
+    @property
+    def direction(self) -> str | None:
+        """Direction of the installed rules (None while empty)."""
+        return self._direction
+
     def insert(self, rule: Rule) -> None:
         if self._direction is None:
             self._direction = rule.direction

@@ -37,6 +37,40 @@ class TestTranslationCache:
         )
 
 
+class TestRepeatedRuns:
+    SOURCE = """
+    int main(void) {
+      int i = 0;
+      int s = 0;
+      while (i < 50) { s += i; i += 1; }
+      return s;
+    }
+    """
+
+    def test_second_run_does_not_double_count(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        first = engine.run()
+        first_dynamic = first.stats.dynamic_guest_instructions
+        first_host = first.stats.dynamic_host_instructions
+        first_dispatches = first.stats.perf.dispatches
+        second = engine.run()
+        assert second.return_value == first.return_value
+        # Dynamic stats describe the most recent run, not the sum.
+        assert second.stats.dynamic_guest_instructions == first_dynamic
+        assert second.stats.dynamic_host_instructions == first_host
+        assert second.stats.perf.dispatches == first_dispatches
+
+    def test_translation_stats_stay_cumulative(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        engine.run()
+        translated = engine.stats.translated_blocks
+        translation_cycles = engine.stats.perf.translation_cycles
+        engine.run()
+        # The warm cache pays no further translation cost.
+        assert engine.stats.translated_blocks == translated
+        assert engine.stats.perf.translation_cycles == translation_cycles
+
+
 class TestIndirectControl:
     def test_calls_and_returns_thread_through_env(self):
         guest = build("""

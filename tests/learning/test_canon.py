@@ -1,0 +1,105 @@
+"""Canonical candidate keys: pre-verification dedup identity."""
+
+from repro.learning.canon import (
+    candidate_digest,
+    candidate_key,
+    immexpr_text,
+    mapping_signature,
+    resolve_candidate,
+    snippet_text,
+)
+from repro.learning.paramize import (
+    InitialMapping,
+    analyze_pair,
+    generate_mappings,
+)
+from repro.minic import compile_source
+
+SOURCE = """
+int main(void) {
+  int a = 3;
+  int b = 5;
+  int c = a + b;
+  int d = c + b;
+  return d;
+}
+"""
+
+
+def _candidates(source):
+    guest = compile_source(source, "arm", 2, "llvm")
+    host = compile_source(source, "x86", 2, "llvm")
+    from repro.learning.extract import extract_pairs
+
+    result = []
+    for pair in extract_pairs(guest, host).pairs:
+        context = analyze_pair(pair)
+        mappings, failure = generate_mappings(context)
+        if failure is None:
+            result.append((context, mappings))
+    return result
+
+
+class TestKeyIdentity:
+    def test_identical_snippets_share_a_key(self):
+        first = _candidates(SOURCE)
+        second = _candidates(SOURCE)
+        assert [candidate_digest(c, m) for c, m in first] == \
+            [candidate_digest(c, m) for c, m in second]
+
+    def test_key_covers_direction_and_both_snippets(self):
+        (context, mappings), *_ = _candidates(SOURCE)
+        key = candidate_key(context, mappings)
+        assert context.direction.name in key
+        assert snippet_text(context.pair.guest) in key
+        assert snippet_text(context.pair.host) in key
+
+    def test_different_immediates_differ(self):
+        first = {candidate_digest(c, m) for c, m in _candidates(SOURCE)}
+        changed = {
+            candidate_digest(c, m)
+            for c, m in _candidates(SOURCE.replace("int b = 5", "int b = 9"))
+        }
+        assert first != changed
+
+    def test_line_and_function_do_not_matter(self):
+        # The same statement on different lines / in different functions
+        # canonicalizes identically (that is the whole point of dedup).
+        shifted = "\n\n\n" + SOURCE
+        assert [candidate_digest(c, m) for c, m in _candidates(SOURCE)] == \
+            [candidate_digest(c, m) for c, m in _candidates(shifted)]
+
+
+class TestMappingSignature:
+    def test_signature_is_insertion_order_independent(self):
+        a = InitialMapping({"r0": "eax", "r1": "ecx"}, {})
+        b = InitialMapping({"r1": "ecx", "r0": "eax"}, {})
+        assert mapping_signature(a) == mapping_signature(b)
+
+    def test_signature_distinguishes_mappings(self):
+        a = InitialMapping({"r0": "eax"}, {})
+        b = InitialMapping({"r0": "ecx"}, {})
+        assert mapping_signature(a) != mapping_signature(b)
+
+    def test_immexpr_text_nested(self):
+        expr = ("add", ("slot", "ig0"), ("const", 4))
+        assert immexpr_text(expr) == "(add (slot ig0) (const 4))"
+
+
+class TestResolveCandidate:
+    def test_counts_solver_calls(self):
+        for context, mappings in _candidates(SOURCE):
+            outcome = resolve_candidate(context, mappings)
+            assert 1 <= outcome.calls <= len(mappings)
+            if outcome.rule is not None:
+                assert outcome.failure is None
+            else:
+                assert outcome.failure is not None
+
+    def test_deterministic_verdicts(self):
+        first = [resolve_candidate(c, m) for c, m in _candidates(SOURCE)]
+        second = [resolve_candidate(c, m) for c, m in _candidates(SOURCE)]
+        for a, b in zip(first, second):
+            assert (a.rule is None) == (b.rule is None)
+            assert a.failure == b.failure
+            assert a.calls == b.calls

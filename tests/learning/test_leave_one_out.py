@@ -1,0 +1,94 @@
+"""leave_one_out / dedup_rules: determinism, exclusion, collapse."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Reg
+from repro.learning.pipeline import LearningOutcome, leave_one_out
+from repro.learning.rule import Rule, dedup_rules
+
+
+def _rule(mnemonic: str, origin: str, host_len: int = 1,
+          line: int = 0) -> Rule:
+    return Rule(
+        guest=(Instruction(mnemonic, (Reg("p0"), Reg("p0"), Reg("p1"))),),
+        host=tuple(
+            Instruction("addl", (Reg("p1"), Reg("p0")))
+            for _ in range(host_len)
+        ),
+        params=("p0", "p1"),
+        written_params=("p0",),
+        temps=(),
+        origin=origin,
+        line=line,
+    )
+
+
+def _outcomes() -> dict[str, LearningOutcome]:
+    return {
+        "alpha": LearningOutcome(
+            rules=[_rule("add", "alpha"), _rule("sub", "alpha")]
+        ),
+        "beta": LearningOutcome(
+            rules=[_rule("add", "beta"), _rule("eor", "beta")]
+        ),
+        "gamma": LearningOutcome(rules=[_rule("orr", "gamma")]),
+    }
+
+
+class TestLeaveOneOut:
+    def test_excluded_benchmark_contributes_nothing(self):
+        rules = leave_one_out(_outcomes(), "alpha")
+        assert all(rule.origin != "alpha" for rule in rules)
+        # The other benchmarks all still contribute.
+        assert {rule.origin for rule in rules} == {"beta", "gamma"}
+
+    def test_unknown_exclusion_keeps_everything(self):
+        rules = leave_one_out(_outcomes(), "not-a-benchmark")
+        mnemonics = {rule.guest[0].mnemonic for rule in rules}
+        assert mnemonics == {"add", "sub", "eor", "orr"}
+
+    def test_deterministic_order(self):
+        first = leave_one_out(_outcomes(), "gamma")
+        second = leave_one_out(_outcomes(), "gamma")
+        assert [str(rule) for rule in first] == [str(rule) for rule in second]
+        assert [rule.origin for rule in first] == \
+            [rule.origin for rule in second]
+
+    def test_cross_benchmark_duplicates_collapse(self):
+        # "add" appears in alpha and beta; leaving gamma out must keep
+        # exactly one copy (the first in corpus order: alpha's).
+        rules = leave_one_out(_outcomes(), "gamma")
+        adds = [rule for rule in rules if rule.guest[0].mnemonic == "add"]
+        assert len(adds) == 1
+        assert adds[0].origin == "alpha"
+
+
+class TestDedupRules:
+    def test_preserves_first_seen_order(self):
+        rules = [_rule("add", "a"), _rule("sub", "a"), _rule("add", "b"),
+                 _rule("eor", "a")]
+        deduped = dedup_rules(rules)
+        assert [rule.guest[0].mnemonic for rule in deduped] == \
+            ["add", "sub", "eor"]
+
+    def test_same_input_order_same_output_order(self):
+        rules = [_rule("sub", "a"), _rule("add", "a"), _rule("add", "b")]
+        assert [str(r) for r in dedup_rules(list(rules))] == \
+            [str(r) for r in dedup_rules(list(rules))]
+
+    def test_keeps_the_shortest_host_sequence(self):
+        long = _rule("add", "long", host_len=3)
+        short = _rule("add", "short", host_len=1)
+        deduped = dedup_rules([long, short])
+        assert len(deduped) == 1
+        assert deduped[0].origin == "short"
+        assert len(deduped[0].host) == 1
+
+    def test_ties_keep_the_first(self):
+        first = _rule("add", "first", line=10)
+        second = _rule("add", "second", line=20)
+        deduped = dedup_rules([first, second])
+        assert len(deduped) == 1
+        assert deduped[0].origin == "first"
+
+    def test_empty(self):
+        assert dedup_rules([]) == []

@@ -61,6 +61,21 @@ class TestPipeline:
     def test_origin_recorded(self, outcome):
         assert all(rule.origin == "unit" for rule in outcome.rules)
 
+    def test_stage_timings_recorded(self, outcome):
+        report = outcome.report
+        assert report.extract_seconds > 0
+        assert report.paramize_seconds > 0
+        assert report.extract_seconds + report.paramize_seconds + \
+            report.verify_seconds <= report.learn_seconds
+
+    def test_verification_economy_counters(self, outcome):
+        report = outcome.report
+        assert report.verify_calls > 0
+        assert report.dedup_saved_calls >= 0
+        # No cache attached: cache counters stay zero.
+        assert report.cache_hits == 0
+        assert report.cache_misses == 0
+
 
 class TestLeaveOneOut:
     def test_excluded_benchmark_contributes_nothing(self, outcome):
@@ -87,6 +102,22 @@ class TestReportMerge:
         assert a.rules == 3
         assert a.prep_ci == 1
         assert a.verify_rg == 3
+
+    def test_merge_sums_economy_counters(self):
+        a = LearningReport(verify_calls=4, dedup_saved_calls=2, cache_hits=1)
+        b = LearningReport(verify_calls=6, cache_misses=3,
+                           extract_seconds=0.5)
+        a.merge(b)
+        assert a.verify_calls == 10
+        assert a.dedup_saved_calls == 2
+        assert a.cache_hits == 1
+        assert a.cache_misses == 3
+        assert a.extract_seconds == 0.5
+
+    def test_count_signature_excludes_timing(self):
+        a = LearningReport(benchmark="x", rules=3, learn_seconds=1.0)
+        b = LearningReport(benchmark="x", rules=3, learn_seconds=9.0)
+        assert a.count_signature() == b.count_signature()
 
     def test_yield_fraction(self):
         report = LearningReport(total_sequences=20, rules=5)
