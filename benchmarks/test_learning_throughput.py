@@ -5,6 +5,7 @@ invocations, dedup savings, cache hit rate, sequential vs parallel
 wall-clock) so future PRs have a perf trajectory to compare against.
 """
 
+import io
 import json
 import os
 import sys
@@ -16,9 +17,15 @@ from repro.benchsuite import BENCHMARK_NAMES, build_learning_pair
 from repro.learning.cache import VerificationCache
 from repro.learning.parallel import learn_corpus_parallel
 from repro.learning.pipeline import learn_corpus
+from repro.obs.trace import NULL_TRACER, tracing
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_learning.json"
+OVERHEAD_OUTPUT = Path(__file__).resolve().parent.parent / \
+    "BENCH_trace_overhead.json"
 JOBS = max(2, os.cpu_count() or 1)
+#: Acceptance gate: the disabled tracer may cost at most this fraction
+#: of sequential learning wall-clock.
+MAX_DISABLED_OVERHEAD = 0.02
 
 
 def _total(outcomes, field):
@@ -124,4 +131,67 @@ def test_learning_throughput(benchmark, tmp_path):
         rules=payload["rules"],
         candidates_per_second=payload["sequential"]["candidates_per_second"],
         warm_hit_rate=payload["warm_cache"]["hit_rate"],
+    )
+
+
+def test_disabled_tracer_overhead(benchmark):
+    """Gate: tracing disabled (the default) costs <= 2% of learning.
+
+    Every instrumentation site guards on ``tracer.enabled``, so a
+    disabled run pays one attribute check (plus a no-op call at the few
+    span sites) per site visit.  Rather than diffing two noisy
+    wall-clock runs, bound the cost deterministically: count how many
+    records a fully traced run emits (an upper bound on guarded-site
+    visits that do any work), time the disabled-path guard in a tight
+    loop, and require sites x per-site cost to stay under the budget
+    with a generous safety factor.
+    """
+    builds = {name: build_learning_pair(name) for name in BENCHMARK_NAMES}
+
+    def measure():
+        t0 = time.perf_counter()
+        learn_corpus(builds)
+        baseline_seconds = time.perf_counter() - t0
+
+        with tracing(io.StringIO()) as tracer:
+            learn_corpus(builds)
+        site_visits = tracer.records_written
+
+        trials = 200_000
+        guard = NULL_TRACER
+        t0 = time.perf_counter()
+        for _ in range(trials):
+            if guard.enabled:
+                raise AssertionError("null tracer must stay disabled")
+            guard.event("never.emitted")
+        per_site = (time.perf_counter() - t0) / trials
+
+        # 4x: spans guard twice and some sites check without emitting.
+        overhead_seconds = 4 * site_visits * per_site
+        return {
+            "bench": "disabled_tracer_overhead",
+            "python": sys.version.split()[0],
+            "baseline_seconds": round(baseline_seconds, 3),
+            "trace_site_visits": site_visits,
+            "per_site_seconds": per_site,
+            "bounded_overhead_seconds": round(overhead_seconds, 6),
+            "overhead_fraction": round(
+                overhead_seconds / baseline_seconds, 6
+            ),
+            "budget_fraction": MAX_DISABLED_OVERHEAD,
+        }
+
+    payload = run_once(benchmark, measure)
+    OVERHEAD_OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+    print()
+    print(f"  wrote {OVERHEAD_OUTPUT}")
+    print(f"  disabled-tracer overhead bound: "
+          f"{payload['overhead_fraction']:.4%} of "
+          f"{payload['baseline_seconds']}s learning "
+          f"(budget {MAX_DISABLED_OVERHEAD:.0%})")
+
+    assert payload["trace_site_visits"] > 0
+    assert payload["overhead_fraction"] <= MAX_DISABLED_OVERHEAD
+    benchmark.extra_info.update(
+        overhead_fraction=payload["overhead_fraction"]
     )

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the fast checks every PR must keep green.
 #
-#   scripts/check.sh          # unit tests + lint
+#   scripts/check.sh          # unit tests + lint + trace-overhead gate
 #   scripts/check.sh --bench  # also regenerate BENCH_learning.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -9,6 +9,11 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
+
+# Observability must stay free when off: bound the disabled-tracer
+# cost against sequential learning wall-clock (<= 2%).
+python -m pytest benchmarks/test_learning_throughput.py::test_disabled_tracer_overhead \
+    -x -q --benchmark-disable
 
 if command -v ruff >/dev/null 2>&1; then
     ruff check src

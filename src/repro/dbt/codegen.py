@@ -420,3 +420,4 @@ class TranslatedBlock:
     hit_rules: list = field(default_factory=list)  # (rule, length) pairs
     translation_cost: float = 0.0
     exec_count: int = 0
+    exec_cycles: float = 0.0  # host cycles attributed to this block (per run)

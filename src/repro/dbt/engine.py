@@ -10,10 +10,26 @@ Three backends share the engine (paper Section 6):
 Guest architectural state (r0-r15, NZCV) lives in the in-memory CPU env
 at ``ENV_BASE``; translated host code reads/writes it there, and the
 engine itself only touches it between blocks (dispatch, HALT check).
+
+Statistics come in two explicit views (instead of the old implicit
+reset-on-``run()`` convention):
+
+* ``engine.lifetime`` — everything since engine construction:
+  translation-side counters grow with the translation cache and
+  dynamic counters sum over every completed run.
+* ``engine.last_run`` — exactly one run: dynamic counters for the most
+  recent completed ``run()`` plus the translation work that run itself
+  triggered (zero blocks on a warm cache).
+
+``engine.stats`` (and ``DBTRunResult.stats``) is the conventional
+evaluation view the figures consume: cumulative translation-side
+counters (a warm DBT process keeps its cache) combined with the most
+recent run's dynamic counters.  It is a snapshot, not a live object.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.host_x86 import execute as execute_x86
@@ -26,6 +42,8 @@ from repro.minic.compile import (
     STACK_TOP,
     CompiledProgram,
 )
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.dbt import codegen, perf
 from repro.dbt.codegen import (
     ENV_BASE,
@@ -45,6 +63,8 @@ _ALU = ConcreteALU()
 
 MODES = ("qemu", "rules", "llvmjit")
 
+_ENGINE_IDS = itertools.count()
+
 
 class DBTError(Exception):
     """Engine-level failure (bad mode, runaway guest, ...)."""
@@ -52,7 +72,7 @@ class DBTError(Exception):
 
 @dataclass
 class DBTStats:
-    """Everything the evaluation figures need from one run."""
+    """Everything the evaluation figures need from one stats view."""
 
     dynamic_host_instructions: int = 0
     dynamic_guest_instructions: int = 0
@@ -62,6 +82,7 @@ class DBTStats:
     translated_blocks: int = 0
     hit_rule_lengths: dict[int, int] = field(default_factory=dict)
     hit_rules: set = field(default_factory=set)
+    rule_miss_reasons: dict[str, int] = field(default_factory=dict)
     perf: PerfModel = field(default_factory=PerfModel)
 
     @property
@@ -79,6 +100,22 @@ class DBTStats:
             return 0.0
         return (self.dynamic_rule_guest_instructions
                 / self.dynamic_guest_instructions)
+
+    def count_fields(self) -> dict:
+        """Flat numeric summary (trace payloads, reconciliation)."""
+        return {
+            "dynamic_host_instructions": self.dynamic_host_instructions,
+            "dynamic_guest_instructions": self.dynamic_guest_instructions,
+            "dynamic_rule_guest_instructions":
+                self.dynamic_rule_guest_instructions,
+            "static_guest_instructions": self.static_guest_instructions,
+            "static_rule_guest_instructions":
+                self.static_rule_guest_instructions,
+            "translated_blocks": self.translated_blocks,
+            "dispatches": self.perf.dispatches,
+            "exec_cycles": self.perf.exec_cycles,
+            "translation_cycles": self.perf.translation_cycles,
+        }
 
 
 @dataclass
@@ -113,11 +150,51 @@ class DBTEngine:
         self.mode = mode
         self.rule_store = rule_store
         self.fast = fast
+        self.engine_id = next(_ENGINE_IDS)
         self._cache: dict[int, TranslatedBlock] = {}
         self._cycles_cache: dict[int, list[float]] = {}
         self._steps_cache: dict[int, list] = {}
-        self._has_run = False
-        self.stats = DBTStats()
+        self._runs_completed = 0
+        #: Cumulative since construction (never reset).
+        self.lifetime = DBTStats()
+        #: The most recent completed run (empty before the first).
+        self.last_run = DBTStats()
+        # Accumulator for the run in progress.
+        self._active: DBTStats | None = None
+
+    # -- stats views -----------------------------------------------------------
+
+    @property
+    def stats(self) -> DBTStats:
+        """The conventional evaluation view: cumulative translation
+        counters (the cache is warm across runs) + the most recent
+        run's dynamic counters.  A detached snapshot."""
+        lifetime, last = self.lifetime, self.last_run
+        return DBTStats(
+            dynamic_host_instructions=last.dynamic_host_instructions,
+            dynamic_guest_instructions=last.dynamic_guest_instructions,
+            dynamic_rule_guest_instructions=(
+                last.dynamic_rule_guest_instructions
+            ),
+            static_guest_instructions=lifetime.static_guest_instructions,
+            static_rule_guest_instructions=(
+                lifetime.static_rule_guest_instructions
+            ),
+            translated_blocks=lifetime.translated_blocks,
+            hit_rule_lengths=dict(lifetime.hit_rule_lengths),
+            hit_rules=set(lifetime.hit_rules),
+            rule_miss_reasons=dict(lifetime.rule_miss_reasons),
+            perf=PerfModel(
+                exec_cycles=last.perf.exec_cycles,
+                translation_cycles=lifetime.perf.translation_cycles,
+                dispatches=last.perf.dispatches,
+            ),
+        )
+
+    def _translation_views(self) -> tuple[DBTStats, ...]:
+        if self._active is not None:
+            return (self.lifetime, self._active)
+        return (self.lifetime,)
 
     # -- translation -----------------------------------------------------------
 
@@ -126,6 +203,7 @@ class DBTEngine:
         if cached is not None:
             return cached
         start_index = self.program.index_of_addr(guest_addr)
+        miss_reasons: dict[str, int] = {}
         if self.mode == "rules":
             result = translate_block_with_rules(
                 self.program, start_index, self.rule_store
@@ -140,11 +218,17 @@ class DBTEngine:
                 + perf.RULE_EMIT_COST
                 * sum(len(rule.host) for rule, _ in result.hit_rules)
             )
-            for rule, length in result.hit_rules:
-                self.stats.hit_rules.add(rule)
-                self.stats.hit_rule_lengths[length] = (
-                    self.stats.hit_rule_lengths.get(length, 0) + 1
-                )
+            miss_reasons = result.miss_reasons
+            for view in self._translation_views():
+                for rule, length in result.hit_rules:
+                    view.hit_rules.add(rule)
+                    view.hit_rule_lengths[length] = (
+                        view.hit_rule_lengths.get(length, 0) + 1
+                    )
+                for reason, count in miss_reasons.items():
+                    view.rule_miss_reasons[reason] = (
+                        view.rule_miss_reasons.get(reason, 0) + count
+                    )
         else:
             tcg_block, guest_instrs = translate_block(
                 self.program, start_index
@@ -173,10 +257,33 @@ class DBTEngine:
             from repro.dbt.fastexec import compile_block
 
             self._steps_cache[guest_addr] = compile_block(tb.host_instrs)
-        self.stats.translated_blocks += 1
-        self.stats.static_guest_instructions += tb.guest_length
-        self.stats.static_rule_guest_instructions += sum(tb.rule_covered)
-        self.stats.perf.translation_cycles += tb.translation_cost
+        covered = sum(tb.rule_covered)
+        for view in self._translation_views():
+            view.translated_blocks += 1
+            view.static_guest_instructions += tb.guest_length
+            view.static_rule_guest_instructions += covered
+            view.perf.translation_cycles += tb.translation_cost
+        metrics = get_metrics()
+        metrics.inc("dbt.blocks.translated")
+        if self.mode == "rules":
+            metrics.inc("dbt.rule.hits", len(tb.hit_rules))
+            for _, length in tb.hit_rules:
+                metrics.observe("dbt.rule.hit_length", length)
+            for reason, count in miss_reasons.items():
+                metrics.inc(f"dbt.rule.miss.{reason}", count)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "dbt.translate",
+                engine=self.engine_id,
+                mode=self.mode,
+                addr=guest_addr,
+                guest_len=tb.guest_length,
+                covered=covered,
+                cost=tb.translation_cost,
+                hit_lengths=[length for _, length in tb.hit_rules],
+                miss_reasons=miss_reasons,
+            )
         return tb
 
     # -- execution ---------------------------------------------------------------
@@ -192,51 +299,59 @@ class DBTEngine:
         """Emulate the guest program's ``main`` until it returns.
 
         Repeated ``run()`` calls on one engine reuse the translation
-        cache but reset the *dynamic* statistics first, so ``stats``
-        always describes the most recent run (translation-side stats —
-        translated blocks, static counts, translation cycles — stay
-        cumulative with the cache, exactly like a warm DBT process).
+        cache; each run accumulates into a fresh ``last_run`` view and
+        folds into ``lifetime``, so back-to-back runs never
+        double-count.  The returned ``stats`` snapshot is the
+        conventional hybrid view (see the module docstring).
         """
-        if self._has_run:
-            self._reset_dynamic_stats()
-        self._has_run = True
+        self._active = DBTStats()
+        for tb in self._cache.values():
+            tb.exec_count = 0
+            tb.exec_cycles = 0.0
         state = ConcreteState(memory=dict(self.program.initial_memory()))
         self._env_write(state, REG_OFFSET["sp"], STACK_TOP)
         self._env_write(state, REG_OFFSET["lr"], HALT_ADDRESS)
         for i, arg in enumerate(args):
             self._env_write(state, REG_OFFSET[f"r{i}"], arg)
         guest_pc = self.program.addr_of(self.program.entry)
-        stats = self.stats
+        active = self._active
         executed_blocks = 0
-        while guest_pc != HALT_ADDRESS:
-            if executed_blocks >= block_limit:
-                raise DBTError("block limit exceeded")
-            executed_blocks += 1
-            tb = self.translate(guest_pc)
-            tb.exec_count += 1
-            stats.perf.dispatches += 1
-            guest_pc = self._run_block(tb, state)
-        self._finalize_dynamic_stats()
-        return DBTRunResult(
-            self._env_read(state, REG_OFFSET["r0"]), stats
-        )
+        try:
+            while guest_pc != HALT_ADDRESS:
+                if executed_blocks >= block_limit:
+                    raise DBTError("block limit exceeded")
+                executed_blocks += 1
+                tb = self.translate(guest_pc)
+                tb.exec_count += 1
+                active.perf.dispatches += 1
+                guest_pc = self._run_block(tb, state)
+        finally:
+            self._finalize_run()
+        return_value = self._env_read(state, REG_OFFSET["r0"])
+        self._emit_run_records(return_value)
+        return DBTRunResult(return_value, self.stats)
 
     def _run_block(self, tb: TranslatedBlock, state: ConcreteState) -> int:
         if self.fast:
             return self._run_block_fast(tb, state)
         instrs = tb.host_instrs
         cycles = self._cycles_cache[tb.guest_start]
-        stats = self.stats
+        active = self._active
         index = 0
+        count = 0
+        cycle_sum = 0.0
         while index < len(instrs):
             instr = instrs[index]
-            stats.dynamic_host_instructions += 1
-            stats.perf.exec_cycles += cycles[index]
+            count += 1
+            cycle_sum += cycles[index]
             outcome = execute_x86(instr, state, _ALU)
             branch = outcome.branch
             if branch is None or not branch.cond:
                 index += 1
                 continue
+            active.dynamic_host_instructions += count
+            active.perf.exec_cycles += cycle_sum
+            tb.exec_cycles += cycle_sum
             target = branch.target
             if isinstance(target, Label):
                 name = target.name
@@ -252,7 +367,7 @@ class DBTEngine:
     def _run_block_fast(self, tb: TranslatedBlock, state: ConcreteState) -> int:
         steps = self._steps_cache[tb.guest_start]
         cycles = self._cycles_cache[tb.guest_start]
-        stats = self.stats
+        active = self._active
         regs, flags, mem = state.regs, state.flags, state.memory
         index = 0
         count = 0
@@ -265,8 +380,9 @@ class DBTEngine:
             if target is None:
                 index += 1
                 continue
-            stats.dynamic_host_instructions += count
-            stats.perf.exec_cycles += cycle_sum
+            active.dynamic_host_instructions += count
+            active.perf.exec_cycles += cycle_sum
+            tb.exec_cycles += cycle_sum
             if target == EXIT_LABEL:
                 return self._env_read(state, NEXT_PC_OFFSET)
             if target.startswith("TB@"):
@@ -276,29 +392,60 @@ class DBTEngine:
             f"translated block {tb.guest_start:#x} fell off its end"
         )
 
-    def _reset_dynamic_stats(self) -> None:
-        """Zero everything a single run accumulates, so back-to-back
-        ``run()`` calls never double-count (regression: ``stats`` used
-        to mix execution counts of every run with exec_counts that
-        ``_finalize_dynamic_stats`` re-derives from scratch)."""
-        stats = self.stats
-        stats.dynamic_host_instructions = 0
-        stats.dynamic_guest_instructions = 0
-        stats.dynamic_rule_guest_instructions = 0
-        stats.perf.exec_cycles = 0.0
-        stats.perf.dispatches = 0
+    def _finalize_run(self) -> None:
+        """Derive the run's guest-side dynamic counters, publish it as
+        ``last_run`` and fold it into ``lifetime``."""
+        active = self._active
+        if active is None:
+            return
+        self._active = None
         for tb in self._cache.values():
-            tb.exec_count = 0
-
-    def _finalize_dynamic_stats(self) -> None:
-        stats = self.stats
-        stats.dynamic_guest_instructions = 0
-        stats.dynamic_rule_guest_instructions = 0
-        for tb in self._cache.values():
-            stats.dynamic_guest_instructions += \
+            active.dynamic_guest_instructions += \
                 tb.exec_count * tb.guest_length
-            stats.dynamic_rule_guest_instructions += \
+            active.dynamic_rule_guest_instructions += \
                 tb.exec_count * sum(tb.rule_covered)
+        lifetime = self.lifetime
+        lifetime.dynamic_host_instructions += \
+            active.dynamic_host_instructions
+        lifetime.dynamic_guest_instructions += \
+            active.dynamic_guest_instructions
+        lifetime.dynamic_rule_guest_instructions += \
+            active.dynamic_rule_guest_instructions
+        lifetime.perf.exec_cycles += active.perf.exec_cycles
+        lifetime.perf.dispatches += active.perf.dispatches
+        self.last_run = active
+        self._runs_completed += 1
+
+    def _emit_run_records(self, return_value: int) -> None:
+        metrics = get_metrics()
+        metrics.inc("dbt.runs")
+        metrics.inc("dbt.dispatches", self.last_run.perf.dispatches)
+        metrics.inc("dbt.dynamic_host_instructions",
+                    self.last_run.dynamic_host_instructions)
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        for tb in self._cache.values():
+            if not tb.exec_count:
+                continue
+            tracer.event(
+                "dbt.block",
+                engine=self.engine_id,
+                addr=tb.guest_start,
+                exec_count=tb.exec_count,
+                exec_cycles=tb.exec_cycles,
+                guest_len=tb.guest_length,
+                covered=sum(tb.rule_covered),
+            )
+        tracer.event(
+            "dbt.run",
+            engine=self.engine_id,
+            mode=self.mode,
+            run=self._runs_completed,
+            return_value=return_value,
+            lifetime=self.lifetime.count_fields(),
+            last_run=self.last_run.count_fields(),
+        )
 
 
 def run_dbt(

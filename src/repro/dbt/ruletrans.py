@@ -13,7 +13,7 @@ the rule does not materialize are dead before applying it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from repro.guest_arm import isa as arm_isa
 from repro.isa.instruction import Instruction
@@ -31,6 +31,18 @@ class RuleApplicationError(Exception):
     """The bound rule violates a host-ISA constraint (Section 5)."""
 
 
+#: Why a rule lookup failed to cover a guest position (Table 1's
+#: translate-time counterpart; ranked by the obs report CLI).
+MISS_NO_MATCH = "no_match"       # store had no matching rule
+MISS_FLAGS_LIVE = "flags_live"   # condition-code analysis rejected it
+MISS_BINDING = "binding"         # binding touches reserved registers
+MISS_APPLY_ERROR = "apply_error"  # host-ISA constraint failed at emit
+
+MISS_REASONS = (
+    MISS_NO_MATCH, MISS_FLAGS_LIVE, MISS_BINDING, MISS_APPLY_ERROR,
+)
+
+
 @dataclass
 class BlockTranslation:
     """Result of translating one guest block with rules."""
@@ -41,6 +53,7 @@ class BlockTranslation:
     hit_rules: list[tuple[Rule, int]]
     tcg_op_count: int
     lookup_attempts: int
+    miss_reasons: dict[str, int] = field(default_factory=dict)
 
 
 def flags_dead_after(rule: Rule, block: list[Instruction],
@@ -165,38 +178,50 @@ def translate_block_with_rules(
     store: RuleStore | None,
 ) -> BlockTranslation:
     """Translate one guest block, using rules where they match."""
+    from repro.obs.trace import get_tracer
+
     block = discover_block(program, start_index)
     guest_addr = 0x8000 + 4 * start_index
     assembler = BlockAssembler()
     covered = [False] * len(block)
     hit_rules: list[tuple[Rule, int]] = []
+    miss_reasons: dict[str, int] = {}
     tcg_ops_total = 0
     lookups = 0
+    tracer = get_tracer()
 
     i = 0
     ended = False
     while i < len(block):
         match: RuleMatch | None = None
+        reason: str | None = None
         if store is not None:
             lookups += 1
             match = store.match_at(block, i)
-            if match is not None and not flags_dead_after(
+            if match is None:
+                reason = MISS_NO_MATCH
+            elif not flags_dead_after(
                 match.rule, block, i + match.length
             ):
-                match = None
-            if match is not None and not _binding_applicable(match):
-                match = None
+                match, reason = None, MISS_FLAGS_LIVE
+            elif not _binding_applicable(match):
+                match, reason = None, MISS_BINDING
         if match is not None:
             try:
                 _, branch_cc = instantiate_host(
                     match.rule, match.binding, assembler
                 )
             except RuleApplicationError:
-                match = None
+                match, reason = None, MISS_APPLY_ERROR
             else:
+                hit_rules.append((match.rule, match.length))
+                if tracer.enabled:
+                    tracer.event(
+                        "dbt.rule.hit", addr=guest_addr + 4 * i,
+                        length=match.length,
+                    )
                 for j in range(i, i + match.length):
                     covered[j] = True
-                hit_rules.append((match.rule, match.length))
                 if match.rule.has_branch:
                     taken = program.addr_of(match.binding.label)
                     fallthrough = guest_addr + 4 * (i + match.length)
@@ -206,6 +231,13 @@ def translate_block_with_rules(
                     ended = True
                 i += match.length
                 continue
+        if reason is not None:
+            miss_reasons[reason] = miss_reasons.get(reason, 0) + 1
+            if tracer.enabled:
+                tracer.event(
+                    "dbt.rule.miss", addr=guest_addr + 4 * i,
+                    reason=reason,
+                )
         # TCG path for one guest instruction.
         tcg = TcgBlock(guest_start=guest_addr)
         tcg.temp_counter = 10_000 + i * 100  # keep temp names unique
@@ -230,6 +262,7 @@ def translate_block_with_rules(
         hit_rules=hit_rules,
         tcg_op_count=tcg_ops_total,
         lookup_attempts=lookups,
+        miss_reasons=miss_reasons,
     )
 
 

@@ -7,11 +7,19 @@ Usage::
     repro-experiments all --jobs 8
     repro-experiments fig6 --cache-dir /tmp/verify-cache
     repro-experiments table1 --no-cache
+    repro-experiments table1 fig11 --trace t.jsonl --metrics
+
+With ``--trace``, every learning candidate and DBT block event lands
+in the trace file; ``python -m repro.obs.report t.jsonl`` then
+re-derives the Table 1 / Figure 11 / Figure 12 numbers from the trace
+alone and cross-checks them against the ``LearningReport``/``DBTStats``
+accounting embedded in the same trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 import time
@@ -19,6 +27,9 @@ import time
 from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
 from repro.experiments.common import shared_context
 from repro.learning.cache import VerificationCache
+from repro.learning.cli import ECONOMY_PREFIXES, record_cache_metrics
+from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.trace import tracing
 
 EXPERIMENTS = {
     "table1": table1,
@@ -56,8 +67,18 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="learn without the persistent verification cache",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a structured JSON-lines trace of learning + DBT "
+             "execution here (inspect with `python -m repro.obs.report`)",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="dump every metrics counter/histogram to stderr when done",
+    )
     args = parser.parse_args(argv)
 
+    set_metrics(None)  # a fresh registry per invocation
     context = shared_context()
     context.jobs = args.jobs if args.jobs is not None else \
         (os.cpu_count() or 1)
@@ -66,21 +87,28 @@ def main(argv: list[str] | None = None) -> int:
 
     names = list(EXPERIMENTS) if "all" in args.experiments else \
         args.experiments
-    for name in names:
-        module = EXPERIMENTS[name]
-        start = time.perf_counter()
-        result = module.run()
-        print(module.render(result))
-        print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s]\n")
+    trace_scope = tracing(args.trace) if args.trace \
+        else contextlib.nullcontext()
+    with trace_scope:
+        for name in names:
+            module = EXPERIMENTS[name]
+            start = time.perf_counter()
+            result = module.run()
+            print(module.render(result))
+            print(f"[{name} regenerated in "
+                  f"{time.perf_counter() - start:.1f}s]\n")
     if context.cache is not None:
         context.cache.save()
-        stats = context.cache.stats
-        print(
-            f"[verification cache: {stats.hits} hits, {stats.misses} misses, "
-            f"{stats.stale} stale; {len(context.cache)} entries at "
-            f"{context.cache.path}]",
-            file=sys.stderr,
-        )
+    record_cache_metrics(context.cache)
+    print(
+        format_metrics(get_metrics(), title="verification economy",
+                       prefix=ECONOMY_PREFIXES),
+        file=sys.stderr,
+    )
+    if args.metrics:
+        print(format_metrics(get_metrics()), file=sys.stderr)
+    if args.trace:
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
     return 0
 
 

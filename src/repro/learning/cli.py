@@ -6,11 +6,13 @@ Usage::
     repro-learn program.c --print        # dump rules to stdout
     repro-learn program.c --jobs 8       # parallel verification
     repro-learn program.c --no-cache     # skip the persistent cache
+    repro-learn program.c --trace t.jsonl --metrics
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 
@@ -19,8 +21,27 @@ from repro.learning.parallel import learn_corpus_parallel
 from repro.learning.pipeline import learn_rules
 from repro.learning.serialize import dump_rules
 from repro.minic import compile_source
+from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.trace import tracing
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Metric-name prefixes of the verification-economy counters every CLI
+#: prints through the one shared formatter.
+ECONOMY_PREFIXES = (
+    "learning.verify.", "learning.cache.",
+    "learning.worker.", "learning.pool.",
+)
+
+
+def record_cache_metrics(cache: VerificationCache | None) -> None:
+    """Route the persistent-cache summary into the metrics registry
+    (hit/miss counters are already recorded by the pipeline)."""
+    if cache is None:
+        return
+    metrics = get_metrics()
+    metrics.inc("learning.cache.stale", cache.stats.stale)
+    metrics.inc("learning.cache.entries", len(cache))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,31 +70,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="learn without the persistent verification "
                              "cache")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a structured JSON-lines trace here "
+                             "(inspect with `python -m repro.obs.report`)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump every metrics counter/histogram to "
+                             "stderr when done")
     args = parser.parse_args(argv)
 
+    set_metrics(None)  # a fresh registry per invocation
     with open(args.source) as fp:
         source = fp.read()
     if args.reformat:
         from repro.minic.format import format_source
 
         source = format_source(source)
-    guest = compile_source(source, "arm", args.opt_level, args.style)
-    host = compile_source(source, "x86", args.opt_level, args.style)
 
-    cache = None if args.no_cache else \
-        VerificationCache.at_dir(args.cache_dir)
-    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
-    if jobs > 1:
-        outcomes = learn_corpus_parallel(
-            {args.source: (guest, host)}, jobs=jobs, cache=cache
-        )
-        outcome = outcomes[args.source]
-    else:
-        outcome = learn_rules(guest, host, benchmark=args.source,
-                              cache=cache)
-        if cache is not None:
-            cache.save()
+    trace_scope = tracing(args.trace) if args.trace \
+        else contextlib.nullcontext()
+    with trace_scope:
+        guest = compile_source(source, "arm", args.opt_level, args.style)
+        host = compile_source(source, "x86", args.opt_level, args.style)
 
+        cache = None if args.no_cache else \
+            VerificationCache.at_dir(args.cache_dir)
+        jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+        if jobs > 1:
+            outcomes = learn_corpus_parallel(
+                {args.source: (guest, host)}, jobs=jobs, cache=cache
+            )
+            outcome = outcomes[args.source]
+        else:
+            outcome = learn_rules(guest, host, benchmark=args.source,
+                                  cache=cache)
+            if cache is not None:
+                cache.save()
+
+    record_cache_metrics(cache)
     report = outcome.report
     print(
         f"{report.total_sequences} snippet pairs -> {report.rules} rules "
@@ -83,10 +116,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"stages: extract {report.extract_seconds:.2f}s, "
         f"paramize {report.paramize_seconds:.2f}s, "
-        f"verify {report.verify_seconds:.2f}s "
-        f"({report.verify_calls} solver calls, "
-        f"{report.dedup_saved_calls} deduped, "
-        f"{report.cache_hits} cache hits)",
+        f"verify {report.verify_seconds:.2f}s",
         file=sys.stderr,
     )
     print(
@@ -97,6 +127,15 @@ def main(argv: list[str] | None = None) -> int:
         f"Br={report.verify_br} Other={report.verify_other}",
         file=sys.stderr,
     )
+    print(
+        format_metrics(get_metrics(), title="verification economy",
+                       prefix=ECONOMY_PREFIXES),
+        file=sys.stderr,
+    )
+    if args.metrics:
+        print(format_metrics(get_metrics()), file=sys.stderr)
+    if args.trace:
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
     if args.print_rules:
         for rule in outcome.rules:
             print(rule)

@@ -58,6 +58,10 @@ class ExtractionResult:
     """All candidate pairs plus preparation-step statistics."""
 
     pairs: list[SnippetPair] = field(default_factory=list)
+    #: Sequences with nothing left after stripping control glue: they
+    #: count toward ``total_sequences`` but are neither pairs nor
+    #: Table 1 preparation failures.
+    empty_after_prep: int = 0
     prep_failures: dict[PrepFailure, int] = field(
         default_factory=lambda: {kind: 0 for kind in PrepFailure}
     )
@@ -101,6 +105,7 @@ def extract_pairs(
             if host_snippet is None:
                 continue
             if not guest_snippet or not host_snippet:
+                result.empty_after_prep += 1
                 continue  # nothing left after stripping control glue
             result.pairs.append(
                 SnippetPair(name, line, guest_snippet, host_snippet)

@@ -39,10 +39,13 @@ from repro.learning.pipeline import (
     _extract_stage,
     _paramize_stage,
     _verify_stage,
+    finish_outcome,
     learn_corpus,
 )
 from repro.learning.rule import dedup_rules
 from repro.minic.compile import CompiledProgram
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import get_tracer
 
 #: Candidates per worker task: large enough to amortize IPC, small
 #: enough to keep the pool busy at the tail of the work list.
@@ -53,12 +56,27 @@ _ChunkItem = tuple[str, ParamContext, list[InitialMapping]]
 
 def _resolve_chunk(
     chunk: list[_ChunkItem],
-) -> list[tuple[str, CandidateOutcome]]:
-    """Worker entry point: verify one chunk of canonical candidates."""
-    return [
-        (digest, resolve_candidate(context, mappings))
-        for digest, context, mappings in chunk
-    ]
+) -> tuple[list[tuple[str, CandidateOutcome]], dict]:
+    """Worker entry point: verify one chunk of canonical candidates.
+
+    Returns the per-candidate verdicts plus a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the
+    worker-side accounting, which the parent merges into the global
+    registry — the cross-process half of the metrics API.
+    """
+    registry = MetricsRegistry()
+    start = time.perf_counter()
+    results = []
+    for digest, context, mappings in chunk:
+        outcome = resolve_candidate(context, mappings)
+        registry.inc("learning.worker.resolved")
+        registry.inc("learning.worker.verify_calls", outcome.calls)
+        registry.observe("learning.worker.calls_per_candidate",
+                         outcome.calls)
+        results.append((digest, outcome))
+    registry.inc("learning.worker.seconds", time.perf_counter() - start)
+    registry.inc("learning.worker.chunks")
+    return results, registry.snapshot()
 
 
 def learn_corpus_parallel(
@@ -109,19 +127,27 @@ def learn_corpus_parallel(
     ]
     resolved: dict[str, CandidateOutcome] = {}
     pool_seconds = 0.0
+    metrics = get_metrics()
     if chunks:
         workers = min(jobs, len(chunks))
+        metrics.inc("learning.pool.workers", workers)
+        metrics.inc("learning.pool.chunks", len(chunks))
         pool_start = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for chunk_result in pool.map(_resolve_chunk, chunks):
-                for digest, outcome in chunk_result:
-                    resolved[digest] = outcome
+        with get_tracer().span("learn.pool", workers=workers,
+                               chunks=len(chunks)):
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for chunk_result, snapshot in pool.map(
+                    _resolve_chunk, chunks
+                ):
+                    metrics.merge(snapshot)
+                    for digest, outcome in chunk_result:
+                        resolved[digest] = outcome
         pool_seconds = time.perf_counter() - pool_start
 
     # Stage 4: deterministic merge — replay sequential accounting with
     # the pre-computed verdicts as the resolver.
     memo: dict[str, CandidateOutcome] = {}
-    outcomes: dict[str, LearningOutcome] = {}
+    replayed: list[tuple[LearningReport, list, float]] = []
     for name, report, candidates, stage1_seconds in staged:
         replay_start = time.perf_counter()
         rules = _verify_stage(
@@ -129,23 +155,22 @@ def learn_corpus_parallel(
             resolver=lambda candidate: resolved[candidate.digest],
         )
         rules = dedup_rules(rules)
-        report.rules = len(rules)
         report.learn_seconds = (
             stage1_seconds + time.perf_counter() - replay_start
         )
-        outcomes[name] = LearningOutcome(rules=rules, report=report)
+        replayed.append((report, rules, stage1_seconds))
     # The replay resolver is a dict lookup, so _verify_stage timed ~0s
     # of verification; charge the pool's wall-clock to each benchmark
     # in proportion to the solver calls attributed to it, so per-rule
     # and verification-share summaries stay meaningful in parallel runs.
-    total_calls = sum(o.report.verify_calls for o in outcomes.values())
-    if total_calls:
-        for outcome in outcomes.values():
-            share = (
-                pool_seconds * outcome.report.verify_calls / total_calls
-            )
-            outcome.report.verify_seconds += share
-            outcome.report.learn_seconds += share
+    total_calls = sum(report.verify_calls for report, _, _ in replayed)
+    outcomes: dict[str, LearningOutcome] = {}
+    for report, rules, _ in replayed:
+        if total_calls:
+            share = pool_seconds * report.verify_calls / total_calls
+            report.verify_seconds += share
+            report.learn_seconds += share
+        outcomes[report.benchmark] = finish_outcome(rules, report)
     if cache is not None:
         cache.save()
     return outcomes

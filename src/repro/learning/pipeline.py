@@ -35,6 +35,26 @@ from repro.learning.paramize import (
 from repro.learning.rule import Rule, dedup_rules
 from repro.learning.verify import VerifyFailure
 from repro.minic.compile import CompiledProgram
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+
+#: Table 1 failure-taxonomy codes, shared with the trace payloads.
+PREP_CODES = {
+    PrepFailure.CALL_OR_INDIRECT: "CI",
+    PrepFailure.PREDICATED: "PI",
+    PrepFailure.MULTI_BLOCK: "MB",
+}
+PARAM_CODES = {
+    ParamFailure.MEM_COUNT: "Num",
+    ParamFailure.MEM_NAME: "Name",
+}
+PARAM_FALLBACK_CODE = "FailG"
+VERIFY_CODES = {
+    VerifyFailure.REGISTERS: "Rg",
+    VerifyFailure.MEMORY: "Mm",
+    VerifyFailure.BRANCH: "Br",
+}
+VERIFY_FALLBACK_CODE = "Other"
 
 
 @dataclass
@@ -139,13 +159,38 @@ def _extract_stage(
     direction: Direction,
     report: LearningReport,
 ) -> list[SnippetPair]:
+    tracer = get_tracer()
     start = time.perf_counter()
-    extraction = extract_pairs(guest_program, host_program, direction)
+    with tracer.span("learn.extract", benchmark=report.benchmark):
+        extraction = extract_pairs(guest_program, host_program, direction)
     report.total_sequences = extraction.total_sequences
     report.prep_ci = extraction.prep_failures[PrepFailure.CALL_OR_INDIRECT]
     report.prep_pi = extraction.prep_failures[PrepFailure.PREDICATED]
     report.prep_mb = extraction.prep_failures[PrepFailure.MULTI_BLOCK]
     report.extract_seconds = time.perf_counter() - start
+    metrics = get_metrics()
+    metrics.inc("learning.sequences", extraction.total_sequences)
+    metrics.inc("learning.pairs", len(extraction.pairs))
+    for failure, code in PREP_CODES.items():
+        count = extraction.prep_failures[failure]
+        if count:
+            metrics.inc(f"learning.prep_fail.{code}", count)
+    if extraction.empty_after_prep:
+        metrics.inc("learning.empty_after_prep",
+                    extraction.empty_after_prep)
+    if tracer.enabled:
+        for pair in extraction.pairs:
+            tracer.event("learn.pair", benchmark=report.benchmark,
+                         line=pair.line)
+        for failure, code in PREP_CODES.items():
+            count = extraction.prep_failures[failure]
+            if count:
+                tracer.event("learn.prep_fail",
+                             benchmark=report.benchmark,
+                             reason=code, count=count)
+        if extraction.empty_after_prep:
+            tracer.event("learn.empty", benchmark=report.benchmark,
+                         count=extraction.empty_after_prep)
     return extraction.pairs
 
 
@@ -154,19 +199,28 @@ def _paramize_stage(
     direction: Direction,
     report: LearningReport,
 ) -> list[Candidate]:
+    tracer = get_tracer()
+    metrics = get_metrics()
     start = time.perf_counter()
     candidates: list[Candidate] = []
-    for pair in pairs:
-        context = analyze_pair(pair, direction)
-        mappings, failure = generate_mappings(context)
-        if failure is not None:
-            _count_param_failure(report, failure)
-            continue
-        candidates.append(
-            Candidate(pair, context, mappings,
-                      candidate_digest(context, mappings))
-        )
+    with tracer.span("learn.paramize", benchmark=report.benchmark):
+        for pair in pairs:
+            context = analyze_pair(pair, direction)
+            mappings, failure = generate_mappings(context)
+            if failure is not None:
+                code = _count_param_failure(report, failure)
+                metrics.inc(f"learning.param_fail.{code}")
+                if tracer.enabled:
+                    tracer.event("learn.param_fail",
+                                 benchmark=report.benchmark,
+                                 line=pair.line, reason=code)
+                continue
+            candidates.append(
+                Candidate(pair, context, mappings,
+                          candidate_digest(context, mappings))
+            )
     report.paramize_seconds = time.perf_counter() - start
+    metrics.inc("learning.candidates", len(candidates))
     return candidates
 
 
@@ -189,32 +243,55 @@ def _verify_stage(
         def resolver(candidate: Candidate) -> CandidateOutcome:
             return resolve_candidate(candidate.context, candidate.mappings)
 
+    tracer = get_tracer()
+    metrics = get_metrics()
     rules: list[Rule] = []
-    for candidate in candidates:
-        start = time.perf_counter()
-        outcome = memo.get(candidate.digest)
-        if outcome is not None:
-            report.dedup_saved_calls += outcome.calls
-        else:
-            cached = cache.get(candidate.digest) if cache is not None \
-                else None
-            if cached is not None:
-                report.cache_hits += 1
-                outcome = cached
+    with tracer.span("learn.verify", benchmark=benchmark):
+        for candidate in candidates:
+            start = time.perf_counter()
+            outcome = memo.get(candidate.digest)
+            if outcome is not None:
+                source = "memo"
+                report.dedup_saved_calls += outcome.calls
+                metrics.inc("learning.verify.deduped", outcome.calls)
             else:
-                outcome = resolver(candidate)
-                report.verify_calls += outcome.calls
-                if cache is not None:
-                    report.cache_misses += 1
-                    cache.put(candidate.digest, outcome)
-            memo[candidate.digest] = outcome
-        report.verify_seconds += time.perf_counter() - start
-        if outcome.rule is not None:
-            rules.append(replace(outcome.rule, origin=benchmark,
-                                 line=candidate.pair.line))
-        else:
-            # Only the last verification attempt is counted (Section 6.1).
-            _count_verify_failure(report, outcome.failure)
+                cached = cache.get(candidate.digest) if cache is not None \
+                    else None
+                if cached is not None:
+                    source = "cache"
+                    report.cache_hits += 1
+                    metrics.inc("learning.cache.hits")
+                    outcome = cached
+                else:
+                    source = "live"
+                    outcome = resolver(candidate)
+                    report.verify_calls += outcome.calls
+                    metrics.inc("learning.verify.calls", outcome.calls)
+                    metrics.observe("learning.verify.calls_per_candidate",
+                                    outcome.calls)
+                    if cache is not None:
+                        report.cache_misses += 1
+                        metrics.inc("learning.cache.misses")
+                        cache.put(candidate.digest, outcome)
+                memo[candidate.digest] = outcome
+            report.verify_seconds += time.perf_counter() - start
+            if outcome.rule is not None:
+                result, reason = "rule", None
+                rules.append(replace(outcome.rule, origin=benchmark,
+                                     line=candidate.pair.line))
+            else:
+                # Only the last verification attempt counts (Section 6.1).
+                result = "fail"
+                reason = _count_verify_failure(report, outcome.failure)
+                metrics.inc(f"learning.verify_fail.{reason}")
+            if tracer.enabled:
+                tracer.event(
+                    "learn.verdict", benchmark=benchmark,
+                    digest=candidate.digest, line=candidate.pair.line,
+                    source=source, calls=outcome.calls,
+                    cache_miss=source == "live" and cache is not None,
+                    result=result, reason=reason,
+                )
     return rules
 
 
@@ -241,6 +318,33 @@ def learn_rules(
     rules = dedup_rules(rules)
     report.rules = len(rules)
     report.learn_seconds = time.perf_counter() - start
+    return finish_outcome(rules, report)
+
+
+def finish_outcome(rules: list[Rule],
+                   report: LearningReport) -> LearningOutcome:
+    """Seal one benchmark's outcome: final metrics plus the
+    ``learn.rule`` / ``learn.report`` trace records.
+
+    The ``learn.report`` event is the :class:`LearningReport`
+    accounting path embedded verbatim in the trace, so the report CLI
+    can cross-check it against its own per-event aggregation.  Both
+    the sequential and parallel learners end through here.
+    """
+    report.rules = len(rules)
+    get_metrics().inc("learning.rules", len(rules))
+    tracer = get_tracer()
+    if tracer.enabled:
+        for index, rule in enumerate(rules):
+            tracer.event("learn.rule", benchmark=report.benchmark,
+                         index=index, line=rule.line)
+        tracer.event(
+            "learn.report", benchmark=report.benchmark,
+            counts={name: getattr(report, name)
+                    for name in report._COUNT_FIELDS},
+            timings={name: getattr(report, name)
+                     for name in report._TIMING_FIELDS},
+        )
     return LearningOutcome(rules=rules, report=report)
 
 
@@ -277,22 +381,29 @@ def leave_one_out(
     return dedup_rules(rules)
 
 
-def _count_param_failure(report: LearningReport, failure: ParamFailure) -> None:
-    if failure is ParamFailure.MEM_COUNT:
+def _count_param_failure(report: LearningReport,
+                         failure: ParamFailure) -> str:
+    """Count one parameterization failure; returns its Table 1 code."""
+    code = PARAM_CODES.get(failure, PARAM_FALLBACK_CODE)
+    if code == "Num":
         report.param_num += 1
-    elif failure is ParamFailure.MEM_NAME:
+    elif code == "Name":
         report.param_name += 1
     else:
         report.param_failg += 1
+    return code
 
 
 def _count_verify_failure(report: LearningReport,
-                          failure: VerifyFailure | None) -> None:
-    if failure is VerifyFailure.REGISTERS:
+                          failure: VerifyFailure | None) -> str:
+    """Count one verification failure; returns its Table 1 code."""
+    code = VERIFY_CODES.get(failure, VERIFY_FALLBACK_CODE)
+    if code == "Rg":
         report.verify_rg += 1
-    elif failure is VerifyFailure.MEMORY:
+    elif code == "Mm":
         report.verify_mm += 1
-    elif failure is VerifyFailure.BRANCH:
+    elif code == "Br":
         report.verify_br += 1
     else:
         report.verify_other += 1
+    return code

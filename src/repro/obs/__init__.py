@@ -1,0 +1,51 @@
+"""Observability: structured tracing and metrics for learning + DBT.
+
+The subsystem is dependency-free and always importable; instrumented
+code pays near-zero cost while the global tracer is the default
+:class:`~repro.obs.trace.NullTracer` (a single ``enabled`` attribute
+check per instrumentation site).
+
+* :mod:`repro.obs.trace` — JSON-lines span/event records with
+  monotonic timestamps, a process-global tracer slot.
+* :mod:`repro.obs.metrics` — named counters and histograms with a
+  picklable ``snapshot()``/``merge()`` API that crosses the
+  process-pool boundary in :mod:`repro.learning.parallel`.
+* :mod:`repro.obs.report` — ``python -m repro.obs.report trace.jsonl``
+  aggregates a trace into a human-readable report and cross-checks the
+  per-event aggregates against the ``LearningReport`` / ``DBTStats``
+  summary records embedded in the same trace.
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    format_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceError,
+    TraceRecord,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "format_metrics",
+    "get_metrics",
+    "set_metrics",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceError",
+    "TraceRecord",
+    "Tracer",
+    "get_tracer",
+    "read_trace",
+    "set_tracer",
+    "tracing",
+]

@@ -1,0 +1,130 @@
+"""Named counters and histograms with snapshot/merge semantics.
+
+A :class:`MetricsRegistry` is a plain in-process accumulator: counters
+are ``name -> number`` and histograms are ``name -> {value: count}``
+(sparse — exact observed values, not pre-binned buckets, which is the
+right shape for small-integer distributions like rule lengths or
+solver calls per candidate).
+
+``snapshot()`` returns a picklable plain-dict view and ``merge()``
+adds one registry/snapshot into another, which is how worker processes
+in :mod:`repro.learning.parallel` report their side of the accounting:
+each worker fills a fresh registry, ships ``snapshot()`` back with its
+results, and the parent merges.
+
+:func:`format_metrics` is the one formatter every CLI routes metric
+dumps through, so cache/dedup/engine stats render identically
+everywhere.
+"""
+
+from __future__ import annotations
+
+
+class MetricsRegistry:
+    """Process-local named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._histograms: dict[str, dict] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value, count: int = 1) -> None:
+        bucket = self._histograms.setdefault(name, {})
+        bucket[value] = bucket.get(value, 0) + count
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> dict:
+        return dict(self._histograms.get(name, {}))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._histograms)
+
+    def snapshot(self) -> dict:
+        """A plain-dict (picklable, JSON-able for string keys) view."""
+        return {
+            "counters": dict(self._counters),
+            "histograms": {
+                name: dict(bucket)
+                for name, bucket in self._histograms.items()
+            },
+        }
+
+    # -- combining -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Add ``other`` (a registry or a ``snapshot()`` dict) into
+        this registry."""
+        snapshot = other.snapshot() if isinstance(other, MetricsRegistry) \
+            else other
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, value)
+        for name, bucket in snapshot.get("histograms", {}).items():
+            for value, count in bucket.items():
+                self.observe(name, value, count)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+
+def format_metrics(source: MetricsRegistry | dict, title: str = "metrics",
+                   prefix: str | tuple[str, ...] = "") -> str:
+    """Render counters/histograms as aligned ``name = value`` lines.
+
+    ``prefix`` filters to names starting with it (a tuple matches any
+    of several prefixes, e.g. ``("learning.cache.", "learning.verify.")``).
+    Counters print as integers when whole; histograms print their
+    value/count pairs sorted by value.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) \
+        else source
+    rows: list[tuple[str, str]] = []
+    for name in sorted(snapshot.get("counters", {})):
+        if not name.startswith(prefix):
+            continue
+        value = snapshot["counters"][name]
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        text = f"{value:.3f}" if isinstance(value, float) else str(value)
+        rows.append((name, text))
+    for name in sorted(snapshot.get("histograms", {})):
+        if not name.startswith(prefix):
+            continue
+        bucket = snapshot["histograms"][name]
+        text = ", ".join(
+            f"{value}:{count}"
+            for value, count in sorted(bucket.items(), key=lambda kv: kv[0])
+        )
+        rows.append((name + "{}", "{" + text + "}"))
+    if not rows:
+        return f"{title}: (none)"
+    width = max(len(name) for name, _ in rows)
+    lines = [f"{title}:"]
+    for name, text in rows:
+        lines.append(f"  {name.ljust(width)}  {text}")
+    return "\n".join(lines)
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry instrumented code records into."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Swap the global registry (None installs a fresh one); returns
+    the previous registry.  Tests use this for isolation."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry if registry is not None else MetricsRegistry()
+    return previous

@@ -1,0 +1,498 @@
+"""Aggregate a trace file into a human-readable report.
+
+``python -m repro.obs.report trace.jsonl`` parses the JSON-lines trace
+written by ``--trace`` (on ``repro-learn`` / ``repro-experiments``) and
+prints:
+
+* the learning-stage time breakdown and the full Table 1 counts,
+  re-derived purely from per-candidate lifecycle events;
+* per-engine DBT summaries — rule coverage (Figure 11's S_p/D_p), the
+  rule-hit length distribution (Figure 12), rule-miss reasons ranked,
+  and the top-N hottest blocks by attributed execution cycles;
+* a reconciliation section cross-checking the per-event aggregates
+  against the ``LearningReport`` (``learn.report`` records) and
+  ``DBTStats`` (``dbt.run`` records) accounting paths embedded in the
+  same trace.  The two paths are computed independently, so agreement
+  validates both; any discrepancy fails the CLI with exit code 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+
+from repro.obs.trace import TraceRecord, read_trace
+
+PREP_REASONS = ("CI", "PI", "MB")
+PARAM_REASONS = ("Num", "Name", "FailG")
+VERIFY_REASONS = ("Rg", "Mm", "Br", "Other")
+
+#: count_signature field -> how it derives from per-event aggregation.
+_SIGNATURE_FIELDS = (
+    "total_sequences", "prep_ci", "prep_pi", "prep_mb", "param_num",
+    "param_name", "param_failg", "verify_rg", "verify_mm", "verify_br",
+    "verify_other", "rules", "verify_calls", "dedup_saved_calls",
+    "cache_hits", "cache_misses",
+)
+
+
+@dataclass
+class LearningAggregate:
+    """Per-benchmark learning counts re-derived from lifecycle events."""
+
+    benchmark: str
+    pairs: int = 0
+    #: Sequences empty after control-glue stripping (learn.empty):
+    #: counted in total_sequences, absent from the failure taxonomy.
+    empty: int = 0
+    prep_fail: dict = field(default_factory=dict)    # reason -> count
+    param_fail: dict = field(default_factory=dict)   # reason -> count
+    verify_fail: dict = field(default_factory=dict)  # reason -> count
+    verdicts: int = 0
+    rules_pre_dedup: int = 0
+    rules: int = 0
+    verify_calls: int = 0
+    dedup_saved_calls: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The LearningReport accounting path (from the learn.report event).
+    report_counts: dict | None = None
+    report_timings: dict | None = None
+
+    @property
+    def total_sequences(self) -> int:
+        return self.pairs + self.empty + sum(self.prep_fail.values())
+
+    def counts(self) -> dict:
+        """Table 1 counts in ``LearningReport`` field names."""
+        return {
+            "total_sequences": self.total_sequences,
+            "prep_ci": self.prep_fail.get("CI", 0),
+            "prep_pi": self.prep_fail.get("PI", 0),
+            "prep_mb": self.prep_fail.get("MB", 0),
+            "param_num": self.param_fail.get("Num", 0),
+            "param_name": self.param_fail.get("Name", 0),
+            "param_failg": self.param_fail.get("FailG", 0),
+            "verify_rg": self.verify_fail.get("Rg", 0),
+            "verify_mm": self.verify_fail.get("Mm", 0),
+            "verify_br": self.verify_fail.get("Br", 0),
+            "verify_other": self.verify_fail.get("Other", 0),
+            "rules": self.rules,
+            "verify_calls": self.verify_calls,
+            "dedup_saved_calls": self.dedup_saved_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    def count_signature(self) -> tuple:
+        """Shaped exactly like
+        :meth:`repro.learning.pipeline.LearningReport.count_signature`."""
+        counts = self.counts()
+        return (self.benchmark,) + tuple(
+            counts[name] for name in _SIGNATURE_FIELDS
+        )
+
+
+@dataclass
+class EngineAggregate:
+    """Per-engine DBT counters re-derived from translate/block events."""
+
+    engine: int
+    mode: str = ""
+    translated_blocks: int = 0
+    static_guest: int = 0
+    static_rule: int = 0
+    translation_cycles: float = 0.0
+    hit_lengths: dict = field(default_factory=dict)   # length -> count
+    miss_reasons: dict = field(default_factory=dict)  # reason -> count
+    #: addr -> [exec_count, exec_cycles, guest_len, covered], summed
+    #: over every run the trace saw.
+    blocks: dict = field(default_factory=dict)
+    #: The DBTStats accounting path (the last dbt.run event).
+    run_record: dict | None = None
+    runs: int = 0
+
+    @property
+    def dispatches(self) -> int:
+        return sum(b[0] for b in self.blocks.values())
+
+    @property
+    def dynamic_guest(self) -> int:
+        return sum(b[0] * b[2] for b in self.blocks.values())
+
+    @property
+    def dynamic_rule_guest(self) -> int:
+        return sum(b[0] * b[3] for b in self.blocks.values())
+
+    @property
+    def exec_cycles(self) -> float:
+        return sum(b[1] for b in self.blocks.values())
+
+    @property
+    def static_coverage(self) -> float:
+        return self.static_rule / self.static_guest \
+            if self.static_guest else 0.0
+
+    @property
+    def dynamic_coverage(self) -> float:
+        return self.dynamic_rule_guest / self.dynamic_guest \
+            if self.dynamic_guest else 0.0
+
+    def hottest_blocks(self, top: int = 10) -> list[tuple]:
+        """(addr, exec_cycles, exec_count, share) rows, hottest first."""
+        total = self.exec_cycles or 1.0
+        ranked = sorted(
+            self.blocks.items(), key=lambda kv: kv[1][1], reverse=True
+        )
+        return [
+            (addr, cycles, count, cycles / total)
+            for addr, (count, cycles, _, _) in ranked[:top]
+        ]
+
+    def ranked_miss_reasons(self) -> list[tuple[str, int]]:
+        return sorted(self.miss_reasons.items(),
+                      key=lambda kv: kv[1], reverse=True)
+
+
+@dataclass
+class TraceAggregate:
+    learning: dict[str, LearningAggregate] = field(default_factory=dict)
+    engines: dict[int, EngineAggregate] = field(default_factory=dict)
+    #: (span name, benchmark) -> summed seconds
+    spans: dict = field(default_factory=dict)
+    records: int = 0
+
+
+def aggregate(records: list[TraceRecord]) -> TraceAggregate:
+    """Fold a trace into per-benchmark / per-engine aggregates."""
+    agg = TraceAggregate()
+
+    def bench(fields) -> LearningAggregate:
+        name = fields.get("benchmark", "")
+        if name not in agg.learning:
+            agg.learning[name] = LearningAggregate(benchmark=name)
+        return agg.learning[name]
+
+    def engine(fields) -> EngineAggregate:
+        key = fields.get("engine", 0)
+        if key not in agg.engines:
+            agg.engines[key] = EngineAggregate(engine=key)
+        return agg.engines[key]
+
+    for record in records:
+        agg.records += 1
+        fields = record.fields
+        name = record.name
+        if record.kind == "end" and "seconds" in fields:
+            key = (name, fields.get("benchmark", ""))
+            agg.spans[key] = agg.spans.get(key, 0.0) + fields["seconds"]
+        elif name == "learn.pair":
+            bench(fields).pairs += 1
+        elif name == "learn.empty":
+            bench(fields).empty += fields.get("count", 1)
+        elif name == "learn.prep_fail":
+            b = bench(fields)
+            reason = fields["reason"]
+            b.prep_fail[reason] = \
+                b.prep_fail.get(reason, 0) + fields.get("count", 1)
+        elif name == "learn.param_fail":
+            b = bench(fields)
+            reason = fields["reason"]
+            b.param_fail[reason] = b.param_fail.get(reason, 0) + 1
+        elif name == "learn.verdict":
+            b = bench(fields)
+            b.verdicts += 1
+            source = fields["source"]
+            calls = fields.get("calls", 0)
+            if source == "live":
+                b.verify_calls += calls
+            elif source == "memo":
+                b.dedup_saved_calls += calls
+            elif source == "cache":
+                b.cache_hits += 1
+            if fields.get("cache_miss"):
+                b.cache_misses += 1
+            if fields["result"] == "rule":
+                b.rules_pre_dedup += 1
+            else:
+                reason = fields.get("reason") or "Other"
+                b.verify_fail[reason] = b.verify_fail.get(reason, 0) + 1
+        elif name == "learn.rule":
+            bench(fields).rules += 1
+        elif name == "learn.report":
+            b = bench(fields)
+            b.report_counts = fields.get("counts")
+            b.report_timings = fields.get("timings")
+        elif name == "dbt.translate":
+            e = engine(fields)
+            e.mode = fields.get("mode", e.mode)
+            e.translated_blocks += 1
+            e.static_guest += fields.get("guest_len", 0)
+            e.static_rule += fields.get("covered", 0)
+            e.translation_cycles += fields.get("cost", 0.0)
+            for length in fields.get("hit_lengths", ()):
+                e.hit_lengths[length] = e.hit_lengths.get(length, 0) + 1
+            for reason, count in fields.get("miss_reasons", {}).items():
+                e.miss_reasons[reason] = \
+                    e.miss_reasons.get(reason, 0) + count
+        elif name == "dbt.block":
+            e = engine(fields)
+            entry = e.blocks.setdefault(
+                fields["addr"], [0, 0.0, fields.get("guest_len", 0),
+                                 fields.get("covered", 0)]
+            )
+            entry[0] += fields.get("exec_count", 0)
+            entry[1] += fields.get("exec_cycles", 0.0)
+        elif name == "dbt.run":
+            e = engine(fields)
+            e.mode = fields.get("mode", e.mode)
+            e.run_record = fields
+            e.runs += 1
+    return agg
+
+
+# -- cross-checks --------------------------------------------------------------
+
+
+def reconcile_learning(agg: TraceAggregate) -> list[str]:
+    """Compare per-event learning aggregates against the embedded
+    ``learn.report`` records.  Returns discrepancy descriptions
+    (empty = the two accounting paths agree exactly)."""
+    problems = []
+    for name, b in sorted(agg.learning.items()):
+        if b.report_counts is None:
+            problems.append(f"{name}: no learn.report record in trace")
+            continue
+        derived = b.counts()
+        for fname in _SIGNATURE_FIELDS:
+            expected = b.report_counts.get(fname)
+            if derived[fname] != expected:
+                problems.append(
+                    f"{name}: {fname} derived {derived[fname]} != "
+                    f"report {expected}"
+                )
+    return problems
+
+
+def reconcile_dbt(agg: TraceAggregate,
+                  rel_tol: float = 1e-9) -> list[str]:
+    """Compare per-event DBT aggregates against the embedded
+    ``dbt.run`` (DBTStats lifetime) records."""
+    problems = []
+    for key, e in sorted(agg.engines.items()):
+        if e.run_record is None:
+            if e.translated_blocks:
+                problems.append(f"engine {key}: no dbt.run record")
+            continue
+        lifetime = e.run_record.get("lifetime", {})
+        exact = {
+            "translated_blocks": e.translated_blocks,
+            "static_guest_instructions": e.static_guest,
+            "static_rule_guest_instructions": e.static_rule,
+            "dynamic_guest_instructions": e.dynamic_guest,
+            "dynamic_rule_guest_instructions": e.dynamic_rule_guest,
+            "dispatches": e.dispatches,
+        }
+        for fname, derived in exact.items():
+            expected = lifetime.get(fname)
+            if derived != expected:
+                problems.append(
+                    f"engine {key}: {fname} derived {derived} != "
+                    f"run record {expected}"
+                )
+        for fname, derived in (
+            ("exec_cycles", e.exec_cycles),
+            ("translation_cycles", e.translation_cycles),
+        ):
+            expected = lifetime.get(fname, 0.0)
+            if abs(derived - expected) > \
+                    rel_tol * max(abs(derived), abs(expected), 1.0):
+                problems.append(
+                    f"engine {key}: {fname} derived {derived} != "
+                    f"run record {expected}"
+                )
+    return problems
+
+
+def reconcile(agg: TraceAggregate) -> list[str]:
+    return reconcile_learning(agg) + reconcile_dbt(agg)
+
+
+# -- figure derivations --------------------------------------------------------
+
+
+def table1_from_trace(agg: TraceAggregate) -> dict[str, dict]:
+    """Table 1 counts per benchmark, from the trace alone."""
+    return {
+        name: b.counts() for name, b in sorted(agg.learning.items())
+    }
+
+
+def coverage_from_trace(agg: TraceAggregate) -> dict[int, tuple]:
+    """Figure 11's (S_p, D_p) per rules-mode engine, from the trace
+    alone."""
+    return {
+        key: (e.static_coverage, e.dynamic_coverage)
+        for key, e in sorted(agg.engines.items())
+        if e.mode == "rules"
+    }
+
+
+def hit_lengths_from_trace(agg: TraceAggregate) -> dict[int, dict]:
+    """Figure 12's rule-hit length histogram per rules-mode engine."""
+    return {
+        key: dict(sorted(e.hit_lengths.items()))
+        for key, e in sorted(agg.engines.items())
+        if e.mode == "rules"
+    }
+
+
+# -- rendering -----------------------------------------------------------------
+
+
+def _stage_breakdown(agg: TraceAggregate, benchmark: str) -> str:
+    parts = []
+    for stage in ("learn.extract", "learn.paramize", "learn.verify"):
+        seconds = agg.spans.get((stage, benchmark))
+        if seconds is not None:
+            parts.append(f"{stage.split('.')[1]} {seconds:.3f}s")
+    return ", ".join(parts)
+
+
+def render_report(agg: TraceAggregate, top: int = 10) -> str:
+    lines = [f"trace: {agg.records} records"]
+
+    if agg.learning:
+        lines.append("")
+        lines.append("== learning (derived from per-candidate events) ==")
+        for name, b in sorted(agg.learning.items()):
+            counts = b.counts()
+            lines.append(
+                f"{name or '(unnamed)'}: {counts['total_sequences']} seq "
+                f"-> {counts['rules']} rules; "
+                f"verify calls {counts['verify_calls']} "
+                f"(deduped {counts['dedup_saved_calls']}, "
+                f"cache {counts['cache_hits']} hit"
+                f"/{counts['cache_misses']} miss)"
+            )
+            fails = [
+                f"{code}={b.prep_fail.get(code, 0)}"
+                for code in PREP_REASONS
+            ] + [
+                f"{code}={b.param_fail.get(code, 0)}"
+                for code in PARAM_REASONS
+            ] + [
+                f"{code}={b.verify_fail.get(code, 0)}"
+                for code in VERIFY_REASONS
+            ]
+            lines.append(f"  failures: {' '.join(fails)}")
+            stages = _stage_breakdown(agg, name)
+            if stages:
+                lines.append(f"  stages: {stages}")
+        pool = agg.spans.get(("learn.pool", ""))
+        if pool is not None:
+            lines.append(f"(parallel pool: {pool:.3f}s)")
+
+    for key, e in sorted(agg.engines.items()):
+        lines.append("")
+        lines.append(
+            f"== dbt engine {key} ({e.mode or 'unknown'} mode, "
+            f"{e.runs} run{'s' if e.runs != 1 else ''}) =="
+        )
+        lines.append(
+            f"translated {e.translated_blocks} blocks "
+            f"({e.static_guest} guest instrs), "
+            f"{e.dispatches} dispatches, "
+            f"{e.exec_cycles:.0f} exec cycles, "
+            f"{e.translation_cycles:.0f} translation cycles"
+        )
+        if e.mode == "rules":
+            lines.append(
+                f"coverage: static {e.static_coverage:.1%}, "
+                f"dynamic {e.dynamic_coverage:.1%}"
+            )
+            if e.hit_lengths:
+                dist = ", ".join(
+                    f"len {length}: {count}"
+                    for length, count in sorted(e.hit_lengths.items())
+                )
+                lines.append(f"rule hits by length: {dist}")
+            misses = e.ranked_miss_reasons()
+            if misses:
+                ranked = ", ".join(
+                    f"{reason} x{count}" for reason, count in misses
+                )
+                lines.append(f"rule-miss reasons (ranked): {ranked}")
+        hot = e.hottest_blocks(top)
+        if hot:
+            lines.append(f"hottest blocks (top {len(hot)}):")
+            for addr, cycles, count, share in hot:
+                lines.append(
+                    f"  {addr:#08x}  {cycles:12.0f} cycles  "
+                    f"x{count:<8d} {share:6.1%}"
+                )
+
+    lines.append("")
+    problems = reconcile(agg)
+    if problems:
+        lines.append("reconciliation: FAILED")
+        for problem in problems:
+            lines.append(f"  MISMATCH {problem}")
+    else:
+        checked = []
+        if agg.learning:
+            checked.append(
+                f"{len(agg.learning)} benchmark(s) vs LearningReport"
+            )
+        if agg.engines:
+            checked.append(f"{len(agg.engines)} engine(s) vs DBTStats")
+        lines.append(
+            "reconciliation: OK ("
+            + (", ".join(checked) if checked else "nothing to check")
+            + ")"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Aggregate a --trace file into a report and "
+                    "cross-check it against the LearningReport/DBTStats "
+                    "records embedded in the trace.",
+    )
+    parser.add_argument("trace", help="JSON-lines trace file")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="hottest blocks to list per engine "
+                             "(default: 10)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable aggregates instead "
+                             "of the text report")
+    args = parser.parse_args(argv)
+
+    agg = aggregate(read_trace(args.trace))
+    problems = reconcile(agg)
+    if args.json:
+        payload = {
+            "records": agg.records,
+            "table1": table1_from_trace(agg),
+            "coverage": {
+                str(key): list(value)
+                for key, value in coverage_from_trace(agg).items()
+            },
+            "hit_lengths": {
+                str(key): value
+                for key, value in hit_lengths_from_trace(agg).items()
+            },
+            "reconciliation": problems,
+        }
+        print(json.dumps(payload, indent=1))
+    else:
+        print(render_report(agg, top=args.top))
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

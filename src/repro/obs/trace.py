@@ -1,0 +1,211 @@
+"""Structured tracing: JSON-lines span/event records.
+
+One trace is a sequence of newline-delimited JSON objects::
+
+    {"ts": 0.00012, "kind": "event", "name": "learn.pair",
+     "fields": {"benchmark": "mcf", "line": 14}}
+    {"ts": 0.00013, "kind": "begin", "name": "learn.verify",
+     "fields": {"benchmark": "mcf"}}
+    {"ts": 0.10240, "kind": "end",   "name": "learn.verify",
+     "fields": {"benchmark": "mcf", "seconds": 0.10227}}
+
+``ts`` is monotonic (``time.perf_counter``), measured from tracer
+creation, so records order and subtract reliably within one trace but
+carry no wall-clock meaning.  ``kind`` is one of ``event`` (a point
+record), ``begin``/``end`` (a span; the ``end`` record repeats the
+``begin`` fields and adds ``seconds``).  Spans need no ids: the report
+layer aggregates by ``name`` plus discriminating fields (benchmark,
+engine), and spans from this single-threaded codebase never interleave
+within one discriminator.
+
+The process-global tracer defaults to :data:`NULL_TRACER`, whose
+``enabled`` attribute is ``False``; every instrumentation site guards
+on it, so tracing-disabled runs pay one attribute check per site.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterator
+
+RECORD_KINDS = ("event", "begin", "end")
+
+
+class TraceError(Exception):
+    """A malformed trace record or trace file."""
+
+
+@dataclass
+class TraceRecord:
+    """One line of a trace file."""
+
+    ts: float
+    kind: str  # "event" | "begin" | "end"
+    name: str
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "ts": self.ts,
+            "kind": self.kind,
+            "name": self.name,
+            "fields": self.fields,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TraceRecord":
+        if not isinstance(data, dict):
+            raise TraceError(f"trace record must be an object: {data!r}")
+        try:
+            ts = data["ts"]
+            kind = data["kind"]
+            name = data["name"]
+            fields = data.get("fields", {})
+        except KeyError as exc:
+            raise TraceError(f"trace record missing key {exc}") from exc
+        if not isinstance(ts, (int, float)):
+            raise TraceError(f"ts must be a number: {ts!r}")
+        if kind not in RECORD_KINDS:
+            raise TraceError(f"unknown record kind {kind!r}")
+        if not isinstance(name, str) or not name:
+            raise TraceError(f"record name must be a string: {name!r}")
+        if not isinstance(fields, dict):
+            raise TraceError(f"record fields must be an object: {fields!r}")
+        return cls(ts=float(ts), kind=kind, name=name, fields=fields)
+
+
+def encode_line(record: TraceRecord) -> str:
+    return json.dumps(record.to_json(), separators=(",", ":"))
+
+
+def decode_line(line: str) -> TraceRecord:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"bad trace line: {line!r}") from exc
+    return TraceRecord.from_json(data)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Instrumented code should guard payload construction on
+    ``tracer.enabled`` so a disabled run never even builds the field
+    dict — the no-op methods exist only as a safety net.
+    """
+
+    enabled = False
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        yield
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide default tracer.
+NULL_TRACER = NullTracer()
+
+
+class Tracer(NullTracer):
+    """A tracer writing JSON-lines records to a file-like sink."""
+
+    enabled = True
+
+    def __init__(self, sink: IO[str]) -> None:
+        self._sink = sink
+        self._t0 = time.perf_counter()
+        self.records_written = 0
+
+    def _emit(self, kind: str, name: str, fields: dict) -> None:
+        record = TraceRecord(
+            ts=time.perf_counter() - self._t0,
+            kind=kind, name=name, fields=fields,
+        )
+        self._sink.write(encode_line(record) + "\n")
+        self.records_written += 1
+
+    def event(self, name: str, **fields) -> None:
+        self._emit("event", name, fields)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[None]:
+        start = time.perf_counter()
+        self._emit("begin", name, dict(fields))
+        try:
+            yield
+        finally:
+            self._emit(
+                "end", name,
+                dict(fields, seconds=time.perf_counter() - start),
+            )
+
+    def flush(self) -> None:
+        self._sink.flush()
+
+    def close(self) -> None:
+        self.flush()
+
+
+_TRACER: NullTracer = NULL_TRACER
+
+
+def get_tracer() -> NullTracer:
+    """The process-global tracer (the :data:`NULL_TRACER` by default)."""
+    return _TRACER
+
+
+def set_tracer(tracer: NullTracer | None) -> NullTracer:
+    """Install ``tracer`` globally (None restores the null tracer);
+    returns the previously installed one."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(target: str | Path | IO[str]) -> Iterator[Tracer]:
+    """Install a :class:`Tracer` writing to ``target`` for the dynamic
+    extent of the block, restoring the previous tracer after.
+
+    ``target`` may be a path (opened for writing, closed on exit) or an
+    open file-like object (left open).
+    """
+    owns_sink = not hasattr(target, "write")
+    sink = open(target, "w") if owns_sink else target
+    tracer = Tracer(sink)
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        tracer.flush()
+        if owns_sink:
+            sink.close()
+
+
+def read_trace(source: str | Path | IO[str]) -> list[TraceRecord]:
+    """Parse a whole trace file (or file-like / string buffer)."""
+    if hasattr(source, "read"):
+        text = source.read()
+    else:
+        text = Path(source).read_text()
+    records = []
+    for line in io.StringIO(text):
+        line = line.strip()
+        if line:
+            records.append(decode_line(line))
+    return records

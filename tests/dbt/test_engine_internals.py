@@ -71,6 +71,75 @@ class TestRepeatedRuns:
         assert engine.stats.perf.translation_cycles == translation_cycles
 
 
+class TestStatsViews:
+    """The explicit lifetime / last_run views behind ``engine.stats``."""
+
+    SOURCE = TestRepeatedRuns.SOURCE
+
+    def test_last_run_equals_single_run(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        result = engine.run()
+        last = engine.last_run
+        assert last.dynamic_guest_instructions == \
+            result.stats.dynamic_guest_instructions
+        assert last.perf.dispatches == result.stats.perf.dispatches
+        # A cold cache means the first run triggered every translation.
+        assert last.translated_blocks == \
+            engine.lifetime.translated_blocks
+
+    def test_lifetime_accumulates_dynamic_counters(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        engine.run()
+        once = engine.last_run
+        engine.run()
+        lifetime = engine.lifetime
+        assert lifetime.dynamic_guest_instructions == \
+            2 * once.dynamic_guest_instructions
+        assert lifetime.perf.dispatches == 2 * once.perf.dispatches
+        assert lifetime.perf.exec_cycles == \
+            2 * once.perf.exec_cycles
+        # last_run still describes exactly one run.
+        assert engine.last_run.dynamic_guest_instructions == \
+            once.dynamic_guest_instructions
+
+    def test_warm_cache_run_translates_nothing(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        engine.run()
+        engine.run()
+        assert engine.last_run.translated_blocks == 0
+        assert engine.last_run.perf.translation_cycles == 0
+        assert engine.lifetime.translated_blocks > 0
+
+    def test_translate_outside_run_updates_lifetime_only(self):
+        guest = build(self.SOURCE)
+        engine = DBTEngine(guest, "qemu")
+        engine.translate(guest.addr_of("main"))
+        assert engine.lifetime.translated_blocks == 1
+        assert engine.last_run.translated_blocks == 0
+        assert engine.last_run.dynamic_guest_instructions == 0
+
+    def test_stats_is_hybrid_snapshot(self):
+        engine = DBTEngine(build(self.SOURCE), "qemu")
+        engine.run()
+        engine.run()
+        stats = engine.stats
+        # Dynamic side: the most recent run.
+        assert stats.dynamic_guest_instructions == \
+            engine.last_run.dynamic_guest_instructions
+        assert stats.perf.dispatches == engine.last_run.perf.dispatches
+        # Translation side: cumulative over the engine's life.
+        assert stats.translated_blocks == \
+            engine.lifetime.translated_blocks
+        assert stats.perf.translation_cycles == \
+            engine.lifetime.perf.translation_cycles
+        # Detached: mutating the snapshot leaves the views alone.
+        stats.translated_blocks += 99
+        stats.hit_rule_lengths[1] = 123
+        assert engine.lifetime.translated_blocks != \
+            stats.translated_blocks
+        assert 1 not in engine.lifetime.hit_rule_lengths
+
+
 class TestIndirectControl:
     def test_calls_and_returns_thread_through_env(self):
         guest = build("""

@@ -1,0 +1,237 @@
+"""Trace aggregation: the report layer must re-derive the exact
+LearningReport / DBTStats numbers from lifecycle events alone."""
+
+import io
+import json
+
+import pytest
+
+from repro.dbt.engine import DBTEngine
+from repro.learning import learn_rules
+from repro.learning.store import RuleStore
+from repro.minic import compile_source
+from repro.obs.metrics import set_metrics
+from repro.obs.report import (
+    aggregate,
+    coverage_from_trace,
+    hit_lengths_from_trace,
+    main,
+    reconcile,
+    render_report,
+    table1_from_trace,
+)
+from repro.obs.trace import read_trace, tracing
+
+SOURCE = """
+int data[16];
+int process(int *p, int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    s = s + p[i] - 1;
+    i += 1;
+  }
+  return s;
+}
+int main(void) {
+  int i = 0;
+  while (i < 16) {
+    data[i] = i * 3;
+    i += 1;
+  }
+  return process(data, 16);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One traced learn + DBT session: the learning outcome, both
+    engines, and the parsed trace."""
+    guest = compile_source(SOURCE, "arm", 2, "llvm")
+    host = compile_source(SOURCE, "x86", 2, "llvm")
+    sink = io.StringIO()
+    previous = set_metrics(None)
+    try:
+        with tracing(sink):
+            outcome = learn_rules(guest, host, benchmark="unit")
+            store = RuleStore.from_rules(outcome.rules)
+            qemu = DBTEngine(guest, "qemu")
+            qemu_result = qemu.run()
+            rules = DBTEngine(guest, "rules", store)
+            rules.run()
+            rules.run()  # second run: lifetime must stay reconciled
+    finally:
+        set_metrics(previous)
+    records = read_trace(io.StringIO(sink.getvalue()))
+    return {
+        "outcome": outcome,
+        "qemu": qemu,
+        "qemu_result": qemu_result,
+        "rules": rules,
+        "records": records,
+        "agg": aggregate(records),
+    }
+
+
+class TestLearningAggregation:
+    def test_count_signature_matches_report_exactly(self, traced):
+        derived = traced["agg"].learning["unit"]
+        assert derived.count_signature() == \
+            traced["outcome"].report.count_signature()
+
+    def test_table1_counts_from_trace(self, traced):
+        report = traced["outcome"].report
+        counts = table1_from_trace(traced["agg"])["unit"]
+        assert counts["total_sequences"] == report.total_sequences
+        assert counts["rules"] == report.rules == \
+            len(traced["outcome"].rules)
+        assert counts["verify_calls"] == report.verify_calls
+
+    def test_stage_spans_recorded(self, traced):
+        spans = traced["agg"].spans
+        for stage in ("learn.extract", "learn.paramize", "learn.verify"):
+            assert spans[(stage, "unit")] >= 0
+
+    def test_embedded_report_record_present(self, traced):
+        derived = traced["agg"].learning["unit"]
+        assert derived.report_counts is not None
+        assert derived.report_timings is not None
+        assert derived.report_timings["learn_seconds"] > 0
+
+
+class TestEngineAggregation:
+    def test_qemu_engine_matches_stats(self, traced):
+        engine = traced["qemu"]
+        derived = traced["agg"].engines[engine.engine_id]
+        stats = traced["qemu_result"].stats
+        assert derived.mode == "qemu"
+        assert derived.translated_blocks == stats.translated_blocks
+        assert derived.static_guest == stats.static_guest_instructions
+        assert derived.dispatches == stats.perf.dispatches
+        assert derived.dynamic_guest == \
+            stats.dynamic_guest_instructions
+        assert derived.exec_cycles == pytest.approx(
+            stats.perf.exec_cycles
+        )
+
+    def test_rules_engine_sums_over_runs(self, traced):
+        engine = traced["rules"]
+        derived = traced["agg"].engines[engine.engine_id]
+        assert derived.runs == 2
+        assert derived.dispatches == engine.lifetime.perf.dispatches
+        assert derived.dynamic_guest == \
+            engine.lifetime.dynamic_guest_instructions
+
+    def test_coverage_from_trace_matches_dbtstats(self, traced):
+        engine = traced["rules"]
+        coverage = coverage_from_trace(traced["agg"])
+        assert set(coverage) == {engine.engine_id}
+        s_p, d_p = coverage[engine.engine_id]
+        assert s_p == pytest.approx(engine.stats.static_coverage)
+        assert d_p == pytest.approx(engine.stats.dynamic_coverage)
+        assert 0 < s_p <= 1
+        assert 0 < d_p <= 1
+
+    def test_hit_lengths_from_trace_matches_dbtstats(self, traced):
+        engine = traced["rules"]
+        lengths = hit_lengths_from_trace(traced["agg"])
+        assert lengths[engine.engine_id] == engine.stats.hit_rule_lengths
+        assert lengths[engine.engine_id]  # rules actually hit
+
+    def test_miss_reasons_match_dbtstats(self, traced):
+        engine = traced["rules"]
+        derived = traced["agg"].engines[engine.engine_id]
+        assert derived.miss_reasons == engine.stats.rule_miss_reasons
+        ranked = derived.ranked_miss_reasons()
+        assert ranked == sorted(ranked, key=lambda kv: kv[1],
+                                reverse=True)
+
+    def test_hottest_blocks_ranked_by_cycles(self, traced):
+        engine = traced["qemu"]
+        derived = traced["agg"].engines[engine.engine_id]
+        hot = derived.hottest_blocks(top=3)
+        assert 0 < len(hot) <= 3
+        cycles = [row[1] for row in hot]
+        assert cycles == sorted(cycles, reverse=True)
+        shares = [row[3] for row in hot]
+        assert all(0 < share <= 1 for share in shares)
+        assert sum(shares) <= 1 + 1e-9
+
+
+class TestReconciliation:
+    def test_reconcile_is_clean(self, traced):
+        assert reconcile(traced["agg"]) == []
+
+    def test_render_reports_ok(self, traced):
+        text = render_report(traced["agg"])
+        assert "reconciliation: OK" in text
+        assert "MISMATCH" not in text
+        assert "unit" in text
+
+    def test_tampered_report_record_is_caught(self, traced):
+        records = [
+            type(r)(ts=r.ts, kind=r.kind, name=r.name,
+                    fields=dict(r.fields))
+            for r in traced["records"]
+        ]
+        for record in records:
+            if record.name == "learn.report":
+                counts = dict(record.fields["counts"])
+                counts["rules"] += 1
+                record.fields = dict(record.fields, counts=counts)
+        agg = aggregate(records)
+        problems = reconcile(agg)
+        assert any("rules" in problem for problem in problems)
+        assert "MISMATCH" in render_report(agg)
+
+    def test_missing_report_record_is_caught(self, traced):
+        records = [r for r in traced["records"]
+                   if r.name != "learn.report"]
+        problems = reconcile(aggregate(records))
+        assert any("no learn.report" in problem for problem in problems)
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_path(self, traced, tmp_path):
+        from repro.obs.trace import encode_line
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "".join(encode_line(r) + "\n" for r in traced["records"])
+        )
+        return path
+
+    def test_text_report_exits_zero(self, traced, trace_path, capsys):
+        assert main([str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation: OK" in out
+        assert f"{traced['agg'].records} records" in out
+
+    def test_json_report(self, traced, trace_path, capsys):
+        assert main([str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reconciliation"] == []
+        assert payload["table1"]["unit"]["rules"] == \
+            traced["outcome"].report.rules
+        engine_key = str(traced["rules"].engine_id)
+        assert engine_key in payload["coverage"]
+        assert engine_key in payload["hit_lengths"]
+
+    def test_tampered_trace_exits_one(self, traced, trace_path, capsys):
+        lines = trace_path.read_text().splitlines()
+        tampered = []
+        for line in lines:
+            data = json.loads(line)
+            if data["name"] == "learn.report":
+                data["fields"]["counts"]["verify_calls"] += 5
+            tampered.append(json.dumps(data))
+        trace_path.write_text("\n".join(tampered) + "\n")
+        assert main([str(trace_path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_top_flag_limits_hot_blocks(self, trace_path, capsys):
+        assert main([str(trace_path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest blocks (top 1):" in out

@@ -1,0 +1,179 @@
+"""Trace record schema, tracer emission, and the global install."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceError,
+    TraceRecord,
+    Tracer,
+    decode_line,
+    encode_line,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    tracing,
+)
+
+
+class TestRecordRoundTrip:
+    def test_to_json_from_json(self):
+        record = TraceRecord(
+            ts=1.25, kind="event", name="learn.pair",
+            fields={"benchmark": "mcf", "line": 14},
+        )
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_encode_decode_line(self):
+        record = TraceRecord(
+            ts=0.5, kind="begin", name="learn.verify",
+            fields={"benchmark": "gcc"},
+        )
+        line = encode_line(record)
+        assert "\n" not in line
+        assert decode_line(line) == record
+
+    def test_fields_default_to_empty(self):
+        record = TraceRecord.from_json(
+            {"ts": 0, "kind": "event", "name": "x"}
+        )
+        assert record.fields == {}
+        assert isinstance(record.ts, float)
+
+    def test_every_kind_round_trips(self):
+        for kind in ("event", "begin", "end"):
+            record = TraceRecord(ts=0.0, kind=kind, name="n", fields={})
+            assert decode_line(encode_line(record)) == record
+
+
+class TestRecordValidation:
+    @pytest.mark.parametrize("data", [
+        "not an object",
+        ["ts", 0],
+        {"kind": "event", "name": "x"},            # missing ts
+        {"ts": 0, "name": "x"},                    # missing kind
+        {"ts": 0, "kind": "event"},                # missing name
+        {"ts": "soon", "kind": "event", "name": "x"},
+        {"ts": 0, "kind": "span", "name": "x"},    # unknown kind
+        {"ts": 0, "kind": "event", "name": ""},
+        {"ts": 0, "kind": "event", "name": 7},
+        {"ts": 0, "kind": "event", "name": "x", "fields": [1]},
+    ])
+    def test_malformed_records_raise(self, data):
+        with pytest.raises(TraceError):
+            TraceRecord.from_json(data)
+
+    def test_bad_json_line_raises(self):
+        with pytest.raises(TraceError):
+            decode_line("{not json")
+
+
+class TestTracer:
+    def test_writes_valid_jsonl(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("a", x=1)
+        tracer.event("b")
+        assert tracer.records_written == 2
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [p["name"] for p in parsed] == ["a", "b"]
+        assert parsed[0]["fields"] == {"x": 1}
+
+    def test_timestamps_are_monotone_nondecreasing(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        for i in range(50):
+            tracer.event("tick", i=i)
+        stamps = [r.ts for r in read_trace(io.StringIO(sink.getvalue()))]
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+        assert all(ts >= 0 for ts in stamps)
+
+    def test_span_emits_begin_and_end_with_seconds(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("learn.verify", benchmark="mcf"):
+            tracer.event("learn.verdict", line=3)
+        records = read_trace(io.StringIO(sink.getvalue()))
+        begin, inner, end = records
+        assert (begin.kind, begin.name) == ("begin", "learn.verify")
+        assert begin.fields == {"benchmark": "mcf"}
+        assert inner.name == "learn.verdict"
+        assert (end.kind, end.name) == ("end", "learn.verify")
+        # The end record repeats the begin fields and adds seconds.
+        assert end.fields["benchmark"] == "mcf"
+        assert end.fields["seconds"] >= 0
+        assert end.ts >= begin.ts
+
+    def test_span_closes_on_exception(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        kinds = [r.kind for r in read_trace(io.StringIO(sink.getvalue()))]
+        assert kinds == ["begin", "end"]
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.event("anything", x=1) is None
+        with tracer.span("anything", x=1):
+            pass
+        tracer.flush()
+        tracer.close()
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer(io.StringIO()).enabled is True
+        assert NULL_TRACER.enabled is False
+
+
+class TestGlobalInstall:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_swaps_and_returns_previous(self):
+        replacement = Tracer(io.StringIO())
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            assert set_tracer(previous) is replacement
+        assert get_tracer() is previous
+
+    def test_set_none_restores_null(self):
+        set_tracer(Tracer(io.StringIO()))
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_tracing_installs_and_restores(self):
+        sink = io.StringIO()
+        before = get_tracer()
+        with tracing(sink) as tracer:
+            assert get_tracer() is tracer
+            get_tracer().event("inside")
+        assert get_tracer() is before
+        records = read_trace(io.StringIO(sink.getvalue()))
+        assert [r.name for r in records] == ["inside"]
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(ValueError):
+            with tracing(io.StringIO()):
+                raise ValueError
+        assert get_tracer() is before
+
+    def test_tracing_with_path_writes_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(path):
+            get_tracer().event("on.disk", ok=True)
+        records = read_trace(path)
+        assert len(records) == 1
+        assert records[0].fields == {"ok": True}
