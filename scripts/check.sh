@@ -10,6 +10,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q
 
+# Chaos gate: an injected-fault learning run (worker crash + hang +
+# torn cache write) must converge to the clean rule set, and the
+# differential guard must quarantine a corrupted rule back to the
+# baseline result.
+python scripts/chaos_gate.py
+
 # Observability must stay free when off: bound the disabled-tracer
 # cost against sequential learning wall-clock (<= 2%).
 python -m pytest benchmarks/test_learning_throughput.py::test_disabled_tracer_overhead \

@@ -54,6 +54,7 @@ from repro.dbt.codegen import (
     TranslatedBlock,
 )
 from repro.dbt.frontend import translate_block
+from repro.dbt.guard import GuardPolicy, GuardStats, copy_state, states_agree
 from repro.dbt.llvmjit import optimize_tcg
 from repro.dbt.machine import ConcreteState
 from repro.dbt.perf import PerfModel, instruction_cycles
@@ -133,11 +134,17 @@ class DBTEngine:
         mode: str = "qemu",
         rule_store: RuleStore | None = None,
         fast: bool = True,
+        guard: GuardPolicy | None = None,
     ) -> None:
         if mode not in MODES:
             raise DBTError(f"unknown mode {mode!r}")
         if program.options.target != "arm":
             raise DBTError("the DBT emulates ARM guests")
+        if guard is not None and mode != "rules":
+            raise DBTError(
+                "the differential guard cross-checks learned rules; "
+                f"it has nothing to check in {mode!r} mode"
+            )
         if mode == "rules" and rule_store is None:
             rule_store = RuleStore()
         if rule_store is not None and len(rule_store) and \
@@ -150,10 +157,19 @@ class DBTEngine:
         self.mode = mode
         self.rule_store = rule_store
         self.fast = fast
+        self.guard = guard
+        self.guard_stats = GuardStats()
+        #: Rules the guard caught diverging from the TCG reference.
+        self.quarantined_rules: set = set()
         self.engine_id = next(_ENGINE_IDS)
         self._cache: dict[int, TranslatedBlock] = {}
         self._cycles_cache: dict[int, list[float]] = {}
         self._steps_cache: dict[int, list] = {}
+        #: TCG-only reference translations (guard comparisons).
+        self._ref_cache: dict[int, tuple] = {}
+        #: Blocks invalidated mid-run after executing: their dynamic
+        #: counters must still be accounted at run end.
+        self._retired_blocks: list[TranslatedBlock] = []
         self._runs_completed = 0
         #: Cumulative since construction (never reset).
         self.lifetime = DBTStats()
@@ -305,6 +321,7 @@ class DBTEngine:
         conventional hybrid view (see the module docstring).
         """
         self._active = DBTStats()
+        self._retired_blocks = []
         for tb in self._cache.values():
             tb.exec_count = 0
             tb.exec_cycles = 0.0
@@ -322,6 +339,12 @@ class DBTEngine:
                     raise DBTError("block limit exceeded")
                 executed_blocks += 1
                 tb = self.translate(guest_pc)
+                if (
+                    self.guard is not None
+                    and tb.hit_rules
+                    and self.guard.should_check(tb.exec_count)
+                ):
+                    tb = self._guard_check(tb, state)
                 tb.exec_count += 1
                 active.perf.dispatches += 1
                 guest_pc = self._run_block(tb, state)
@@ -392,6 +415,147 @@ class DBTEngine:
             f"translated block {tb.guest_start:#x} fell off its end"
         )
 
+    # -- differential guard ------------------------------------------------------
+
+    def _guard_check(self, tb: TranslatedBlock,
+                     state: ConcreteState) -> TranslatedBlock:
+        """Cross-check a rule-covered block against its TCG reference.
+
+        On divergence the block's rules are quarantined, every cached
+        block built from them is invalidated, and the block is
+        retranslated; the loop repeats until the (re)translation agrees
+        with the reference or uses no rules at all.  Returns the block
+        the dispatch loop should actually execute.
+        """
+        metrics = get_metrics()
+        while tb.hit_rules:
+            self.guard_stats.checks += 1
+            metrics.inc("dbt.guard.checks")
+            trial = copy_state(state)
+            reference = copy_state(state)
+            trial_pc = self._exec_block_raw(
+                tb.host_instrs,
+                self._steps_cache.get(tb.guest_start) if self.fast else None,
+                trial,
+            )
+            ref_instrs, ref_steps = self._reference_block(tb.guest_start)
+            ref_pc = self._exec_block_raw(ref_instrs, ref_steps, reference)
+            if trial_pc == ref_pc and states_agree(trial, reference):
+                return tb
+            suspects = {
+                rule for rule, _ in tb.hit_rules
+                if rule not in self.quarantined_rules
+            }
+            if not suspects:
+                # Divergence with nothing left to quarantine means the
+                # baseline itself is inconsistent — not recoverable.
+                raise DBTError(
+                    f"guard divergence at {tb.guest_start:#x} with no "
+                    "quarantinable rules"
+                )
+            for rule in suspects:
+                self.rule_store.remove(rule)
+                self.quarantined_rules.add(rule)
+            invalidated = self._invalidate_rule_blocks(suspects)
+            self.guard_stats.divergences += 1
+            self.guard_stats.rules_quarantined += len(suspects)
+            self.guard_stats.retranslations += 1
+            metrics.inc("dbt.guard.divergences")
+            metrics.inc("dbt.guard.quarantined_rules", len(suspects))
+            metrics.inc("dbt.guard.invalidated_blocks", invalidated)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "dbt.guard.divergence",
+                    engine=self.engine_id,
+                    addr=tb.guest_start,
+                    trial_pc=trial_pc,
+                    ref_pc=ref_pc,
+                    quarantined=len(suspects),
+                    invalidated=invalidated,
+                )
+            tb = self.translate(tb.guest_start)
+        return tb
+
+    def _exec_block_raw(self, instrs, steps, state: ConcreteState) -> int:
+        """Execute one translated block on ``state`` with no stats
+        side effects; return the next guest pc."""
+        if steps is not None:
+            regs, flags, mem = state.regs, state.flags, state.memory
+            index = 0
+            n = len(steps)
+            while index < n:
+                target = steps[index](regs, flags, mem)
+                if target is None:
+                    index += 1
+                    continue
+                if target == EXIT_LABEL:
+                    return self._env_read(state, NEXT_PC_OFFSET)
+                if target.startswith("TB@"):
+                    return int(target[3:], 16)
+                raise DBTError(
+                    f"unexpected host branch target {target!r}"
+                )
+        else:
+            index = 0
+            while index < len(instrs):
+                outcome = execute_x86(instrs[index], state, _ALU)
+                branch = outcome.branch
+                if branch is None or not branch.cond:
+                    index += 1
+                    continue
+                target = branch.target
+                if isinstance(target, Label):
+                    name = target.name
+                    if name == EXIT_LABEL:
+                        return self._env_read(state, NEXT_PC_OFFSET)
+                    if name.startswith("TB@"):
+                        return int(name[3:], 16)
+                raise DBTError(
+                    f"unexpected host branch target {target!r}"
+                )
+        raise DBTError("guard trial block fell off its end")
+
+    def _reference_block(self, guest_addr: int) -> tuple:
+        """A pure-TCG translation of the guest block at ``guest_addr``
+        (the guard's ground truth), cached separately from the main
+        translation cache and charged to no stats view."""
+        cached = self._ref_cache.get(guest_addr)
+        if cached is not None:
+            return cached
+        start_index = self.program.index_of_addr(guest_addr)
+        tcg_block, _ = translate_block(self.program, start_index)
+        assembler = codegen.BlockAssembler()
+        for op in tcg_block.ops:
+            codegen.lower_tcg_op(assembler, op)
+        translated = codegen.finalize_block(assembler, guest_addr)
+        steps = None
+        if self.fast:
+            from repro.dbt.fastexec import compile_block
+
+            steps = compile_block(translated.host_instrs)
+        reference = (translated.host_instrs, steps)
+        self._ref_cache[guest_addr] = reference
+        return reference
+
+    def _invalidate_rule_blocks(self, rules: set) -> int:
+        """Drop every cached block translated with any of ``rules``.
+
+        Blocks that already executed this run are retired, not
+        forgotten: their dynamic counters still belong to the run."""
+        doomed = [
+            addr for addr, tb in self._cache.items()
+            if any(rule in rules for rule, _ in tb.hit_rules)
+        ]
+        for addr in doomed:
+            tb = self._cache.pop(addr)
+            self._cycles_cache.pop(addr, None)
+            self._steps_cache.pop(addr, None)
+            if tb.exec_count:
+                self._retired_blocks.append(tb)
+        self.guard_stats.blocks_invalidated += len(doomed)
+        return len(doomed)
+
     def _finalize_run(self) -> None:
         """Derive the run's guest-side dynamic counters, publish it as
         ``last_run`` and fold it into ``lifetime``."""
@@ -399,7 +563,7 @@ class DBTEngine:
         if active is None:
             return
         self._active = None
-        for tb in self._cache.values():
+        for tb in list(self._cache.values()) + self._retired_blocks:
             active.dynamic_guest_instructions += \
                 tb.exec_count * tb.guest_length
             active.dynamic_rule_guest_instructions += \
@@ -425,7 +589,7 @@ class DBTEngine:
         tracer = get_tracer()
         if not tracer.enabled:
             return
-        for tb in self._cache.values():
+        for tb in list(self._cache.values()) + self._retired_blocks:
             if not tb.exec_count:
                 continue
             tracer.event(
@@ -453,6 +617,7 @@ def run_dbt(
     mode: str = "qemu",
     rule_store: RuleStore | None = None,
     args: tuple[int, ...] = (),
+    guard: GuardPolicy | None = None,
 ) -> DBTRunResult:
     """Convenience wrapper: build an engine and run to completion."""
-    return DBTEngine(program, mode, rule_store).run(args)
+    return DBTEngine(program, mode, rule_store, guard=guard).run(args)

@@ -24,6 +24,7 @@ import os
 import sys
 import time
 
+from repro.dbt.guard import GuardPolicy
 from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
 from repro.experiments.common import shared_context
 from repro.learning.cache import VerificationCache
@@ -68,6 +69,12 @@ def main(argv: list[str] | None = None) -> int:
         help="learn without the persistent verification cache",
     )
     parser.add_argument(
+        "--guard", action="store_true",
+        help="enable the differential execution guard: sampled "
+             "rule-translated blocks are cross-checked against the TCG "
+             "baseline, and diverging rules are quarantined at runtime",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="write a structured JSON-lines trace of learning + DBT "
              "execution here (inspect with `python -m repro.obs.report`)",
@@ -84,6 +91,8 @@ def main(argv: list[str] | None = None) -> int:
         (os.cpu_count() or 1)
     if not args.no_cache:
         context.cache = VerificationCache.at_dir(args.cache_dir)
+    if args.guard:
+        context.guard = GuardPolicy()
 
     names = list(EXPERIMENTS) if "all" in args.experiments else \
         args.experiments

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.benchsuite import BENCHMARK_NAMES, benchmark_source
 from repro.dbt.engine import DBTEngine, DBTRunResult
+from repro.dbt.guard import GuardPolicy
 from repro.dbt.perf import speedup
 from repro.learning.cache import VerificationCache
 from repro.learning.parallel import learn_corpus_parallel
@@ -44,6 +45,8 @@ class ExperimentContext:
     benchmarks: tuple[str, ...] = BENCHMARK_NAMES
     jobs: int = 1
     cache: VerificationCache | None = None
+    #: Differential execution guard for rules-mode runs (None = off).
+    guard: GuardPolicy | None = None
     _builds: dict = field(default_factory=dict)
     _learning: dict = field(default_factory=dict)
     _runs: dict = field(default_factory=dict)
@@ -126,7 +129,8 @@ class ExperimentContext:
             store = (
                 self.rule_store_excluding(name) if mode == "rules" else None
             )
-            engine = DBTEngine(guest, mode, store)
+            guard = self.guard if mode == "rules" else None
+            engine = DBTEngine(guest, mode, store, guard=guard)
             result = engine.run()
             expected = self.run(name, "qemu", workload, guest_style) \
                 if mode != "qemu" else None

@@ -66,7 +66,8 @@ def run(context: ExperimentContext | None = None) -> Table1Result:
 
 def render(result: Table1Result) -> str:
     headers = ["benchmark", "#seq", "CI", "PI", "MB", "Num", "Name",
-               "FailG", "Rg", "Mm", "Br", "Other", "#Rules", "Time(s)"]
+               "FailG", "Rg", "Mm", "Br", "Other", "TO", "EC",
+               "#Rules", "Time(s)"]
     rows = []
     for name, report in result.reports.items():
         rows.append([
@@ -76,6 +77,7 @@ def render(result: Table1Result) -> str:
             str(report.param_failg),
             str(report.verify_rg), str(report.verify_mm),
             str(report.verify_br), str(report.verify_other),
+            str(report.verify_to), str(report.verify_ec),
             str(report.rules), f"{report.learn_seconds:.2f}",
         ])
     total = result.totals
@@ -84,8 +86,8 @@ def render(result: Table1Result) -> str:
         str(total.prep_ci), str(total.prep_pi), str(total.prep_mb),
         str(total.param_num), str(total.param_name), str(total.param_failg),
         str(total.verify_rg), str(total.verify_mm), str(total.verify_br),
-        str(total.verify_other), str(total.rules),
-        f"{total.learn_seconds:.2f}",
+        str(total.verify_other), str(total.verify_to), str(total.verify_ec),
+        str(total.rules), f"{total.learn_seconds:.2f}",
     ])
     table = render_table(headers, rows, "Table 1: learning results")
     summary = (

@@ -1,0 +1,49 @@
+"""Fault tolerance for learning and the DBT (deadlines, chaos plans).
+
+Coordinates the failure-handling layer the rest of the system hooks
+into:
+
+* :mod:`repro.faults.deadline` — per-candidate verification budgets
+  that turn hangs into deterministic ``TO`` (timeout) outcomes;
+* :mod:`repro.faults.plan` — deterministic fault injection
+  (:class:`FaultPlan`) used by the chaos test suite to prove crash
+  isolation, checkpoint/resume and rule quarantine actually work.
+"""
+
+from repro.faults.deadline import (
+    Deadline,
+    DeadlineBudget,
+    DeadlineExceeded,
+    active_deadline,
+    deadline_scope,
+    tick,
+)
+from repro.faults.plan import (
+    NO_FAULTS,
+    FaultPlan,
+    InjectedAbort,
+    InjectedFailure,
+    corrupt_rule,
+    fault_plan_scope,
+    get_fault_plan,
+    install_fault_plan,
+    simulated_hang,
+)
+
+__all__ = [
+    "Deadline",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "active_deadline",
+    "deadline_scope",
+    "tick",
+    "NO_FAULTS",
+    "FaultPlan",
+    "InjectedAbort",
+    "InjectedFailure",
+    "corrupt_rule",
+    "fault_plan_scope",
+    "get_fault_plan",
+    "install_fault_plan",
+    "simulated_hang",
+]

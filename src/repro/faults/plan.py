@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A :class:`FaultPlan` names, ahead of time, exactly which failures to
+inject into a learning run or a DBT session: crash the worker that
+resolves candidate digest D, hang another candidate against the
+deadline guard, kill the parent after K journaled chunks, garble the
+Kth verification-cache save, or flip a learned rule's host template.
+Because every injection point is keyed by deterministic identifiers
+(candidate digests, save ordinals, chunk counts), a chaos test replays
+the identical failure schedule on every run.
+
+The plan is process-global (``install_fault_plan`` /
+``fault_plan_scope``) on the parent side; the parallel learner ships it
+explicitly to pool workers, so injections fire regardless of the
+multiprocessing start method.  The default :data:`NO_FAULTS` plan is
+inert and costs one attribute read per injection point.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+class InjectedAbort(RuntimeError):
+    """Parent-side injected kill of a learning run
+    (``FaultPlan.abort_after_chunks``)."""
+
+
+class InjectedFailure(RuntimeError):
+    """Injected in-worker exception (``FaultPlan.raise_digests``)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic failure schedule.
+
+    Attributes:
+        crash_digests: Candidates whose resolving worker process dies
+            hard (``os._exit``) — exercises ``BrokenProcessPool``
+            recovery and poison-candidate bisection.
+        raise_digests: Candidates whose resolution raises
+            :class:`InjectedFailure` — exercises retry-with-backoff and
+            bisection without killing the pool.
+        hang_digests: Candidates that spin forever against the active
+            deadline — exercises the ``TO`` path.  Requires a bounded
+            deadline; otherwise the injection raises immediately
+            instead of actually hanging the suite.
+        abort_after_chunks: Raise :class:`InjectedAbort` in the parent
+            after this many resolved chunks were journaled — exercises
+            checkpoint/resume.
+        corrupt_cache_on_save: Garble the verification-cache file after
+            its Nth (1-based) save — exercises corrupt-load quarantine.
+    """
+
+    crash_digests: frozenset = frozenset()
+    raise_digests: frozenset = frozenset()
+    hang_digests: frozenset = frozenset()
+    abort_after_chunks: int | None = None
+    corrupt_cache_on_save: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.crash_digests
+            or self.raise_digests
+            or self.hang_digests
+            or self.abort_after_chunks is not None
+            or self.corrupt_cache_on_save is not None
+        )
+
+    def inject_candidate_faults(self, digest: str) -> None:
+        """Fire any fault this plan schedules for one candidate."""
+        if digest in self.crash_digests:
+            # A hard worker death, not an exception: the pool sees a
+            # vanished process, exactly like a native engine crash.
+            os._exit(86)
+        if digest in self.raise_digests:
+            raise InjectedFailure(f"injected failure for candidate {digest}")
+        if digest in self.hang_digests:
+            simulated_hang()
+
+
+NO_FAULTS = FaultPlan()
+
+_PLAN: FaultPlan = NO_FAULTS
+
+
+def get_fault_plan() -> FaultPlan:
+    return _PLAN
+
+
+def install_fault_plan(plan: FaultPlan | None) -> None:
+    global _PLAN
+    _PLAN = plan if plan is not None else NO_FAULTS
+
+
+@contextmanager
+def fault_plan_scope(plan: FaultPlan):
+    """Install ``plan`` for the duration of a ``with`` block."""
+    previous = get_fault_plan()
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_fault_plan(previous)
+
+
+def simulated_hang() -> None:
+    """Spin against the active deadline until it fires.
+
+    With a bounded deadline installed this deterministically raises
+    :class:`~repro.faults.deadline.DeadlineExceeded`; without one it
+    raises ``RuntimeError`` instead of genuinely hanging the process,
+    so a mis-configured chaos test fails fast.
+    """
+    from repro.faults.deadline import active_deadline
+
+    deadline = active_deadline()
+    if deadline is None or not deadline.budget.bounded:
+        raise RuntimeError(
+            "injected hang reached with no bounded deadline installed"
+        )
+    while True:
+        deadline.tick()
+
+
+#: Mnemonic flips that keep the instruction shape (and every host-ISA
+#: constraint) valid while changing its semantics.
+_MNEMONIC_FLIPS = {
+    "addl": "subl",
+    "subl": "addl",
+    "xorl": "orl",
+    "orl": "xorl",
+    "andl": "orl",
+    "imull": "addl",
+}
+
+
+def corrupt_rule(rule):
+    """Return ``rule`` with a deliberately wrong host template.
+
+    The guest pattern is untouched, so the corrupted rule still matches
+    and applies at translation time — only its emitted host code
+    miscomputes.  This is the injection the differential guard must
+    catch.  Raises ``ValueError`` for a rule with no corruptible host
+    instruction.
+    """
+    from dataclasses import replace
+
+    from repro.isa.instruction import Instruction
+    from repro.isa.operands import Imm
+
+    host = list(rule.host)
+    for index, instr in enumerate(host):
+        flipped = _MNEMONIC_FLIPS.get(instr.mnemonic)
+        if flipped is not None:
+            host[index] = Instruction(flipped, instr.operands,
+                                      meta=instr.meta)
+            return replace(rule, host=tuple(host))
+        operands = list(instr.operands)
+        for position, operand in enumerate(operands):
+            if isinstance(operand, Imm):
+                operands[position] = Imm((operand.value + 1) & 0xFFFFFFFF)
+                host[index] = Instruction(instr.mnemonic, tuple(operands),
+                                          meta=instr.meta)
+                return replace(rule, host=tuple(host))
+    raise ValueError("rule has no corruptible host instruction")

@@ -25,7 +25,8 @@ from repro.learning.direction import (
 )
 from repro.learning.cache import VerificationCache
 from repro.learning.extract import SnippetPair, extract_pairs
-from repro.learning.parallel import learn_corpus_parallel
+from repro.learning.journal import OutcomeJournal
+from repro.learning.parallel import ResolutionGapError, learn_corpus_parallel
 from repro.learning.pipeline import (
     LearningOutcome,
     LearningReport,
@@ -45,6 +46,8 @@ __all__ = [
     "SnippetPair",
     "extract_pairs",
     "VerificationCache",
+    "OutcomeJournal",
+    "ResolutionGapError",
     "LearningOutcome",
     "LearningReport",
     "learn_rules",

@@ -16,7 +16,9 @@ load instead of risking a wrong cached verdict.
 
 Counters: ``stats.hits`` / ``stats.misses`` count :meth:`get` lookups;
 ``stats.stale`` counts entries dropped by a version mismatch or an
-explicit :meth:`invalidate`.
+explicit :meth:`invalidate`; ``stats.corrupt`` counts unparseable cache
+files quarantined aside (to ``<path>.corrupt``) on load so the evidence
+survives for debugging while learning restarts from an empty cache.
 """
 
 from __future__ import annotations
@@ -26,9 +28,11 @@ import os
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.faults.plan import get_fault_plan
 from repro.learning.canon import CandidateOutcome
 from repro.learning.serialize import rule_from_json, rule_to_json
 from repro.learning.verify import VerifyFailure
+from repro.obs.metrics import get_metrics
 
 #: Bump to invalidate every previously stored verdict.
 SEMANTICS_VERSION = 1
@@ -43,6 +47,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stale: int = 0
+    #: Corrupt cache files quarantined to ``<path>.corrupt`` on load.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,7 +61,8 @@ class CacheStats:
         return self.hits / self.lookups
 
 
-def _encode_outcome(outcome: CandidateOutcome) -> dict:
+def encode_outcome(outcome: CandidateOutcome) -> dict:
+    """JSON encoding of one verdict (shared with the resume journal)."""
     if outcome.rule is not None:
         return {
             "verdict": "rule",
@@ -69,7 +76,8 @@ def _encode_outcome(outcome: CandidateOutcome) -> dict:
     }
 
 
-def _decode_outcome(data: dict) -> CandidateOutcome:
+def decode_outcome(data: dict) -> CandidateOutcome:
+    """Inverse of :func:`encode_outcome`."""
     if data["verdict"] == "rule":
         return CandidateOutcome(rule=rule_from_json(data["rule"]),
                                 calls=data["calls"])
@@ -87,6 +95,7 @@ class VerificationCache:
         self.stats = CacheStats()
         self._entries: dict[str, dict] = {}
         self._dirty = False
+        self._saves = 0
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -104,6 +113,11 @@ class VerificationCache:
     def __contains__(self, digest: str) -> bool:
         return digest in self._entries
 
+    def digests(self) -> list[str]:
+        """Every settled candidate digest (chaos tooling: pick targets
+        for deterministic fault injection)."""
+        return list(self._entries)
+
     def peek(self, digest: str) -> CandidateOutcome | None:
         """Lookup without touching the hit/miss counters (used by the
         parallel scheduler, which replays accounting deterministically
@@ -111,7 +125,7 @@ class VerificationCache:
         entry = self._entries.get(digest)
         if entry is None:
             return None
-        return _decode_outcome(entry)
+        return decode_outcome(entry)
 
     def get(self, digest: str) -> CandidateOutcome | None:
         entry = self._entries.get(digest)
@@ -119,10 +133,10 @@ class VerificationCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return _decode_outcome(entry)
+        return decode_outcome(entry)
 
     def put(self, digest: str, outcome: CandidateOutcome) -> None:
-        self._entries[digest] = _encode_outcome(outcome)
+        self._entries[digest] = encode_outcome(outcome)
         self._dirty = True
 
     def invalidate(self, new_semantics_version: int | None = None) -> None:
@@ -143,16 +157,20 @@ class VerificationCache:
         try:
             with open(self.path) as fp:
                 document = json.load(fp)
-        except (OSError, json.JSONDecodeError):
-            # A corrupt cache must never break learning: start empty.
+        except OSError:
             self._dirty = True
+            return
+        except json.JSONDecodeError:
+            # A corrupt cache must never break learning: quarantine the
+            # file (preserving the evidence) and start empty.
+            self._quarantine_corrupt()
             return
         if (
             not isinstance(document, dict)
             or document.get("format") != CACHE_FORMAT
             or document.get("version") != CACHE_FILE_VERSION
         ):
-            self._dirty = True
+            self._quarantine_corrupt()
             return
         entries = document.get("entries", {})
         if document.get("semantics") != self.semantics_version:
@@ -161,10 +179,30 @@ class VerificationCache:
             return
         self._entries = entries
 
+    def _quarantine_corrupt(self) -> None:
+        """Move an unreadable cache file aside and start empty."""
+        quarantine = self.path.with_name(self.path.name + ".corrupt")
+        try:
+            os.replace(self.path, quarantine)
+        except OSError:
+            pass
+        self.stats.corrupt += 1
+        get_metrics().inc("learning.cache.corrupt")
+        self._dirty = True
+
     def save(self) -> None:
-        """Atomically persist the cache (no-op when clean or in-memory)."""
+        """Atomically persist the cache (no-op when clean or in-memory).
+
+        Write-to-temp + fsync + rename: a crash mid-save leaves either
+        the old cache or the new one, never a torn file.
+        """
         if self.path is None or not self._dirty:
             return
+        self._saves += 1
+        plan = get_fault_plan()
+        corrupt_this_save = (
+            plan.active and plan.corrupt_cache_on_save == self._saves
+        )
         payload = {
             "format": CACHE_FORMAT,
             "version": CACHE_FILE_VERSION,
@@ -173,6 +211,15 @@ class VerificationCache:
         }
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "w") as fp:
-            json.dump(payload, fp)
+            if corrupt_this_save:
+                # Injected torn write: half a document, as if the
+                # process died mid-json.dump before the atomic rename
+                # discipline existed.
+                document = json.dumps(payload)
+                fp.write(document[: len(document) // 2])
+            else:
+                json.dump(payload, fp)
+            fp.flush()
+            os.fsync(fp.fileno())
         os.replace(tmp, self.path)
         self._dirty = False

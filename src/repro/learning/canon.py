@@ -32,6 +32,13 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro.faults.deadline import (
+    Deadline,
+    DeadlineBudget,
+    DeadlineExceeded,
+    deadline_scope,
+)
+from repro.faults.plan import FaultPlan, get_fault_plan
 from repro.learning.paramize import InitialMapping, ParamContext
 from repro.learning.rule import Rule
 from repro.learning.verify import VerifyFailure, verify_candidate
@@ -104,20 +111,42 @@ class CandidateOutcome:
     calls: int = 0
 
 
-def resolve_candidate(context: ParamContext,
-                      mappings: list[InitialMapping]) -> CandidateOutcome:
+def resolve_candidate(
+    context: ParamContext,
+    mappings: list[InitialMapping],
+    *,
+    budget: DeadlineBudget | None = None,
+    digest: str | None = None,
+    plan: FaultPlan | None = None,
+) -> CandidateOutcome:
     """Verify one canonical candidate: first successful mapping wins.
 
     Mirrors the paper's protocol (Section 3.3): initial mappings are
     tried in decreasing heuristic confidence, and only the last
     verification attempt is classified on failure (Section 6.1).
+
+    ``budget`` bounds the candidate's verification cost; exhaustion
+    yields a ``TIMEOUT`` outcome (``calls`` then counts *started*
+    attempts, including the interrupted one).  ``digest`` keys fault
+    injection against ``plan`` (the process-global plan when None) —
+    production callers that pass no digest never pay for injection.
     """
+    if plan is None:
+        plan = get_fault_plan()
+    deadline = Deadline(budget) if budget is not None and budget.bounded \
+        else None
     last_failure: VerifyFailure | None = None
     calls = 0
-    for mapping in mappings:
-        calls += 1
-        result = verify_candidate(context, mapping)
-        if result.rule is not None:
-            return CandidateOutcome(rule=result.rule, calls=calls)
-        last_failure = result.failure
+    try:
+        with deadline_scope(deadline):
+            if digest is not None and plan.active:
+                plan.inject_candidate_faults(digest)
+            for mapping in mappings:
+                calls += 1
+                result = verify_candidate(context, mapping)
+                if result.rule is not None:
+                    return CandidateOutcome(rule=result.rule, calls=calls)
+                last_failure = result.failure
+    except DeadlineExceeded:
+        return CandidateOutcome(failure=VerifyFailure.TIMEOUT, calls=calls)
     return CandidateOutcome(failure=last_failure, calls=calls)

@@ -16,7 +16,9 @@ import contextlib
 import os
 import sys
 
+from repro.faults.deadline import DeadlineBudget
 from repro.learning.cache import VerificationCache
+from repro.learning.journal import OutcomeJournal
 from repro.learning.parallel import learn_corpus_parallel
 from repro.learning.pipeline import learn_rules
 from repro.learning.serialize import dump_rules
@@ -70,6 +72,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="learn without the persistent verification "
                              "cache")
+    parser.add_argument("--deadline", type=int, default=None,
+                        metavar="STEPS",
+                        help="per-candidate verification budget in "
+                             "deterministic solver steps; exhaustion "
+                             "classifies the candidate as TO (timeout)")
+    parser.add_argument("--deadline-seconds", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-candidate wall-clock ceiling backing up "
+                             "--deadline (converts true hangs into TO)")
+    parser.add_argument("--resume", action="store_true",
+                        help="journal every settled verdict to the cache "
+                             "directory so a killed run resumes without "
+                             "re-verifying (journal cleared on success)")
     parser.add_argument("--trace", metavar="PATH",
                         help="write a structured JSON-lines trace here "
                              "(inspect with `python -m repro.obs.report`)")
@@ -94,17 +109,34 @@ def main(argv: list[str] | None = None) -> int:
 
         cache = None if args.no_cache else \
             VerificationCache.at_dir(args.cache_dir)
+        budget = None
+        if args.deadline is not None or args.deadline_seconds is not None:
+            budget = DeadlineBudget(max_steps=args.deadline,
+                                    max_seconds=args.deadline_seconds)
+        journal = OutcomeJournal.at_dir(args.cache_dir) if args.resume \
+            else None
+        if journal is not None and journal.recovered:
+            print(
+                f"resuming: {journal.recovered} journaled verdict(s) "
+                f"replayed ({journal.skipped} torn line(s) skipped)",
+                file=sys.stderr,
+            )
         jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
         if jobs > 1:
             outcomes = learn_corpus_parallel(
-                {args.source: (guest, host)}, jobs=jobs, cache=cache
+                {args.source: (guest, host)}, jobs=jobs, cache=cache,
+                budget=budget, journal=journal,
             )
             outcome = outcomes[args.source]
         else:
             outcome = learn_rules(guest, host, benchmark=args.source,
-                                  cache=cache)
+                                  cache=cache, budget=budget,
+                                  journal=journal)
             if cache is not None:
                 cache.save()
+        if journal is not None:
+            # The run completed; the cache owns every verdict now.
+            journal.clear()
 
     record_cache_metrics(cache)
     report = outcome.report
@@ -124,7 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         f"MB={report.prep_mb} Num={report.param_num} "
         f"Name={report.param_name} FailG={report.param_failg} "
         f"Rg={report.verify_rg} Mm={report.verify_mm} "
-        f"Br={report.verify_br} Other={report.verify_other}",
+        f"Br={report.verify_br} Other={report.verify_other} "
+        f"TO={report.verify_to} EC={report.verify_ec}",
         file=sys.stderr,
     )
     print(

@@ -1,0 +1,167 @@
+"""Incremental outcome journal: checkpoint/resume for learning runs.
+
+The :class:`repro.learning.cache.VerificationCache` persists verdicts
+*between* runs, but it is only saved when a run completes — a learning
+run killed halfway (OOM killer, preempted job, Ctrl-C) loses every
+verdict it paid for.  The journal closes that gap: every resolved
+candidate outcome is appended to a JSON-lines file and fsynced the
+moment it settles, so a re-run of the same corpus replays settled
+verdicts instead of re-verifying them.
+
+Design points:
+
+* **Same codec as the cache.**  Records reuse
+  :func:`repro.learning.cache.encode_outcome`, and carry the candidate
+  digest (the canonical key of :mod:`repro.learning.canon`), so a
+  journal entry is exactly as trustworthy as a cache entry and is
+  versioned by the same ``SEMANTICS_VERSION`` discipline.
+
+* **Torn tails are expected.**  A crash can land mid-append; on load,
+  unparseable trailing lines are skipped (counted in ``skipped``), not
+  treated as corruption.  A header mismatch (foreign file, stale
+  semantics) discards the whole journal instead.
+
+* **Resume must be invisible in the accounting.**  Replayed outcomes
+  keep their original ``calls`` counts and are counted by the pipeline
+  exactly like live resolutions, so a resumed run's
+  ``LearningReport.count_signature()`` equals the uninterrupted run's.
+
+* **Cleared on success.**  Once a run completes and the verification
+  cache absorbs every verdict, the journal is obsolete;
+  :meth:`OutcomeJournal.clear` removes it so the next run starts clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.learning.cache import (
+    SEMANTICS_VERSION,
+    decode_outcome,
+    encode_outcome,
+)
+from repro.learning.canon import CandidateOutcome
+
+JOURNAL_FORMAT = "repro-dbt-outcome-journal"
+JOURNAL_FILE_VERSION = 1
+DEFAULT_JOURNAL_NAME = "learning-journal.jsonl"
+
+
+class OutcomeJournal:
+    """Append-only digest -> outcome journal (crash-safe checkpoint).
+
+    ``recovered`` counts entries loaded from a previous interrupted
+    run; ``skipped`` counts unparseable lines dropped from a torn tail.
+    """
+
+    def __init__(self, path: str | os.PathLike,
+                 semantics_version: int = SEMANTICS_VERSION) -> None:
+        self.path = Path(path)
+        self.semantics_version = semantics_version
+        self.recovered = 0
+        self.skipped = 0
+        self._entries: dict[str, CandidateOutcome] = {}
+        self._fp = None
+        if self.path.exists():
+            self._load()
+
+    @classmethod
+    def at_dir(cls, journal_dir: str | os.PathLike,
+               name: str = DEFAULT_JOURNAL_NAME) -> "OutcomeJournal":
+        """The conventional journal file inside ``journal_dir``."""
+        directory = Path(journal_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / name)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> CandidateOutcome | None:
+        return self._entries.get(digest)
+
+    def record(self, digest: str, outcome: CandidateOutcome) -> None:
+        """Durably append one settled verdict (flush + fsync: the entry
+        survives any crash after this returns)."""
+        if digest in self._entries:
+            return
+        self._entries[digest] = outcome
+        fp = self._open()
+        fp.write(json.dumps(
+            {"digest": digest, "outcome": encode_outcome(outcome)}
+        ) + "\n")
+        fp.flush()
+        os.fsync(fp.fileno())
+
+    def close(self) -> None:
+        if self._fp is not None:
+            self._fp.close()
+            self._fp = None
+
+    def clear(self) -> None:
+        """Remove the journal (run completed; the cache now owns every
+        verdict)."""
+        self.close()
+        self._entries.clear()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    # -- persistence ---------------------------------------------------------
+
+    def _open(self):
+        if self._fp is None:
+            if not self.path.exists():
+                with open(self.path, "w") as fp:
+                    fp.write(json.dumps(self._header()) + "\n")
+                    fp.flush()
+                    os.fsync(fp.fileno())
+            self._fp = open(self.path, "a")
+        return self._fp
+
+    def _header(self) -> dict:
+        return {
+            "format": JOURNAL_FORMAT,
+            "version": JOURNAL_FILE_VERSION,
+            "semantics": self.semantics_version,
+        }
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as fp:
+                lines = fp.readlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if header != self._header():
+            # Foreign or stale journal: discard rather than replay
+            # verdicts produced under different semantics.
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+            return
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                digest = entry["digest"]
+                outcome = decode_outcome(entry["outcome"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                # Torn tail from a crash mid-append.
+                self.skipped += 1
+                continue
+            self._entries[digest] = outcome
+        self.recovered = len(self._entries)

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro.faults.deadline import DeadlineBudget
 from repro.learning.cache import VerificationCache
 from repro.learning.canon import (
     CandidateOutcome,
@@ -53,6 +54,8 @@ VERIFY_CODES = {
     VerifyFailure.REGISTERS: "Rg",
     VerifyFailure.MEMORY: "Mm",
     VerifyFailure.BRANCH: "Br",
+    VerifyFailure.TIMEOUT: "TO",
+    VerifyFailure.ENGINE_CRASH: "EC",
 }
 VERIFY_FALLBACK_CODE = "Other"
 
@@ -83,6 +86,8 @@ class LearningReport:
     verify_mm: int = 0
     verify_br: int = 0
     verify_other: int = 0
+    verify_to: int = 0
+    verify_ec: int = 0
     rules: int = 0
     learn_seconds: float = 0.0
     extract_seconds: float = 0.0
@@ -98,6 +103,7 @@ class LearningReport:
         "param_name", "param_failg", "verify_rg", "verify_mm",
         "verify_br", "verify_other", "rules", "verify_calls",
         "dedup_saved_calls", "cache_hits", "cache_misses",
+        "verify_to", "verify_ec",
     )
     _TIMING_FIELDS = (
         "learn_seconds", "extract_seconds", "paramize_seconds",
@@ -115,7 +121,7 @@ class LearningReport:
     @property
     def verify_failures(self) -> int:
         return self.verify_rg + self.verify_mm + self.verify_br + \
-            self.verify_other
+            self.verify_other + self.verify_to + self.verify_ec
 
     @property
     def yield_fraction(self) -> float:
@@ -231,17 +237,26 @@ def _verify_stage(
     cache: VerificationCache | None,
     memo: dict[str, CandidateOutcome],
     resolver: Callable[[Candidate], CandidateOutcome] | None = None,
+    budget: DeadlineBudget | None = None,
+    journal=None,
 ) -> list[Rule]:
     """Settle every candidate: memo (pre-verification dedup), then the
-    persistent cache, then live verification via ``resolver``.
+    persistent cache, then the resume journal, then live verification
+    via ``resolver``.
 
     The sequential and parallel paths share this function — the parallel
     path only swaps ``resolver`` for a lookup into pre-computed worker
     results — so reports and rule lists are identical by construction.
+
+    ``journal`` (an :class:`~repro.learning.journal.OutcomeJournal`)
+    makes the run resumable: live verdicts are journaled as they land,
+    and a journaled verdict replays with its original ``calls`` cost,
+    so a resumed run's report is identical to an uninterrupted one.
     """
     if resolver is None:
         def resolver(candidate: Candidate) -> CandidateOutcome:
-            return resolve_candidate(candidate.context, candidate.mappings)
+            return resolve_candidate(candidate.context, candidate.mappings,
+                                     budget=budget, digest=candidate.digest)
 
     tracer = get_tracer()
     metrics = get_metrics()
@@ -263,8 +278,21 @@ def _verify_stage(
                     metrics.inc("learning.cache.hits")
                     outcome = cached
                 else:
-                    source = "live"
-                    outcome = resolver(candidate)
+                    journaled = journal.get(candidate.digest) \
+                        if journal is not None else None
+                    if journaled is not None:
+                        # A verdict settled before the previous run was
+                        # killed: replay it with its recorded cost, so
+                        # the resumed report matches an uninterrupted
+                        # run exactly.
+                        source = "journal"
+                        outcome = journaled
+                        metrics.inc("learning.journal.replayed")
+                    else:
+                        source = "live"
+                        outcome = resolver(candidate)
+                        if journal is not None:
+                            journal.record(candidate.digest, outcome)
                     report.verify_calls += outcome.calls
                     metrics.inc("learning.verify.calls", outcome.calls)
                     metrics.observe("learning.verify.calls_per_candidate",
@@ -272,7 +300,12 @@ def _verify_stage(
                     if cache is not None:
                         report.cache_misses += 1
                         metrics.inc("learning.cache.misses")
-                        cache.put(candidate.digest, outcome)
+                        if outcome.failure not in (VerifyFailure.TIMEOUT,
+                                                   VerifyFailure.ENGINE_CRASH):
+                            # TO/EC verdicts are properties of the run
+                            # (budget, crashed worker), not of candidate
+                            # semantics: never persist them across runs.
+                            cache.put(candidate.digest, outcome)
                 memo[candidate.digest] = outcome
             report.verify_seconds += time.perf_counter() - start
             if outcome.rule is not None:
@@ -289,7 +322,8 @@ def _verify_stage(
                     "learn.verdict", benchmark=benchmark,
                     digest=candidate.digest, line=candidate.pair.line,
                     source=source, calls=outcome.calls,
-                    cache_miss=source == "live" and cache is not None,
+                    cache_miss=source in ("live", "journal")
+                    and cache is not None,
                     result=result, reason=reason,
                 )
     return rules
@@ -301,20 +335,25 @@ def learn_rules(
     benchmark: str = "",
     direction: Direction = ARM_TO_X86,
     cache: VerificationCache | None = None,
+    budget: DeadlineBudget | None = None,
+    journal=None,
     _memo: dict[str, CandidateOutcome] | None = None,
 ) -> LearningOutcome:
     """Learn translation rules from one dual-compiled program.
 
     ``cache`` (optional) settles candidates verified in earlier runs;
-    ``_memo`` lets :func:`learn_corpus` share pre-verification dedup
-    across benchmarks.
+    ``budget`` bounds each candidate's verification cost (hangs become
+    ``TO`` outcomes); ``journal`` checkpoints verdicts incrementally so
+    a killed run can resume; ``_memo`` lets :func:`learn_corpus` share
+    pre-verification dedup across benchmarks.
     """
     start = time.perf_counter()
     report = LearningReport(benchmark=benchmark)
     pairs = _extract_stage(guest_program, host_program, direction, report)
     candidates = _paramize_stage(pairs, direction, report)
     memo = _memo if _memo is not None else {}
-    rules = _verify_stage(candidates, report, benchmark, cache, memo)
+    rules = _verify_stage(candidates, report, benchmark, cache, memo,
+                          budget=budget, journal=journal)
     rules = dedup_rules(rules)
     report.rules = len(rules)
     report.learn_seconds = time.perf_counter() - start
@@ -351,6 +390,8 @@ def finish_outcome(rules: list[Rule],
 def learn_corpus(
     builds: dict[str, tuple[CompiledProgram, CompiledProgram]],
     cache: VerificationCache | None = None,
+    budget: DeadlineBudget | None = None,
+    journal=None,
 ) -> dict[str, LearningOutcome]:
     """Learn rules independently from several benchmarks.
 
@@ -361,7 +402,7 @@ def learn_corpus(
     memo: dict[str, CandidateOutcome] = {}
     outcomes = {
         name: learn_rules(guest, host, benchmark=name, cache=cache,
-                          _memo=memo)
+                          budget=budget, journal=journal, _memo=memo)
         for name, (guest, host) in builds.items()
     }
     if cache is not None:
@@ -404,6 +445,10 @@ def _count_verify_failure(report: LearningReport,
         report.verify_mm += 1
     elif code == "Br":
         report.verify_br += 1
+    elif code == "TO":
+        report.verify_to += 1
+    elif code == "EC":
+        report.verify_ec += 1
     else:
         report.verify_other += 1
     return code

@@ -59,6 +59,24 @@ class RuleStore:
         self._max_length = max(self._max_length, rule.length)
         self._count += 1
 
+    def remove(self, rule: Rule) -> bool:
+        """Uninstall one rule (the engine's quarantine path).
+
+        Returns False when the rule is not installed.  ``_max_length``
+        is left as a (still sound) upper bound for ``match_at``.
+        """
+        bucket = self._buckets.get(rule.hash_key())
+        if not bucket:
+            return False
+        try:
+            bucket.remove(rule)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[rule.hash_key()]
+        self._count -= 1
+        return True
+
     def __len__(self) -> int:
         return self._count
 

@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro import ir
+from repro.faults import deadline as _deadline
 from repro.ir.expr import Expr
 from repro.ir.simplify import simplify
 from repro.learning.extract import SnippetPair
@@ -38,12 +39,21 @@ _BDD_BUDGET = 120_000
 
 
 class VerifyFailure(enum.Enum):
-    """Verification-step rejection causes (Table 1 columns)."""
+    """Verification-step rejection causes (Table 1 columns).
+
+    ``TIMEOUT`` and ``ENGINE_CRASH`` extend the paper's taxonomy with
+    the failure-dominated outcomes its Table 1 attributes to solver
+    timeouts and symbolic-execution engine crashes: a candidate whose
+    verification deadline fired, and a candidate whose resolving worker
+    process died (quarantined by the parallel scheduler's bisection).
+    """
 
     REGISTERS = "Rg"
     MEMORY = "Mm"
     BRANCH = "Br"
     OTHER = "Other"
+    TIMEOUT = "TO"
+    ENGINE_CRASH = "EC"
 
 
 @dataclass
@@ -54,6 +64,9 @@ class VerifyResult:
 
 
 def _exprs_equal(a: Expr, b: Expr) -> bool:
+    # One deterministic deadline step per solver-backed query: the unit
+    # the TO budget counts (see repro.faults.deadline).
+    _deadline.tick()
     if a.width != b.width:
         return False  # e.g. a byte store paired against a word store
     if simplify(a) == simplify(b):

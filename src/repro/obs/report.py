@@ -27,14 +27,14 @@ from repro.obs.trace import TraceRecord, read_trace
 
 PREP_REASONS = ("CI", "PI", "MB")
 PARAM_REASONS = ("Num", "Name", "FailG")
-VERIFY_REASONS = ("Rg", "Mm", "Br", "Other")
+VERIFY_REASONS = ("Rg", "Mm", "Br", "Other", "TO", "EC")
 
 #: count_signature field -> how it derives from per-event aggregation.
 _SIGNATURE_FIELDS = (
     "total_sequences", "prep_ci", "prep_pi", "prep_mb", "param_num",
     "param_name", "param_failg", "verify_rg", "verify_mm", "verify_br",
     "verify_other", "rules", "verify_calls", "dedup_saved_calls",
-    "cache_hits", "cache_misses",
+    "cache_hits", "cache_misses", "verify_to", "verify_ec",
 )
 
 
@@ -84,6 +84,8 @@ class LearningAggregate:
             "dedup_saved_calls": self.dedup_saved_calls,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "verify_to": self.verify_fail.get("TO", 0),
+            "verify_ec": self.verify_fail.get("EC", 0),
         }
 
     def count_signature(self) -> tuple:
@@ -107,8 +109,11 @@ class EngineAggregate:
     translation_cycles: float = 0.0
     hit_lengths: dict = field(default_factory=dict)   # length -> count
     miss_reasons: dict = field(default_factory=dict)  # reason -> count
-    #: addr -> [exec_count, exec_cycles, guest_len, covered], summed
-    #: over every run the trace saw.
+    #: addr -> [exec_count, exec_cycles, exec*guest_len, exec*covered],
+    #: summed over every run the trace saw.  Products are accumulated
+    #: per event (not recomputed from a single stored length) because a
+    #: guard retranslation can replace a block at the same address with
+    #: different coverage mid-run.
     blocks: dict = field(default_factory=dict)
     #: The DBTStats accounting path (the last dbt.run event).
     run_record: dict | None = None
@@ -120,11 +125,11 @@ class EngineAggregate:
 
     @property
     def dynamic_guest(self) -> int:
-        return sum(b[0] * b[2] for b in self.blocks.values())
+        return sum(b[2] for b in self.blocks.values())
 
     @property
     def dynamic_rule_guest(self) -> int:
-        return sum(b[0] * b[3] for b in self.blocks.values())
+        return sum(b[3] for b in self.blocks.values())
 
     @property
     def exec_cycles(self) -> float:
@@ -206,7 +211,10 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
             b.verdicts += 1
             source = fields["source"]
             calls = fields.get("calls", 0)
-            if source == "live":
+            if source in ("live", "journal"):
+                # Journal replays are resumed live work: counting them
+                # as live keeps a resumed run's signature identical to
+                # the uninterrupted run it completes.
                 b.verify_calls += calls
             elif source == "memo":
                 b.dedup_saved_calls += calls
@@ -239,12 +247,12 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
                     e.miss_reasons.get(reason, 0) + count
         elif name == "dbt.block":
             e = engine(fields)
-            entry = e.blocks.setdefault(
-                fields["addr"], [0, 0.0, fields.get("guest_len", 0),
-                                 fields.get("covered", 0)]
-            )
-            entry[0] += fields.get("exec_count", 0)
+            entry = e.blocks.setdefault(fields["addr"], [0, 0.0, 0, 0])
+            count = fields.get("exec_count", 0)
+            entry[0] += count
             entry[1] += fields.get("exec_cycles", 0.0)
+            entry[2] += count * fields.get("guest_len", 0)
+            entry[3] += count * fields.get("covered", 0)
         elif name == "dbt.run":
             e = engine(fields)
             e.mode = fields.get("mode", e.mode)

@@ -1,0 +1,51 @@
+"""Shared chaos fixtures: a small corpus, its clean ground truth, and
+digest classification helpers for deterministic fault targeting."""
+
+import pytest
+
+from repro.benchsuite import BENCHMARK_NAMES, build_learning_pair
+from repro.learning.cache import VerificationCache
+from repro.learning.pipeline import learn_corpus
+
+#: Three benchmarks keep the chaos suite fast while still exercising
+#: cross-benchmark dedup and multi-chunk pool scheduling.
+CHAOS_BENCHMARKS = BENCHMARK_NAMES[:3]
+
+
+@pytest.fixture(scope="session")
+def chaos_builds():
+    return {name: build_learning_pair(name) for name in CHAOS_BENCHMARKS}
+
+
+@pytest.fixture(scope="session")
+def clean_ground_truth(chaos_builds):
+    """The uninterrupted sequential run: outcomes plus the verdict
+    cache, whose digests chaos tests target for injection."""
+    cache = VerificationCache()
+    outcomes = learn_corpus(chaos_builds, cache=cache)
+    return outcomes, cache
+
+
+def failing_digests(cache: VerificationCache, count: int) -> list[str]:
+    """Digests of candidates that did NOT yield a rule in the clean
+    run.  Injecting crashes/hangs into these keeps the chaotic run's
+    rule set identical to the clean one (the failure is merely
+    reclassified as EC/TO), which is what the equivalence assertions
+    rely on."""
+    chosen = []
+    for digest in cache.digests():
+        outcome = cache.peek(digest)
+        if outcome is not None and outcome.rule is None:
+            chosen.append(digest)
+            if len(chosen) == count:
+                break
+    if len(chosen) < count:
+        pytest.skip(f"corpus has only {len(chosen)} failing candidates")
+    return chosen
+
+
+def rule_strings(outcomes) -> dict[str, list[str]]:
+    return {
+        name: [str(rule) for rule in outcome.rules]
+        for name, outcome in outcomes.items()
+    }

@@ -1,0 +1,105 @@
+"""Deadline mechanics and the TO (timeout) outcome."""
+
+import time
+
+import pytest
+
+from repro.faults.deadline import (
+    Deadline,
+    DeadlineBudget,
+    DeadlineExceeded,
+    active_deadline,
+    deadline_scope,
+    tick,
+)
+from repro.faults.plan import simulated_hang
+from repro.learning.canon import resolve_candidate
+from repro.learning.direction import ARM_TO_X86
+from repro.learning.pipeline import (
+    LearningReport,
+    _extract_stage,
+    _paramize_stage,
+)
+from repro.learning.verify import VerifyFailure
+
+from .conftest import CHAOS_BENCHMARKS
+
+
+class TestDeadline:
+    def test_step_budget_raises_after_max_steps(self):
+        deadline = DeadlineBudget(max_steps=3).start()
+        deadline.tick()
+        deadline.tick()
+        deadline.tick()
+        with pytest.raises(DeadlineExceeded):
+            deadline.tick()
+
+    def test_wall_clock_budget(self):
+        deadline = Deadline(DeadlineBudget(max_seconds=0.01))
+        time.sleep(0.02)
+        with pytest.raises(DeadlineExceeded):
+            deadline.tick()
+
+    def test_unbounded_budget(self):
+        assert not DeadlineBudget().bounded
+        assert DeadlineBudget(max_steps=1).bounded
+        assert DeadlineBudget(max_seconds=1.0).bounded
+
+    def test_module_tick_is_noop_without_active_deadline(self):
+        assert active_deadline() is None
+        tick()  # must not raise
+
+    def test_scope_installs_and_restores(self):
+        outer = Deadline(DeadlineBudget(max_steps=100))
+        inner = Deadline(DeadlineBudget(max_steps=5))
+        with deadline_scope(outer):
+            assert active_deadline() is outer
+            with deadline_scope(inner):
+                assert active_deadline() is inner
+            assert active_deadline() is outer
+        assert active_deadline() is None
+
+    def test_simulated_hang_without_deadline_fails_fast(self):
+        with pytest.raises(RuntimeError, match="no bounded deadline"):
+            simulated_hang()
+
+    def test_simulated_hang_exhausts_bounded_deadline(self):
+        with deadline_scope(Deadline(DeadlineBudget(max_steps=50))):
+            with pytest.raises(DeadlineExceeded):
+                simulated_hang()
+
+
+class TestTimeoutOutcome:
+    def test_zero_step_budget_times_out_real_candidates(self, chaos_builds):
+        guest, host = chaos_builds[CHAOS_BENCHMARKS[0]]
+        report = LearningReport(benchmark="t")
+        pairs = _extract_stage(guest, host, ARM_TO_X86, report)
+        candidates = _paramize_stage(pairs, ARM_TO_X86, report)
+        assert candidates
+        budget = DeadlineBudget(max_steps=0)
+        outcomes = [
+            resolve_candidate(c.context, c.mappings, budget=budget)
+            for c in candidates
+        ]
+        timeouts = [o for o in outcomes
+                    if o.failure is VerifyFailure.TIMEOUT]
+        # Any candidate whose verification consults the solver at all
+        # must time out under a zero budget.
+        assert timeouts
+        for outcome in timeouts:
+            assert outcome.rule is None
+
+    def test_generous_budget_changes_nothing(self, chaos_builds):
+        guest, host = chaos_builds[CHAOS_BENCHMARKS[0]]
+        report = LearningReport(benchmark="t")
+        pairs = _extract_stage(guest, host, ARM_TO_X86, report)
+        candidates = _paramize_stage(pairs, ARM_TO_X86, report)
+        budget = DeadlineBudget(max_steps=10_000_000)
+        for candidate in candidates[:5]:
+            bounded = resolve_candidate(candidate.context,
+                                        candidate.mappings, budget=budget)
+            unbounded = resolve_candidate(candidate.context,
+                                          candidate.mappings)
+            assert (bounded.rule is None) == (unbounded.rule is None)
+            assert bounded.failure == unbounded.failure
+            assert bounded.calls == unbounded.calls

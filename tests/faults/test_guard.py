@@ -1,0 +1,154 @@
+"""The differential execution guard: corrupt-rule quarantine and
+baseline-correct self-healing."""
+
+import pytest
+
+from repro.dbt.engine import DBTEngine, DBTError
+from repro.dbt.guard import GuardPolicy
+from repro.faults.plan import corrupt_rule
+from repro.learning import learn_rules
+from repro.learning.store import RuleStore
+from repro.minic import compile_source
+
+TRAINER = """
+int scratch[32];
+int work(int *p, int n, int bias) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) {
+    int v = p[i];
+    acc = acc + v - 1;
+    acc = acc ^ (v << 2);
+    if (acc > 10000) {
+      acc -= 10000;
+    }
+    p[i] = acc & 255;
+    i += 1;
+  }
+  return acc + bias;
+}
+int main(void) {
+  int i = 0;
+  while (i < 32) {
+    scratch[i] = i * 13 + 7;
+    i += 1;
+  }
+  return work(scratch, 32, 5);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def guest():
+    return compile_source(TRAINER, "arm", 2, "llvm")
+
+
+@pytest.fixture(scope="module")
+def learned_rules(guest):
+    host = compile_source(TRAINER, "x86", 2, "llvm")
+    outcome = learn_rules(guest, host, benchmark="trainer")
+    assert outcome.rules, "trainer must yield rules"
+    return outcome.rules
+
+
+@pytest.fixture(scope="module")
+def baseline(guest):
+    return DBTEngine(guest, "qemu").run().return_value
+
+
+class TestGuardPolicy:
+    def test_check_first(self):
+        policy = GuardPolicy(check_first=2)
+        assert policy.should_check(0)
+        assert policy.should_check(1)
+        assert not policy.should_check(2)
+        assert not policy.should_check(500)
+
+    def test_check_interval(self):
+        policy = GuardPolicy(check_first=1, check_interval=10)
+        assert policy.should_check(0)
+        assert not policy.should_check(5)
+        assert policy.should_check(9)   # the 10th dispatch
+        assert policy.should_check(19)
+
+    def test_guard_requires_rules_mode(self, guest):
+        with pytest.raises(DBTError, match="guard"):
+            DBTEngine(guest, "qemu", guard=GuardPolicy())
+
+
+class TestGuardCleanRules:
+    def test_verified_rules_pass_the_guard(self, guest, learned_rules,
+                                           baseline):
+        store = RuleStore.from_rules(learned_rules)
+        engine = DBTEngine(guest, "rules", store, guard=GuardPolicy())
+        result = engine.run()
+        assert result.return_value == baseline
+        assert engine.guard_stats.checks > 0
+        assert engine.guard_stats.divergences == 0
+        assert not engine.quarantined_rules
+        # The guard must not perturb the dynamic accounting.
+        unguarded = DBTEngine(
+            guest, "rules", RuleStore.from_rules(learned_rules)
+        ).run()
+        assert result.stats.count_fields() == unguarded.stats.count_fields()
+
+
+class TestGuardQuarantine:
+    def _corrupted_store(self, learned_rules):
+        """All learned rules, with one applied rule's host template
+        flipped (the injection the guard exists to catch)."""
+        for index, rule in enumerate(learned_rules):
+            try:
+                bad = corrupt_rule(rule)
+            except ValueError:
+                continue
+            rules = list(learned_rules)
+            rules[index] = bad
+            return RuleStore.from_rules(rules), bad
+        pytest.skip("no corruptible rule learned")
+
+    def test_corrupt_rule_is_quarantined_and_result_is_baseline(
+            self, guest, learned_rules, baseline):
+        store, bad = self._corrupted_store(learned_rules)
+        engine = DBTEngine(guest, "rules", store, guard=GuardPolicy())
+        result = engine.run()
+        assert result.return_value == baseline
+        if bad in engine.quarantined_rules:
+            # The corrupted rule was actually applied somewhere; the
+            # guard must have caught and removed it.
+            assert engine.guard_stats.divergences >= 1
+            assert engine.guard_stats.retranslations >= 1
+            assert store.remove(bad) is False  # already uninstalled
+        else:
+            # The corruption kept the rule from matching any block:
+            # nothing to catch, nothing quarantined.
+            assert engine.guard_stats.divergences == 0
+
+    def test_without_guard_corrupt_rule_changes_behaviour(
+            self, guest, learned_rules, baseline):
+        """The failure mode the guard defends against is real: the same
+        corrupted store, unguarded, miscomputes (when the bad rule is
+        exercised)."""
+        store, bad = self._corrupted_store(learned_rules)
+        unguarded = DBTEngine(guest, "rules", store).run()
+        guarded_store, _ = self._corrupted_store(learned_rules)
+        engine = DBTEngine(guest, "rules", guarded_store,
+                           guard=GuardPolicy())
+        guarded = engine.run()
+        assert guarded.return_value == baseline
+        if unguarded.return_value != baseline:
+            # Corruption was live: only the guard restored correctness.
+            assert engine.guard_stats.divergences >= 1
+
+    def test_quarantine_survives_across_runs(self, guest, learned_rules,
+                                             baseline):
+        store, bad = self._corrupted_store(learned_rules)
+        engine = DBTEngine(guest, "rules", store, guard=GuardPolicy())
+        first = engine.run()
+        divergences = engine.guard_stats.divergences
+        second = engine.run()
+        assert first.return_value == baseline
+        assert second.return_value == baseline
+        # The rule is gone from the store, its blocks retranslated:
+        # the second run must not re-diverge.
+        assert engine.guard_stats.divergences == divergences

@@ -91,6 +91,11 @@ class TestInvalidation:
         path.write_text("{ not json")
         cache = VerificationCache(path)
         assert len(cache) == 0
+        # The corrupt document is quarantined aside, not destroyed.
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.read_text() == "{ not json"
         cache.put("k", CandidateOutcome(failure=VerifyFailure.OTHER, calls=1))
         cache.save()
         assert len(VerificationCache(path)) == 1
