@@ -16,6 +16,12 @@ python -m pytest -x -q
 # baseline result.
 python scripts/chaos_gate.py
 
+# Service gate: a real repro-serve process plus two concurrent DBT
+# clients over a unix socket must complete the gap -> learn ->
+# hot-install cycle with online coverage within 1% of offline
+# learning, and the trace must reconcile.
+python scripts/service_gate.py
+
 # Observability must stay free when off: bound the disabled-tracer
 # cost against sequential learning wall-clock (<= 2%).
 python -m pytest benchmarks/test_learning_throughput.py::test_disabled_tracer_overhead \

@@ -135,6 +135,7 @@ class DBTEngine:
         rule_store: RuleStore | None = None,
         fast: bool = True,
         guard: GuardPolicy | None = None,
+        gap_sink=None,
     ) -> None:
         if mode not in MODES:
             raise DBTError(f"unknown mode {mode!r}")
@@ -159,6 +160,12 @@ class DBTEngine:
         self.fast = fast
         self.guard = guard
         self.guard_stats = GuardStats()
+        #: Translation-gap capture hook: called with the uncovered
+        #: guest suffix at every rule-table miss (rules mode only).
+        self.gap_sink = gap_sink
+        #: Per-dispatch hook ``tick(engine)``; the rule-service client
+        #: installs one to report gaps / pull deltas mid-run.
+        self.tick = None
         #: Rules the guard caught diverging from the TCG reference.
         self.quarantined_rules: set = set()
         self.engine_id = next(_ENGINE_IDS)
@@ -222,7 +229,8 @@ class DBTEngine:
         miss_reasons: dict[str, int] = {}
         if self.mode == "rules":
             result = translate_block_with_rules(
-                self.program, start_index, self.rule_store
+                self.program, start_index, self.rule_store,
+                gap_sink=self.gap_sink,
             )
             tb = TranslatedBlock(guest_addr, result.host_instrs)
             tb.guest_length = len(result.guest_instrs)
@@ -338,6 +346,8 @@ class DBTEngine:
                 if executed_blocks >= block_limit:
                     raise DBTError("block limit exceeded")
                 executed_blocks += 1
+                if self.tick is not None:
+                    self.tick(self)
                 tb = self.translate(guest_pc)
                 if (
                     self.guard is not None
@@ -538,23 +548,98 @@ class DBTEngine:
         self._ref_cache[guest_addr] = reference
         return reference
 
-    def _invalidate_rule_blocks(self, rules: set) -> int:
-        """Drop every cached block translated with any of ``rules``.
+    def _retire_blocks(self, doomed: list[int]) -> int:
+        """Drop cached blocks by guest address (shared by the guard's
+        quarantine path and hot-install).
 
         Blocks that already executed this run are retired, not
         forgotten: their dynamic counters still belong to the run."""
-        doomed = [
-            addr for addr, tb in self._cache.items()
-            if any(rule in rules for rule, _ in tb.hit_rules)
-        ]
         for addr in doomed:
             tb = self._cache.pop(addr)
             self._cycles_cache.pop(addr, None)
             self._steps_cache.pop(addr, None)
             if tb.exec_count:
                 self._retired_blocks.append(tb)
+        return len(doomed)
+
+    def _invalidate_rule_blocks(self, rules: set) -> int:
+        """Drop every cached block translated with any of ``rules``."""
+        doomed = [
+            addr for addr, tb in self._cache.items()
+            if any(rule in rules for rule, _ in tb.hit_rules)
+        ]
+        self._retire_blocks(doomed)
         self.guard_stats.blocks_invalidated += len(doomed)
         return len(doomed)
+
+    # -- hot install ---------------------------------------------------------
+
+    def hot_install(self, rules, source: str = "direct") -> tuple[int, int]:
+        """Install freshly served rules into the live store mid-run.
+
+        Exact duplicates are skipped by the store's idempotent
+        :meth:`~repro.learning.store.RuleStore.install`, and rules the
+        guard has quarantined this engine's lifetime are never
+        re-admitted.  Cached blocks whose uncovered guest instructions
+        contain a newly installed rule's mnemonic window are
+        invalidated (through the same retire machinery the guard uses)
+        so their next dispatch retranslates with the new rules.
+
+        Returns ``(installed, invalidated)`` counts.
+        """
+        if self.mode != "rules":
+            raise DBTError(
+                f"hot-install needs a rules-mode engine, not {self.mode!r}"
+            )
+        offered = list(rules)
+        fresh = [
+            rule for rule in offered if rule not in self.quarantined_rules
+        ]
+        installed = self.rule_store.install(fresh)
+        invalidated = 0
+        if installed:
+            windows = {
+                tuple(i.mnemonic for i in rule.guest) for rule in installed
+            }
+            doomed = [
+                addr for addr, tb in self._cache.items()
+                if not all(tb.rule_covered)
+                and self._block_matches_windows(addr, windows)
+            ]
+            invalidated = self._retire_blocks(doomed)
+        metrics = get_metrics()
+        metrics.inc("dbt.hot_install.offered", len(offered))
+        metrics.inc("dbt.hot_install.rules", len(installed))
+        metrics.inc("dbt.hot_install.blocks_invalidated", invalidated)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "dbt.hot_install",
+                engine=self.engine_id,
+                source=source,
+                offered=len(offered),
+                installed=len(installed),
+                invalidated=invalidated,
+            )
+        return len(installed), invalidated
+
+    def _block_matches_windows(self, guest_addr: int,
+                               windows: set[tuple]) -> bool:
+        """Could any mnemonic window cover part of this cached block?"""
+        from repro.dbt.frontend import discover_block
+
+        block = discover_block(
+            self.program, self.program.index_of_addr(guest_addr)
+        )
+        mnemonics = tuple(instr.mnemonic for instr in block)
+        for window in windows:
+            span = len(window)
+            if span > len(mnemonics):
+                continue
+            for start in range(len(mnemonics) - span + 1):
+                if mnemonics[start : start + span] == window:
+                    return True
+        return False
 
     def _finalize_run(self) -> None:
         """Derive the run's guest-side dynamic counters, publish it as

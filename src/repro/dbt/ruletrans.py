@@ -42,6 +42,11 @@ MISS_REASONS = (
     MISS_NO_MATCH, MISS_FLAGS_LIVE, MISS_BINDING, MISS_APPLY_ERROR,
 )
 
+#: Longest guest suffix a translation-gap report captures per miss;
+#: matches the longest rules the learner produces, so a gap window is
+#: exactly the context an online learner needs to close it.
+MAX_GAP_LENGTH = 8
+
 
 @dataclass
 class BlockTranslation:
@@ -176,8 +181,15 @@ def translate_block_with_rules(
     program: CompiledProgram,
     start_index: int,
     store: RuleStore | None,
+    gap_sink=None,
 ) -> BlockTranslation:
-    """Translate one guest block, using rules where they match."""
+    """Translate one guest block, using rules where they match.
+
+    ``gap_sink`` (optional) is called with the guest-instruction suffix
+    (capped at :data:`MAX_GAP_LENGTH`) at every position the rule table
+    failed to cover — the translation-gap capture hook the rule-service
+    client uses to drive online learning.
+    """
     from repro.obs.trace import get_tracer
 
     block = discover_block(program, start_index)
@@ -233,6 +245,8 @@ def translate_block_with_rules(
                 continue
         if reason is not None:
             miss_reasons[reason] = miss_reasons.get(reason, 0) + 1
+            if gap_sink is not None:
+                gap_sink(block[i : i + MAX_GAP_LENGTH])
             if tracer.enabled:
                 tracer.event(
                     "dbt.rule.miss", addr=guest_addr + 4 * i,

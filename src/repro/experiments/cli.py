@@ -29,6 +29,7 @@ from repro.experiments import fig6, fig8, fig9, fig10, fig11, fig12, table1
 from repro.experiments.common import shared_context
 from repro.learning.cache import VerificationCache
 from repro.learning.cli import ECONOMY_PREFIXES, record_cache_metrics
+from repro.learning.serialize import dump_rules, load_rules
 from repro.obs.metrics import format_metrics, get_metrics, set_metrics
 from repro.obs.trace import tracing
 
@@ -75,6 +76,20 @@ def main(argv: list[str] | None = None) -> int:
              "baseline, and diverging rules are quarantined at runtime",
     )
     parser.add_argument(
+        "--rules", metavar="PATH",
+        help="install pre-learned rules from this JSON repository "
+             "(see --export-rules) instead of learning inline; "
+             "leave-one-out still applies via each rule's origin. "
+             "Experiments that measure learning itself (table1, fig6) "
+             "still learn.",
+    )
+    parser.add_argument(
+        "--export-rules", metavar="PATH",
+        help="after running, write every learned rule (with origins) "
+             "to this JSON file for later --rules runs or repro-serve "
+             "seeding",
+    )
+    parser.add_argument(
         "--trace", metavar="PATH",
         help="write a structured JSON-lines trace of learning + DBT "
              "execution here (inspect with `python -m repro.obs.report`)",
@@ -93,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         context.cache = VerificationCache.at_dir(args.cache_dir)
     if args.guard:
         context.guard = GuardPolicy()
+    if args.rules:
+        with open(args.rules) as fp:
+            context.preloaded_rules = load_rules(fp)
+        print(f"installed {len(context.preloaded_rules)} pre-learned "
+              f"rule(s) from {args.rules}", file=sys.stderr)
 
     names = list(EXPERIMENTS) if "all" in args.experiments else \
         args.experiments
@@ -106,6 +126,19 @@ def main(argv: list[str] | None = None) -> int:
             print(module.render(result))
             print(f"[{name} regenerated in "
                   f"{time.perf_counter() - start:.1f}s]\n")
+    if args.export_rules:
+        outcomes = context.all_learning()
+        # Keep one copy per (rule, origin) — NOT deduped across
+        # benchmarks: a rule learned from several benchmarks must
+        # survive leave-one-out exclusion of any single one of them.
+        exported = [
+            rule for outcome in outcomes.values()
+            for rule in outcome.rules
+        ]
+        with open(args.export_rules, "w") as fp:
+            dump_rules(exported, fp)
+        print(f"exported {len(exported)} rule(s) to {args.export_rules}",
+              file=sys.stderr)
     if context.cache is not None:
         context.cache.save()
     record_cache_metrics(context.cache)

@@ -47,6 +47,10 @@ class ExperimentContext:
     cache: VerificationCache | None = None
     #: Differential execution guard for rules-mode runs (None = off).
     guard: GuardPolicy | None = None
+    #: Pre-learned rules (``repro-experiments --rules``).  When set,
+    #: rule stores come from here instead of inline learning; the
+    #: leave-one-out protocol still applies via each rule's ``origin``.
+    preloaded_rules: list | None = None
     _builds: dict = field(default_factory=dict)
     _learning: dict = field(default_factory=dict)
     _runs: dict = field(default_factory=dict)
@@ -108,11 +112,23 @@ class ExperimentContext:
         }
 
     def rule_store_excluding(self, excluded: str) -> RuleStore:
-        """Leave-one-out store, the paper's evaluation protocol."""
+        """Leave-one-out store, the paper's evaluation protocol.
+
+        With preloaded rules, leave-one-out filters on the ``origin``
+        each rule was serialized with — no learning runs at all.
+        """
         store = self._stores.get(excluded)
         if store is None:
-            outcomes = self.all_learning()
-            store = RuleStore.from_rules(leave_one_out(outcomes, excluded))
+            if self.preloaded_rules is not None:
+                store = RuleStore.from_rules([
+                    rule for rule in self.preloaded_rules
+                    if rule.origin != excluded
+                ])
+            else:
+                outcomes = self.all_learning()
+                store = RuleStore.from_rules(
+                    leave_one_out(outcomes, excluded)
+                )
             self._stores[excluded] = store
         return store
 

@@ -47,7 +47,15 @@ class RuleStore:
         """Direction of the installed rules (None while empty)."""
         return self._direction
 
-    def insert(self, rule: Rule) -> None:
+    def insert(self, rule: Rule) -> bool:
+        """Install one rule; returns False for an exact duplicate.
+
+        The duplicate guard makes repeated installs idempotent: a rule
+        equal to one already in its bucket (rule equality ignores
+        origin/line provenance) is silently skipped, so hot-installing
+        the same bundle twice can neither bloat buckets nor skew
+        static-coverage statistics.
+        """
         if self._direction is None:
             self._direction = rule.direction
         elif rule.direction != self._direction:
@@ -55,9 +63,21 @@ class RuleStore:
                 f"rule store is {self._direction}; cannot insert a "
                 f"{rule.direction} rule"
             )
-        self._buckets.setdefault(rule.hash_key(), []).append(rule)
+        bucket = self._buckets.setdefault(rule.hash_key(), [])
+        if rule in bucket:
+            return False
+        bucket.append(rule)
         self._max_length = max(self._max_length, rule.length)
         self._count += 1
+        return True
+
+    def install(self, rules) -> list[Rule]:
+        """Idempotently insert ``rules``; returns those actually new.
+
+        The hot-install entry point: exact duplicates (e.g. a re-synced
+        bundle) are skipped via the :meth:`insert` guard.
+        """
+        return [rule for rule in rules if self.insert(rule)]
 
     def remove(self, rule: Rule) -> bool:
         """Uninstall one rule (the engine's quarantine path).

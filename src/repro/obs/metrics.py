@@ -19,22 +19,32 @@ everywhere.
 
 from __future__ import annotations
 
+import threading
+
 
 class MetricsRegistry:
-    """Process-local named counters and histograms."""
+    """Process-local named counters and histograms.
+
+    Updates are guarded by a lock: rule-service deployments record
+    from several threads (concurrent sync clients, the server's
+    learning executor), and ``dict.get``-then-store is not atomic.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, dict] = {}
+        self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
 
     def inc(self, name: str, amount: float = 1) -> None:
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def observe(self, name: str, value, count: int = 1) -> None:
-        bucket = self._histograms.setdefault(name, {})
-        bucket[value] = bucket.get(value, 0) + count
+        with self._lock:
+            bucket = self._histograms.setdefault(name, {})
+            bucket[value] = bucket.get(value, 0) + count
 
     # -- reading -------------------------------------------------------------
 

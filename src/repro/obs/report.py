@@ -9,11 +9,15 @@ prints:
 * per-engine DBT summaries — rule coverage (Figure 11's S_p/D_p), the
   rule-hit length distribution (Figure 12), rule-miss reasons ranked,
   and the top-N hottest blocks by attributed execution cycles;
+* rule-service activity (gap reports, bundle publishes, syncs and
+  hot-installs) when the trace covers a ``repro-serve`` deployment;
 * a reconciliation section cross-checking the per-event aggregates
   against the ``LearningReport`` (``learn.report`` records) and
   ``DBTStats`` (``dbt.run`` records) accounting paths embedded in the
-  same trace.  The two paths are computed independently, so agreement
-  validates both; any discrepancy fails the CLI with exit code 1.
+  same trace — plus, for service traces, the client's claimed sync
+  installs against the engines' ``dbt.hot_install`` events.  The paths
+  are computed independently, so agreement validates both; any
+  discrepancy fails the CLI with exit code 1.
 """
 
 from __future__ import annotations
@@ -162,9 +166,38 @@ class EngineAggregate:
 
 
 @dataclass
+class ServiceAggregate:
+    """Rule-service activity re-derived from service.* / hot-install
+    events (PR 4's gap-driven online learning loop)."""
+
+    gap_reports: int = 0
+    gaps_uploaded: int = 0
+    gaps_new: int = 0
+    publishes: int = 0
+    publish_rules: int = 0
+    publish_candidates: int = 0
+    publish_verify_calls: int = 0
+    last_generation: int = 0
+    syncs: int = 0
+    cold_syncs: int = 0
+    sync_bundles: int = 0
+    sync_rules_fetched: int = 0
+    sync_rules_installed: int = 0
+    sync_blocks_invalidated: int = 0
+    #: source -> [events, installed, invalidated] from dbt.hot_install.
+    hot_installs: dict = field(default_factory=dict)
+
+    @property
+    def active(self) -> bool:
+        return bool(self.gap_reports or self.publishes or self.syncs
+                    or self.hot_installs)
+
+
+@dataclass
 class TraceAggregate:
     learning: dict[str, LearningAggregate] = field(default_factory=dict)
     engines: dict[int, EngineAggregate] = field(default_factory=dict)
+    service: ServiceAggregate = field(default_factory=ServiceAggregate)
     #: (span name, benchmark) -> summed seconds
     spans: dict = field(default_factory=dict)
     records: int = 0
@@ -258,6 +291,41 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
             e.mode = fields.get("mode", e.mode)
             e.run_record = fields
             e.runs += 1
+        elif name == "dbt.hot_install":
+            s = agg.service
+            entry = s.hot_installs.setdefault(
+                fields.get("source", "direct"), [0, 0, 0]
+            )
+            entry[0] += 1
+            entry[1] += fields.get("installed", 0)
+            entry[2] += fields.get("invalidated", 0)
+        elif name == "service.gap_report":
+            s = agg.service
+            s.gap_reports += 1
+            s.gaps_uploaded += fields.get("gaps", 0)
+            s.gaps_new += fields.get("new", 0)
+        elif name == "service.publish":
+            s = agg.service
+            s.publishes += 1
+            s.publish_rules += fields.get("rules", 0)
+            s.publish_candidates += fields.get("candidates", 0)
+            s.publish_verify_calls += fields.get("verify_calls", 0)
+            s.last_generation = max(
+                s.last_generation, fields.get("generation", 0)
+            )
+        elif name == "service.sync_result":
+            s = agg.service
+            s.syncs += 1
+            if fields.get("cold"):
+                s.cold_syncs += 1
+            s.sync_bundles += fields.get("bundles", 0)
+            s.sync_rules_fetched += fields.get("rules_fetched", 0)
+            s.sync_rules_installed += fields.get("rules_installed", 0)
+            s.sync_blocks_invalidated += \
+                fields.get("blocks_invalidated", 0)
+            s.last_generation = max(
+                s.last_generation, fields.get("generation", 0)
+            )
     return agg
 
 
@@ -324,8 +392,42 @@ def reconcile_dbt(agg: TraceAggregate,
     return problems
 
 
+def reconcile_service(agg: TraceAggregate) -> list[str]:
+    """Cross-check the client path (``service.sync_result`` spans'
+    install totals) against the engine path (``dbt.hot_install``
+    events with ``source="sync"``).  The two are emitted by different
+    layers — the service client and the DBT engine — so agreement
+    means every rule a sync claimed to deliver actually landed in a
+    live store, and vice versa."""
+    s = agg.service
+    if not s.active:
+        return []
+    problems = []
+    events, installed, invalidated = \
+        s.hot_installs.get("sync", [0, 0, 0])
+    if s.sync_rules_installed != installed:
+        problems.append(
+            f"service: sync_result rules_installed "
+            f"{s.sync_rules_installed} != hot_install(source=sync) "
+            f"installed {installed}"
+        )
+    if s.sync_blocks_invalidated != invalidated:
+        problems.append(
+            f"service: sync_result blocks_invalidated "
+            f"{s.sync_blocks_invalidated} != hot_install(source=sync) "
+            f"invalidated {invalidated}"
+        )
+    if s.sync_bundles < events:
+        problems.append(
+            f"service: {events} sync hot-installs but only "
+            f"{s.sync_bundles} bundles installed by sync_results"
+        )
+    return problems
+
+
 def reconcile(agg: TraceAggregate) -> list[str]:
-    return reconcile_learning(agg) + reconcile_dbt(agg)
+    return (reconcile_learning(agg) + reconcile_dbt(agg)
+            + reconcile_service(agg))
 
 
 # -- figure derivations --------------------------------------------------------
@@ -442,6 +544,36 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
                     f"x{count:<8d} {share:6.1%}"
                 )
 
+    if agg.service.active:
+        s = agg.service
+        lines.append("")
+        lines.append("== rule service ==")
+        lines.append(
+            f"gap reports: {s.gap_reports} "
+            f"({s.gaps_uploaded} gaps uploaded, {s.gaps_new} new)"
+        )
+        lines.append(
+            f"publishes: {s.publishes} bundle(s), "
+            f"{s.publish_rules} rule(s) from "
+            f"{s.publish_candidates} candidate(s) "
+            f"({s.publish_verify_calls} verify calls); "
+            f"generation {s.last_generation}"
+        )
+        lines.append(
+            f"syncs: {s.syncs} ({s.cold_syncs} cold), "
+            f"{s.sync_bundles} bundle(s), "
+            f"{s.sync_rules_installed}/{s.sync_rules_fetched} "
+            f"rules installed/fetched, "
+            f"{s.sync_blocks_invalidated} block(s) invalidated"
+        )
+        for source, (events, installed, invalidated) in \
+                sorted(s.hot_installs.items()):
+            lines.append(
+                f"hot-installs [{source}]: {events} event(s), "
+                f"{installed} rule(s), {invalidated} block(s) "
+                f"invalidated"
+            )
+
     lines.append("")
     problems = reconcile(agg)
     if problems:
@@ -456,6 +588,8 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
             )
         if agg.engines:
             checked.append(f"{len(agg.engines)} engine(s) vs DBTStats")
+        if agg.service.active:
+            checked.append("service syncs vs hot-installs")
         lines.append(
             "reconciliation: OK ("
             + (", ".join(checked) if checked else "nothing to check")

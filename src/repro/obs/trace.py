@@ -15,8 +15,10 @@ carry no wall-clock meaning.  ``kind`` is one of ``event`` (a point
 record), ``begin``/``end`` (a span; the ``end`` record repeats the
 ``begin`` fields and adds ``seconds``).  Spans need no ids: the report
 layer aggregates by ``name`` plus discriminating fields (benchmark,
-engine), and spans from this single-threaded codebase never interleave
-within one discriminator.
+engine), and spans never interleave within one discriminator.  Record
+emission is line-atomic (one lock per write), so concurrent threads —
+rule-service sync clients, the server's learning executor — can share
+one tracer without tearing lines.
 
 The process-global tracer defaults to :data:`NULL_TRACER`, whose
 ``enabled`` attribute is ``False``; every instrumentation site guards
@@ -27,6 +29,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -127,6 +130,10 @@ class Tracer(NullTracer):
     def __init__(self, sink: IO[str]) -> None:
         self._sink = sink
         self._t0 = time.perf_counter()
+        # Rule-service deployments trace from several threads at once
+        # (concurrent sync clients, the server's learning executor);
+        # the lock keeps each JSON line intact.
+        self._lock = threading.Lock()
         self.records_written = 0
 
     def _emit(self, kind: str, name: str, fields: dict) -> None:
@@ -134,8 +141,10 @@ class Tracer(NullTracer):
             ts=time.perf_counter() - self._t0,
             kind=kind, name=name, fields=fields,
         )
-        self._sink.write(encode_line(record) + "\n")
-        self.records_written += 1
+        line = encode_line(record) + "\n"
+        with self._lock:
+            self._sink.write(line)
+            self.records_written += 1
 
     def event(self, name: str, **fields) -> None:
         self._emit("event", name, fields)

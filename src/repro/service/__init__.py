@@ -1,0 +1,55 @@
+"""The rule service: a shared rule repository served to DBT clients.
+
+The paper learns rules offline and installs them once; its follow-up
+(Jiang et al., 2024) shows the real win is a *shared, continuously
+grown* rule corpus deployed across many translator instances.  This
+package provides that subsystem:
+
+* :mod:`repro.service.repo` — content-addressed on-disk rule
+  repository: immutable bundles keyed by direction + semantics
+  version, a signed manifest, delta sync;
+* :mod:`repro.service.protocol` — the length-prefixed JSON wire
+  format shared by server and client;
+* :mod:`repro.service.gaps` — canonicalized translation-gap capture
+  (client side) and aggregation (server side);
+* :mod:`repro.service.learner` — gap-driven online learning: corpus
+  candidates are staged once, and observed coverage gaps select which
+  of them pay for verification;
+* :mod:`repro.service.server` — the asyncio rule server
+  (``repro-serve``): serves manifests/bundles, accepts batched gap
+  reports, schedules learning, publishes new bundles;
+* :mod:`repro.service.client` — the DBT-side client: cold/delta sync,
+  gap upload, and hot-install into a live engine.
+"""
+
+import importlib
+
+#: Public name -> defining submodule.  Resolved lazily so that
+#: ``python -m repro.service.server`` does not import the server module
+#: twice (once as a package attribute, once as ``__main__``).
+_EXPORTS = {
+    "BundleError": "repro.service.repo",
+    "GapAggregator": "repro.service.gaps",
+    "GapRecorder": "repro.service.gaps",
+    "OnlineLearner": "repro.service.learner",
+    "RuleRepository": "repro.service.repo",
+    "RuleService": "repro.service.server",
+    "RuleServiceClient": "repro.service.client",
+    "SyncResult": "repro.service.client",
+    "canonical_gap": "repro.service.gaps",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,253 @@
+"""The DBT-side rule-service client: sync, gap upload, hot-install.
+
+A :class:`RuleServiceClient` talks the length-prefixed JSON protocol
+over a unix socket or TCP.  Its lifecycle against a live engine:
+
+* **cold start** — :meth:`sync` with ``generation == 0`` fetches the
+  manifest, verifies its signature when the client holds the shared
+  repository key, and installs every compatible bundle;
+* **gap reporting** — a :class:`~repro.service.gaps.GapRecorder`
+  installed as the engine's ``gap_sink`` canonicalizes rule-table
+  misses; :meth:`report_gaps` uploads the drained batch;
+* **delta sync** — subsequent :meth:`sync` calls ask only for bundles
+  newer than the client's generation and hot-install them into the
+  engine (``engine.hot_install``), which invalidates and lazily
+  retranslates affected cached blocks;
+* **mid-run autosync** — :meth:`attach` wires the recorder plus a
+  dispatch-loop ``tick`` that periodically reports gaps and pulls
+  deltas *while the guest is running*.
+
+Bundle compatibility: a bundle is installed only when its direction
+matches and its semantics version equals the client's
+:data:`~repro.learning.cache.SEMANTICS_VERSION` — the same staleness
+rule the verification cache enforces on verdicts.  Every bundle body
+is verified against its content digest before any rule is decoded.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+
+from repro.learning.cache import SEMANTICS_VERSION
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.service.gaps import GapRecorder
+from repro.service.protocol import ProtocolError, recv_message, send_message
+from repro.service.repo import BundleError, verify_bundle, verify_manifest
+
+
+class ServiceError(ConnectionError):
+    """The server answered with an error envelope."""
+
+
+@dataclass
+class SyncResult:
+    """Summary of one :meth:`RuleServiceClient.sync`."""
+
+    cold: bool = False
+    generation: int = 0
+    bundles: int = 0
+    rules_fetched: int = 0
+    rules_installed: int = 0
+    blocks_invalidated: int = 0
+    skipped_incompatible: int = 0
+    digests: list[str] = field(default_factory=list)
+
+
+class RuleServiceClient:
+    """One connection to a rule server, plus client-side sync state."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        address: tuple[str, int] | None = None,
+        direction: str = "arm-x86",
+        semantics_version: int = SEMANTICS_VERSION,
+        manifest_key: bytes | None = None,
+        timeout: float | None = 30.0,
+    ) -> None:
+        if (socket_path is None) == (address is None):
+            raise ValueError("pass exactly one of socket_path / address")
+        self.direction = direction
+        self.semantics_version = semantics_version
+        self.manifest_key = manifest_key
+        #: Last manifest generation this client synced to.
+        self.generation = 0
+        #: Content digests already installed (idempotence guard).
+        self.installed_digests: set[str] = set()
+        self.recorder = GapRecorder(direction)
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        else:
+            self._sock = socket.create_connection(address, timeout=timeout)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def request(self, op: str, **fields) -> dict:
+        message = {"op": op}
+        message.update(fields)
+        send_message(self._sock, message)
+        response = recv_message(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown error"))
+        return response
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "RuleServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def manifest(self) -> dict:
+        """The server's manifest payload (signature-verified when the
+        client holds the repository key)."""
+        manifest = self.request("manifest")["manifest"]
+        if self.manifest_key is not None:
+            return verify_manifest(manifest, self.manifest_key)
+        payload = manifest.get("payload")
+        if not isinstance(payload, dict):
+            raise BundleError("manifest carries no payload")
+        return payload
+
+    def fetch_rules(self, digest: str) -> list:
+        """One bundle's rules, verified against the content digest."""
+        response = self.request("bundle", digest=digest)
+        return verify_bundle(response["bundle"], digest)
+
+    def report_gaps(self) -> int:
+        """Upload the recorder's drained batch; returns gaps sent."""
+        report = self.recorder.drain()
+        if not report:
+            return 0
+        response = self.request("report_gaps", gaps=report)
+        metrics = get_metrics()
+        metrics.inc("service.client.gap_reports")
+        metrics.inc("service.client.gaps_reported", len(report))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "service.gap_report",
+                gaps=len(report),
+                new=response.get("new", 0),
+            )
+        return len(report)
+
+    def flush(self) -> dict:
+        """Ask the server to run a learning round now."""
+        return self.request("flush")
+
+    # -- sync + hot-install --------------------------------------------------
+
+    def _compatible(self, entry: dict) -> bool:
+        return (
+            entry.get("direction") == self.direction
+            and entry.get("semantics") == self.semantics_version
+        )
+
+    def sync(self, engine) -> SyncResult:
+        """Pull new bundles and hot-install them into ``engine``.
+
+        Cold start (generation 0) walks the full signed manifest;
+        afterwards only the delta since the last synced generation
+        moves over the wire.  Rules install through
+        ``engine.hot_install``, so affected translated blocks are
+        invalidated and retranslate lazily.
+        """
+        result = SyncResult(cold=self.generation == 0)
+        tracer = get_tracer()
+        with tracer.span("service.sync", cold=result.cold,
+                         since=self.generation):
+            if result.cold:
+                payload = self.manifest()
+                generation = payload["generation"]
+                entries = payload["bundles"]
+            else:
+                response = self.request("delta", since=self.generation)
+                generation = response["generation"]
+                entries = response["entries"]
+            installed = invalidated = fetched = 0
+            for entry in entries:
+                digest = entry.get("digest", "")
+                if digest in self.installed_digests:
+                    continue
+                if not self._compatible(entry):
+                    result.skipped_incompatible += 1
+                    continue
+                rules = self.fetch_rules(digest)
+                fetched += len(rules)
+                new_rules, newly_invalid = engine.hot_install(
+                    rules, source="sync"
+                )
+                installed += new_rules
+                invalidated += newly_invalid
+                self.installed_digests.add(digest)
+                result.bundles += 1
+                result.digests.append(digest)
+            self.generation = max(self.generation, generation)
+            result.generation = self.generation
+            result.rules_fetched = fetched
+            result.rules_installed = installed
+            result.blocks_invalidated = invalidated
+        metrics = get_metrics()
+        metrics.inc("service.client.syncs")
+        metrics.inc("service.client.bundles_installed", result.bundles)
+        metrics.inc("service.client.rules_installed",
+                    result.rules_installed)
+        if tracer.enabled:
+            tracer.event(
+                "service.sync_result",
+                cold=result.cold,
+                generation=result.generation,
+                bundles=result.bundles,
+                rules_fetched=result.rules_fetched,
+                rules_installed=result.rules_installed,
+                blocks_invalidated=result.blocks_invalidated,
+            )
+        return result
+
+    # -- live-engine wiring --------------------------------------------------
+
+    def attach(self, engine, every: int = 256,
+               flush: bool = False) -> None:
+        """Wire this client into a live engine.
+
+        Installs the gap recorder as the engine's ``gap_sink`` and a
+        dispatch-loop ``tick`` that, every ``every`` dispatches,
+        uploads pending gaps and pulls + hot-installs any new bundles —
+        the mid-run online-learning loop.  ``flush=True`` additionally
+        asks the server to learn synchronously each tick (deterministic
+        single-client runs; fleets rely on the server's own scheduler).
+        """
+        engine.gap_sink = self.recorder
+        counter = {"dispatches": 0}
+
+        def tick(eng) -> None:
+            counter["dispatches"] += 1
+            if counter["dispatches"] % every:
+                return
+            reported = self.report_gaps()
+            if reported and flush:
+                self.flush()
+            self.sync(eng)
+
+        engine.tick = tick
+
+    def detach(self, engine) -> None:
+        engine.gap_sink = None
+        engine.tick = None

@@ -1,0 +1,163 @@
+"""Translation-gap capture, canonicalization, and aggregation.
+
+A *gap* is a guest-instruction window the rule table failed to cover at
+translation time.  The client records gaps through a
+:class:`GapRecorder` installed as the engine's ``gap_sink``; each gap
+is canonicalized with the same normalization the learning pipeline
+uses (:func:`repro.learning.canon.snippet_text`) and keyed by a stable
+digest, so the recorder, the wire format, and the server's
+:class:`GapAggregator` all dedup identical gaps for free.
+
+A gap report carries the mnemonic sequence alongside the digest: the
+server's online learner matches staged corpus candidates against gap
+windows by mnemonic subsequence, which is exactly the information a
+rule needs to possibly cover part of the gap (rule matching never
+changes mnemonics, only operand bindings).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.learning.canon import snippet_text
+from repro.obs.metrics import get_metrics
+
+
+@dataclass(frozen=True)
+class Gap:
+    """One canonicalized translation gap."""
+
+    digest: str
+    direction: str
+    text: str
+    mnemonics: tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "digest": self.digest,
+            "direction": self.direction,
+            "text": self.text,
+            "mnemonics": list(self.mnemonics),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Gap":
+        return cls(
+            digest=data["digest"],
+            direction=data["direction"],
+            text=data["text"],
+            mnemonics=tuple(data["mnemonics"]),
+        )
+
+
+def canonical_gap(instrs, direction: str = "arm-x86") -> Gap:
+    """Canonicalize one uncovered guest window."""
+    text = snippet_text(instrs)
+    digest = hashlib.sha256(
+        f"{direction}\n{text}".encode("utf-8")
+    ).hexdigest()
+    return Gap(
+        digest=digest,
+        direction=direction,
+        text=text,
+        mnemonics=tuple(instr.mnemonic for instr in instrs),
+    )
+
+
+class GapRecorder:
+    """Client-side gap sink: dedups gaps, batches them for upload.
+
+    Install with ``engine.gap_sink = recorder`` (the recorder is
+    callable with the uncovered guest window).  ``drain()`` hands the
+    accumulated unique gaps over for one batched report and resets the
+    batch; gaps already drained are remembered and never re-reported by
+    this recorder, so a long-running client uploads each distinct gap
+    once.
+    """
+
+    def __init__(self, direction: str = "arm-x86") -> None:
+        self.direction = direction
+        self._pending: dict[str, Gap] = {}
+        self._counts: dict[str, int] = {}
+        self._reported: set[str] = set()
+        self.captured = 0
+
+    def __call__(self, instrs) -> None:
+        if not instrs:
+            return
+        self.captured += 1
+        get_metrics().inc("service.gaps.captured")
+        gap = canonical_gap(instrs, self.direction)
+        if gap.digest in self._reported or gap.digest in self._pending:
+            self._counts[gap.digest] = \
+                self._counts.get(gap.digest, 0) + 1
+            return
+        self._pending[gap.digest] = gap
+        self._counts[gap.digest] = self._counts.get(gap.digest, 0) + 1
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> list[dict]:
+        """The batched gap report: unique pending gaps with counts."""
+        report = [
+            dict(gap.to_json(), count=self._counts.get(digest, 1))
+            for digest, gap in self._pending.items()
+        ]
+        self._reported.update(self._pending)
+        self._pending.clear()
+        return report
+
+
+class GapAggregator:
+    """Server-side gap state: dedup across clients, track settlement.
+
+    A gap is *pending* until a learning round has attempted it; it then
+    moves to *settled* whether or not the round produced rules, so
+    barren gaps (no matching corpus candidate, or candidates that fail
+    verification) are attempted exactly once instead of re-learned on
+    every report.
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[str, Gap] = {}
+        self._settled: set[str] = set()
+        self.reported = 0
+        self.unique = 0
+
+    def absorb(self, report: list[dict]) -> int:
+        """Merge one client report; returns the number of new gaps."""
+        new = 0
+        for item in report:
+            gap = Gap.from_json(item)
+            self.reported += int(item.get("count", 1))
+            if gap.digest in self._settled or gap.digest in self._pending:
+                continue
+            self._pending[gap.digest] = gap
+            self.unique += 1
+            new += 1
+        metrics = get_metrics()
+        metrics.inc("service.gaps.reported", len(report))
+        metrics.inc("service.gaps.new", new)
+        return new
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def settled(self) -> int:
+        return len(self._settled)
+
+    def take_pending(self) -> list[Gap]:
+        """Hand the pending gaps to a learning round (marks them
+        settled — a round attempts each gap exactly once).
+
+        The pending dict is swapped out atomically first, so a report
+        absorbed concurrently (the server learns in an executor thread)
+        lands in the fresh dict and stays pending for the next round.
+        """
+        pending, self._pending = self._pending, {}
+        self._settled.update(pending)
+        return list(pending.values())

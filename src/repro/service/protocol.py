@@ -1,0 +1,146 @@
+"""Length-prefixed JSON framing shared by the rule server and client.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8
+JSON object.  The format is symmetric (requests and responses use the
+same framing), self-delimiting on a stream socket, and bounded: frames
+above :data:`MAX_FRAME_BYTES` are rejected before allocation so a
+corrupt or hostile peer cannot balloon the process.
+
+Both transport flavours live here so they cannot drift apart:
+
+* :func:`send_message` / :func:`recv_message` — blocking ``socket``
+  helpers for the (synchronous) client;
+* :func:`read_message` / :func:`write_message` — asyncio
+  stream-reader/writer helpers for the server.
+
+Requests are ``{"op": ..., ...}``; responses are ``{"ok": true, ...}``
+or ``{"ok": false, "error": "..."}``.  :func:`error_response` and
+:func:`ok_response` keep the envelope uniform.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON payload.  A full-corpus bundle is
+#: ~100 KiB; 64 MiB leaves three orders of magnitude of headroom while
+#: still catching garbage lengths from a desynchronized stream.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ConnectionError):
+    """A malformed, oversized, or truncated frame."""
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message to its on-wire representation."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+
+
+# -- blocking socket transport (client side) ---------------------------------
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int,
+                eof_ok: bool = False) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one frame; None on a clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    payload = _recv_exact(sock, length)
+    return decode_payload(payload)
+
+
+# -- asyncio stream transport (server side) ----------------------------------
+
+
+async def read_message(reader) -> dict | None:
+    """Read one frame from an asyncio StreamReader; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} "
+            "bytes read)"
+        ) from exc
+    return decode_payload(payload)
+
+
+async def write_message(writer, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- response envelope -------------------------------------------------------
+
+
+def ok_response(**fields) -> dict:
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(message: str) -> dict:
+    return {"ok": False, "error": message}

@@ -1,0 +1,379 @@
+"""The rule server: serve bundles, accept gap reports, learn online.
+
+:class:`RuleService` is the transport-independent request handler —
+every operation is a pure ``dict -> dict`` call, which is what the
+unit tests exercise.  :func:`serve` wraps it in an asyncio
+length-prefixed JSON server over a unix socket (or TCP), and
+``repro-serve`` (:func:`main`) is the CLI entry point.
+
+Operations (requests are ``{"op": ...}``; responses ``{"ok": true}``
+envelopes, see :mod:`repro.service.protocol`):
+
+``ping``
+    Liveness + the server's direction and semantics version.
+``manifest``
+    The signed repository manifest.
+``bundle``
+    One immutable bundle by content digest.
+``delta``
+    Manifest entries newer than the client's generation.
+``report_gaps``
+    Batched canonicalized translation gaps.  New gaps are queued for
+    the online learning scheduler; with ``auto_learn`` the server
+    coalesces reports for ``auto_learn_delay`` seconds and then runs a
+    learning round in the event loop's default executor (so serving
+    stays responsive while the solver grinds).
+``flush``
+    Run a learning round on the pending gaps *now* and publish the
+    resulting bundle; the deterministic path tests and scripted
+    clients use.
+``stats``
+    Gap/bundle/learning counters.
+
+The server is single-writer by construction: one asyncio loop owns the
+repository and the gap aggregator, concurrent client connections are
+interleaved per frame, and learning rounds are serialized by an
+asyncio lock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+
+from repro.learning.cache import SEMANTICS_VERSION, VerificationCache
+from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.trace import get_tracer, tracing
+from repro.service.gaps import GapAggregator
+from repro.service.learner import OnlineLearner
+from repro.service.protocol import (
+    ProtocolError,
+    error_response,
+    ok_response,
+    read_message,
+    write_message,
+)
+from repro.service.repo import BundleError, RuleRepository
+
+DIRECTION = "arm-x86"
+
+
+class RuleService:
+    """Transport-independent request handling + learning scheduling."""
+
+    def __init__(
+        self,
+        repo: RuleRepository,
+        learner: OnlineLearner | None = None,
+        direction: str = DIRECTION,
+    ) -> None:
+        self.repo = repo
+        self.learner = learner
+        self.direction = direction
+        self.gaps = GapAggregator()
+        self.learn_rounds = 0
+        self.rules_published = 0
+        self.bundles_published = 0
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle(self, request: dict) -> dict:
+        if not isinstance(request, dict):
+            return error_response("request must be a JSON object")
+        op = request.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return error_response(f"unknown op {op!r}")
+        try:
+            return handler(request)
+        except (BundleError, KeyError, TypeError, ValueError) as exc:
+            return error_response(f"{type(exc).__name__}: {exc}")
+
+    def _op_ping(self, request: dict) -> dict:
+        return ok_response(
+            direction=self.direction,
+            semantics=self.repo.semantics_version,
+            generation=self.repo.generation,
+        )
+
+    def _op_manifest(self, request: dict) -> dict:
+        return ok_response(manifest=self.repo.manifest())
+
+    def _op_bundle(self, request: dict) -> dict:
+        digest = request["digest"]
+        return ok_response(digest=digest,
+                           bundle=self.repo.load_bundle(digest))
+
+    def _op_delta(self, request: dict) -> dict:
+        since = int(request.get("since", 0))
+        entries = self.repo.delta_since(since)
+        return ok_response(
+            generation=self.repo.generation,
+            entries=[ref.to_json() for ref in entries],
+        )
+
+    def _op_report_gaps(self, request: dict) -> dict:
+        report = request.get("gaps", [])
+        if not isinstance(report, list):
+            return error_response("gaps must be a list")
+        new = self.gaps.absorb(report)
+        return ok_response(
+            accepted=len(report),
+            new=new,
+            pending=self.gaps.pending,
+        )
+
+    def _op_flush(self, request: dict) -> dict:
+        published = self.run_learning_round()
+        return ok_response(
+            generation=self.repo.generation,
+            published=published is not None,
+            rules=published.rules if published is not None else 0,
+        )
+
+    def _op_stats(self, request: dict) -> dict:
+        return ok_response(
+            generation=self.repo.generation,
+            bundles=len(self.repo.entries()),
+            gaps_reported=self.gaps.reported,
+            gaps_unique=self.gaps.unique,
+            gaps_pending=self.gaps.pending,
+            gaps_settled=self.gaps.settled,
+            learn_rounds=self.learn_rounds,
+            rules_published=self.rules_published,
+            bundles_published=self.bundles_published,
+        )
+
+    # -- online learning scheduler -------------------------------------------
+
+    def run_learning_round(self):
+        """Dedup pending gaps, learn on matching candidates, publish.
+
+        Returns the published :class:`~repro.service.repo.BundleRef`
+        (None when the round yielded nothing new).  Synchronous — the
+        asyncio layer decides where it runs.
+        """
+        pending = self.gaps.take_pending()
+        if not pending or self.learner is None:
+            return None
+        self.learn_rounds += 1
+        round_ = self.learner.learn(pending)
+        ref = None
+        if round_.rules:
+            ref = self.repo.publish(round_.rules, self.direction)
+        if ref is not None:
+            self.bundles_published += 1
+            self.rules_published += ref.rules
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "service.publish",
+                gaps=round_.gaps,
+                candidates=round_.matched_candidates,
+                verify_calls=round_.verify_calls,
+                rules=len(round_.rules),
+                digest=ref.digest if ref is not None else None,
+                generation=self.repo.generation,
+            )
+        return ref
+
+
+class AsyncRuleServer:
+    """Asyncio transport around a :class:`RuleService`."""
+
+    def __init__(self, service: RuleService, auto_learn: bool = True,
+                 auto_learn_delay: float = 0.2) -> None:
+        self.service = service
+        self.auto_learn = auto_learn
+        self.auto_learn_delay = auto_learn_delay
+        self._learn_lock = asyncio.Lock()
+        self._scheduled: asyncio.Task | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    async def _flush_async(self) -> dict:
+        # Learning is CPU-bound; run it off-loop so concurrent clients
+        # keep getting served, serialized so rounds never interleave.
+        async with self._learn_lock:
+            loop = asyncio.get_running_loop()
+            published = await loop.run_in_executor(
+                None, self.service.run_learning_round
+            )
+        return ok_response(
+            generation=self.service.repo.generation,
+            published=published is not None,
+            rules=published.rules if published is not None else 0,
+        )
+
+    def _schedule_learning(self) -> None:
+        if self._scheduled is not None and not self._scheduled.done():
+            return  # a round is already pending; it will pick these up
+
+        async def deferred() -> None:
+            await asyncio.sleep(self.auto_learn_delay)
+            await self._flush_async()
+
+        self._scheduled = asyncio.ensure_future(deferred())
+
+    async def handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_message(reader)
+                except ProtocolError as exc:
+                    await write_message(writer, error_response(str(exc)))
+                    break
+                if request is None:
+                    break
+                op = request.get("op") if isinstance(request, dict) else None
+                if op == "flush":
+                    response = await self._flush_async()
+                else:
+                    response = self.service.handle(request)
+                    if (
+                        op == "report_gaps"
+                        and response.get("ok")
+                        and response.get("new")
+                        and self.auto_learn
+                    ):
+                        self._schedule_learning()
+                await write_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def start_unix(self, path: str) -> None:
+        self._server = await asyncio.start_unix_server(
+            self.handle_connection, path=path
+        )
+
+    async def start_tcp(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start_unix/start_tcp first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._scheduled is not None:
+            self._scheduled.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._scheduled
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+def build_service(
+    repo_dir: str,
+    corpus: tuple[str, ...] = (),
+    cache: VerificationCache | None = None,
+    jobs: int = 1,
+) -> RuleService:
+    """Assemble a service: repository + (optional) corpus learner."""
+    repo = RuleRepository(repo_dir)
+    learner = None
+    if corpus:
+        from repro.benchsuite import build_learning_pair
+
+        builds = {
+            name: build_learning_pair(name) for name in corpus
+        }
+        learner = OnlineLearner(builds, cache=cache, jobs=jobs)
+    return RuleService(repo, learner)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve translation-rule bundles to DBT clients and "
+                    "learn new rules online from their reported "
+                    "translation gaps.",
+    )
+    parser.add_argument("--repo", required=True, metavar="DIR",
+                        help="rule repository directory (created if absent)")
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--socket", metavar="PATH",
+                       help="serve on this unix socket")
+    group.add_argument("--port", type=int, metavar="N",
+                       help="serve on this TCP port (localhost)")
+    parser.add_argument("--corpus", default="", metavar="NAMES",
+                        help="comma-separated benchmark names to stage "
+                             "for gap-driven learning (empty: serve the "
+                             "repository read-only)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent verification-cache directory "
+                             "(default: <repo>/verify-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="learn without the persistent cache")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for online verification")
+    parser.add_argument("--learn-delay", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="coalescing delay before a gap report "
+                             "triggers a learning round (default: 0.2)")
+    parser.add_argument("--no-auto-learn", action="store_true",
+                        help="only learn on explicit client flush requests")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a JSON-lines trace of service "
+                             "activity here")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump metrics to stderr on shutdown")
+    args = parser.parse_args(argv)
+
+    set_metrics(None)
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or f"{args.repo}/verify-cache"
+        cache = VerificationCache.at_dir(cache_dir)
+    corpus = tuple(
+        name for name in args.corpus.split(",") if name.strip()
+    )
+    service = build_service(args.repo, corpus, cache=cache, jobs=args.jobs)
+    server = AsyncRuleServer(
+        service,
+        auto_learn=not args.no_auto_learn,
+        auto_learn_delay=args.learn_delay,
+    )
+
+    async def run() -> None:
+        if args.socket:
+            await server.start_unix(args.socket)
+            where = args.socket
+        else:
+            await server.start_tcp("127.0.0.1", args.port)
+            where = f"127.0.0.1:{args.port}"
+        print(f"repro-serve: listening on {where} "
+              f"(generation {service.repo.generation}, "
+              f"{len(service.repo.entries())} bundle(s), "
+              f"corpus {len(corpus)})", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    trace_scope = tracing(args.trace) if args.trace \
+        else contextlib.nullcontext()
+    with trace_scope:
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    if cache is not None:
+        cache.save()
+    if args.metrics:
+        print(format_metrics(get_metrics()), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

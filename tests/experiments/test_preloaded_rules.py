@@ -1,0 +1,90 @@
+"""Pre-learned rule repositories on the experiment harness.
+
+The ``repro-experiments --rules`` path: a context fed with serialized
+rules must reproduce the leave-one-out evaluation without running the
+learning pipeline at all.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.learning.serialize import dumps_rules, loads_rules
+
+BENCHMARKS = ("mcf", "libquantum")
+
+
+@pytest.fixture(scope="module")
+def exported():
+    """Rules learned once and round-tripped through the JSON codec.
+
+    One copy per (rule, origin) — a rule learned from several
+    benchmarks must survive leave-one-out exclusion of any single
+    one, so the export is deliberately not deduped across origins.
+    """
+    context = ExperimentContext(benchmarks=BENCHMARKS)
+    outcomes = context.all_learning()
+    rules = [
+        rule for outcome in outcomes.values() for rule in outcome.rules
+    ]
+    return loads_rules(dumps_rules(rules))
+
+
+class TestPreloadedRules:
+    def test_no_learning_happens(self, exported):
+        context = ExperimentContext(benchmarks=BENCHMARKS,
+                                    preloaded_rules=list(exported))
+        store = context.rule_store_excluding("mcf")
+        assert len(store) > 0
+        assert context._learning == {}
+
+    def test_leave_one_out_respects_serialized_origin(self, exported):
+        context = ExperimentContext(benchmarks=BENCHMARKS,
+                                    preloaded_rules=list(exported))
+        for excluded in BENCHMARKS:
+            store = context.rule_store_excluding(excluded)
+            assert all(rule.origin != excluded
+                       for rule in store.all_rules())
+
+    def test_preloaded_run_matches_inline_learning(self, exported):
+        inline = ExperimentContext(benchmarks=BENCHMARKS)
+        preloaded = ExperimentContext(benchmarks=BENCHMARKS,
+                                      preloaded_rules=list(exported))
+        for name in BENCHMARKS:
+            a = inline.run(name, "rules", "test")
+            b = preloaded.run(name, "rules", "test")
+            assert a.return_value == b.return_value
+            assert a.stats.dynamic_coverage == \
+                pytest.approx(b.stats.dynamic_coverage)
+
+    def test_export_import_is_lossless(self, exported):
+        again = loads_rules(dumps_rules(list(exported)))
+        assert again == list(exported)
+
+
+class TestCliFlags:
+    def test_rules_flag_loads_and_export_writes(self, tmp_path):
+        from repro.experiments import cli as experiments_cli
+        from repro.experiments import common as experiments_common
+
+        rules_path = tmp_path / "rules.json"
+        # isolate the module-global shared context
+        previous = experiments_common._SHARED
+        experiments_common._SHARED = None
+        try:
+            experiments_common.shared_context().benchmarks = BENCHMARKS
+            assert experiments_cli.main([
+                "fig11", "--no-cache", "--export-rules", str(rules_path),
+            ]) == 0
+            exported = loads_rules(rules_path.read_text())
+            assert exported
+
+            experiments_common._SHARED = None
+            fresh = experiments_common.shared_context()
+            fresh.benchmarks = BENCHMARKS
+            assert experiments_cli.main([
+                "fig11", "--no-cache", "--rules", str(rules_path),
+            ]) == 0
+            assert fresh.preloaded_rules is not None
+            assert fresh._learning == {}
+        finally:
+            experiments_common._SHARED = previous

@@ -1,0 +1,142 @@
+"""Property test: ``rule_from_json(rule_to_json(r)) == r`` everywhere.
+
+Exercises the codec across two real learned corpora (every rule the
+pipeline produces for mcf and libquantum) plus hand-built rules hitting
+the operand corners a small corpus may not reach: nested immediate
+ASTs, parameterized memory displacements, shifted registers, labels,
+and negative immediates.
+"""
+
+import pytest
+
+from repro.benchsuite import build_learning_pair
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Label, Mem, Reg, ShiftedReg, SymImm
+from repro.learning.pipeline import learn_rules
+from repro.learning.rule import Rule
+from repro.learning.serialize import (
+    rule_from_json,
+    rule_to_json,
+)
+
+
+def _assert_roundtrip(rule: Rule) -> None:
+    restored = rule_from_json(rule_to_json(rule))
+    assert restored == rule
+    # equality ignores provenance metadata; check it separately
+    assert restored.origin == rule.origin
+    assert restored.line == rule.line
+    assert restored.cc_info == rule.cc_info
+    # a second trip must be a fixed point
+    assert rule_to_json(restored) == rule_to_json(rule)
+
+
+@pytest.mark.parametrize("bench", ["mcf", "libquantum"])
+def test_learned_corpus_roundtrips(bench):
+    guest, host = build_learning_pair(bench)
+    rules = learn_rules(guest, host, benchmark=bench).rules
+    assert rules, f"{bench} learned no rules"
+    for rule in rules:
+        _assert_roundtrip(rule)
+
+
+def _rule(guest, host, **kwargs) -> Rule:
+    defaults = dict(
+        params=("p0",),
+        written_params=("p0",),
+        temps=(),
+        origin="edge",
+        line=1,
+    )
+    defaults.update(kwargs)
+    return Rule(guest=tuple(guest), host=tuple(host), **defaults)
+
+
+EDGE_RULES = [
+    # nested immediate AST on both sides
+    _rule(
+        [Instruction("add", (Reg("p0"), Reg("p0"),
+                             SymImm(("slot", "ig0"))))],
+        [Instruction("add", (Reg("p0"),
+                             SymImm(("add", ("slot", "ig0"),
+                                     ("const", 4)))))],
+    ),
+    # deeply nested unary/binary AST with negative literal
+    _rule(
+        [Instruction("sub", (Reg("p0"), Reg("p0"),
+                             SymImm(("neg", ("slot", "ig0")))))],
+        [Instruction("sub", (Reg("p0"),
+                             SymImm(("mul", ("not", ("slot", "ig0")),
+                                     ("const", -8)))))],
+    ),
+    # parameterized memory displacement (disp + disp_param AST)
+    _rule(
+        [Instruction("ldr", (Reg("p0"),
+                             Mem(base=Reg("p1"), disp=-16,
+                                 disp_param=("slot", "ig0"))))],
+        [Instruction("mov", (Reg("p0"),
+                             Mem(base=Reg("p1"), index=Reg("p2"),
+                                 scale=4, disp=8,
+                                 disp_param=("add", ("slot", "ig0"),
+                                             ("const", 12)))))],
+        params=("p0", "p1", "p2"),
+    ),
+    # base-less absolute memory operand
+    _rule(
+        [Instruction("ldr", (Reg("p0"), Mem(disp=0x1000)))],
+        [Instruction("mov", (Reg("p0"), Mem(disp=0x1000)))],
+    ),
+    # every shift kind on the flexible second operand
+    *[
+        _rule(
+            [Instruction("add", (Reg("p0"), Reg("p0"),
+                                 ShiftedReg(Reg("p1"), shift, 3)))],
+            [Instruction("lea", (Reg("p0"),
+                                 Mem(base=Reg("p0"), index=Reg("p1"),
+                                     scale=8)))],
+            params=("p0", "p1"),
+        )
+        for shift in ("lsl", "lsr", "asr")
+    ],
+    # branch rule with a label operand and condition-code metadata
+    _rule(
+        [Instruction("cmp", (Reg("p0"), Imm(0))),
+         Instruction("bne", (Label("L42"),))],
+        [Instruction("cmp", (Reg("p0"), Imm(0))),
+         Instruction("jne", (Label("L42"),))],
+        written_params=(),
+        guest_flags_written=("N", "Z", "C", "V"),
+        cc_info={"Z": "direct", "N": "inverted"},
+        has_branch=True,
+    ),
+    # negative and extreme immediates
+    _rule(
+        [Instruction("mov", (Reg("p0"), Imm(-(2 ** 31))))],
+        [Instruction("mov", (Reg("p0"), Imm(2 ** 31 - 1)))],
+    ),
+    # host-only scratch registers
+    _rule(
+        [Instruction("mul", (Reg("p0"), Reg("p0"), Reg("p1")))],
+        [Instruction("mov", (Reg("t0"), Reg("p1"))),
+         Instruction("imul", (Reg("p0"), Reg("t0")))],
+        params=("p0", "p1"),
+        temps=("t0",),
+    ),
+]
+
+
+@pytest.mark.parametrize("index", range(len(EDGE_RULES)))
+def test_edge_case_rules_roundtrip(index):
+    _assert_roundtrip(EDGE_RULES[index])
+
+
+def test_empty_metadata_roundtrips():
+    rule = _rule(
+        [Instruction("nop", ())],
+        [Instruction("nop", ())],
+        params=(),
+        written_params=(),
+        origin="",
+        line=0,
+    )
+    _assert_roundtrip(rule)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the rule-service tests."""
+
+import pytest
+
+from repro.benchsuite import build_learning_pair
+from repro.learning.pipeline import learn_rules
+
+
+@pytest.fixture(scope="session")
+def mcf_pair():
+    return build_learning_pair("mcf")
+
+
+@pytest.fixture(scope="session")
+def libquantum_pair():
+    return build_learning_pair("libquantum")
+
+
+@pytest.fixture(scope="session")
+def mcf_rules(mcf_pair):
+    guest, host = mcf_pair
+    return learn_rules(guest, host, benchmark="mcf").rules
+
+
+@pytest.fixture(scope="session")
+def libquantum_rules(libquantum_pair):
+    guest, host = libquantum_pair
+    return learn_rules(guest, host, benchmark="libquantum").rules

@@ -1,0 +1,101 @@
+"""Gap capture, canonicalization, and server-side aggregation."""
+
+from repro.service.gaps import (
+    Gap,
+    GapAggregator,
+    GapRecorder,
+    canonical_gap,
+)
+from repro.minic.compile import compile_source
+
+SOURCE = """
+int main(void) {
+  int s = 0;
+  int i = 0;
+  while (i < 10) {
+    s = s + i * 3;
+    i += 1;
+  }
+  return s;
+}
+"""
+
+
+def _instrs():
+    program = compile_source(SOURCE, "arm", 2, "llvm")
+    return program.code
+
+
+class TestCanonicalGap:
+    def test_same_window_same_digest(self):
+        instrs = _instrs()
+        assert canonical_gap(instrs[:4]) == canonical_gap(instrs[:4])
+
+    def test_different_windows_differ(self):
+        instrs = _instrs()
+        a = canonical_gap(instrs[:4])
+        b = canonical_gap(instrs[1:5])
+        assert a.digest != b.digest
+
+    def test_direction_is_part_of_identity(self):
+        instrs = _instrs()
+        assert canonical_gap(instrs[:4], "arm-x86").digest != \
+            canonical_gap(instrs[:4], "x86-arm").digest
+
+    def test_json_roundtrip(self):
+        gap = canonical_gap(_instrs()[:4])
+        assert Gap.from_json(gap.to_json()) == gap
+
+
+class TestGapRecorder:
+    def test_dedups_identical_windows(self):
+        instrs = _instrs()
+        recorder = GapRecorder()
+        for _ in range(5):
+            recorder(instrs[:4])
+        recorder(instrs[2:6])
+        assert len(recorder) == 2
+        report = recorder.drain()
+        counts = {item["digest"]: item["count"] for item in report}
+        assert sorted(counts.values(), reverse=True) == [5, 1]
+
+    def test_drained_gaps_never_reupload(self):
+        instrs = _instrs()
+        recorder = GapRecorder()
+        recorder(instrs[:4])
+        assert len(recorder.drain()) == 1
+        recorder(instrs[:4])
+        assert recorder.drain() == []
+
+    def test_empty_window_ignored(self):
+        recorder = GapRecorder()
+        recorder([])
+        assert len(recorder) == 0
+
+
+class TestGapAggregator:
+    def _report(self, *windows):
+        instrs = _instrs()
+        return [
+            dict(canonical_gap(instrs[a:b]).to_json(), count=1)
+            for a, b in windows
+        ]
+
+    def test_absorb_dedups_across_reports(self):
+        agg = GapAggregator()
+        assert agg.absorb(self._report((0, 4), (2, 6))) == 2
+        assert agg.absorb(self._report((0, 4), (3, 7))) == 1
+        assert agg.pending == 3
+        assert agg.reported == 4
+
+    def test_take_pending_settles(self):
+        agg = GapAggregator()
+        agg.absorb(self._report((0, 4)))
+        taken = agg.take_pending()
+        assert len(taken) == 1
+        assert agg.pending == 0
+        assert agg.settled == 1
+        # settled gaps are never re-queued
+        agg.absorb(self._report((0, 4)))
+        assert agg.pending == 0
+        assert agg.take_pending() == []

@@ -1,0 +1,97 @@
+"""Idempotent store installs and live-engine hot-install semantics."""
+
+from repro.dbt.engine import DBTEngine
+from repro.learning.store import RuleStore
+
+
+class TestStoreInstall:
+    def test_insert_dedups(self, mcf_rules):
+        store = RuleStore()
+        rule = mcf_rules[0]
+        assert store.insert(rule) is True
+        assert store.insert(rule) is False
+        assert len(store) == 1
+
+    def test_install_is_idempotent(self, mcf_rules):
+        store = RuleStore()
+        first = store.install(list(mcf_rules))
+        again = store.install(list(mcf_rules))
+        assert len(first) == len(set(mcf_rules))
+        assert again == []
+        assert len(store) == len(set(mcf_rules))
+
+    def test_repeated_install_keeps_buckets_flat(self, mcf_rules):
+        store = RuleStore()
+        store.install(list(mcf_rules))
+        sizes = {key: len(bucket)
+                 for key, bucket in store._buckets.items()}
+        for _ in range(3):
+            store.install(list(mcf_rules))
+        assert {key: len(bucket)
+                for key, bucket in store._buckets.items()} == sizes
+
+
+class TestEngineHotInstall:
+    def test_hot_install_then_rerun_matches_prebuilt(
+            self, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        live = DBTEngine(guest, "rules")
+        baseline = live.run()
+        assert live.last_run.dynamic_coverage == 0.0
+
+        installed, invalidated = live.hot_install(list(mcf_rules))
+        assert installed == len(set(mcf_rules))
+        assert invalidated > 0
+        rerun = live.run()
+        assert rerun.return_value == baseline.return_value
+
+        prebuilt = DBTEngine(
+            guest, "rules", RuleStore.from_rules(list(mcf_rules))
+        )
+        prebuilt.run()
+        assert live.last_run.dynamic_coverage == \
+            prebuilt.last_run.dynamic_coverage
+
+    def test_hot_install_is_idempotent(self, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        engine = DBTEngine(guest, "rules")
+        engine.run()
+        first, _ = engine.hot_install(list(mcf_rules))
+        assert first == len(set(mcf_rules))
+        second, invalidated = engine.hot_install(list(mcf_rules))
+        assert second == 0
+        assert invalidated == 0
+        assert len(engine.rule_store) == len(set(mcf_rules))
+
+    def test_hot_install_only_invalidates_matching_blocks(
+            self, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        engine = DBTEngine(guest, "rules")
+        engine.run()
+        cached_before = set(engine._cache)
+        _, invalidated = engine.hot_install(list(mcf_rules))
+        assert invalidated <= len(cached_before)
+        # fully-uncovered blocks with no rule window stay cached
+        assert set(engine._cache) <= cached_before
+
+    def test_static_coverage_not_skewed_by_reinstall(
+            self, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        engine = DBTEngine(guest, "rules")
+        engine.run()
+        engine.hot_install(list(mcf_rules))
+        engine.run()
+        coverage = engine.stats.static_coverage
+        engine.hot_install(list(mcf_rules))
+        engine.run()
+        assert engine.stats.static_coverage == coverage
+
+    def test_quarantined_rules_not_readmitted(self, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        engine = DBTEngine(guest, "rules")
+        engine.run()
+        engine.quarantined_rules.add(mcf_rules[0])
+        installed, _ = engine.hot_install(list(mcf_rules))
+        unique = set(mcf_rules)
+        assert installed == len(unique) - 1
+        assert mcf_rules[0] not in engine.rule_store.all_rules()

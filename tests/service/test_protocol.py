@@ -1,0 +1,110 @@
+"""Length-prefixed JSON framing: round trips and malformed frames."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_message,
+    recv_message,
+    send_message,
+    write_message,
+)
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        message = {"op": "ping", "nested": {"xs": [1, 2, 3]}}
+        frame = encode_frame(message)
+        header, payload = frame[:4], frame[4:]
+        assert struct.unpack(">I", header)[0] == len(payload)
+        assert decode_payload(payload) == message
+
+    def test_oversize_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_envelopes(self):
+        assert ok_response(x=1) == {"ok": True, "x": 1}
+        err = error_response("boom")
+        assert err["ok"] is False and err["error"] == "boom"
+
+
+class TestSyncSocket:
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            received = []
+
+            def reader():
+                while True:
+                    message = recv_message(b)
+                    if message is None:
+                        return
+                    received.append(message)
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            send_message(a, {"op": "one"})
+            send_message(a, {"op": "two", "gaps": []})
+            a.close()
+            thread.join(timeout=5)
+            assert received == [{"op": "one"}, {"op": "two", "gaps": []}]
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100) + b"only a few bytes")
+            a.close()
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_oversize_header_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError):
+                recv_message(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncStreams:
+    def test_async_roundtrip(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            a, b = socket.socketpair()
+            a.setblocking(False)
+            b.setblocking(False)
+            reader, writer = await asyncio.open_connection(sock=b)
+            _, peer = await asyncio.open_connection(sock=a)
+            await write_message(peer, {"op": "hello", "n": 7})
+            message = await read_message(reader)
+            peer.close()
+            await peer.wait_closed()
+            eof = await read_message(reader)
+            writer.close()
+            await writer.wait_closed()
+            return message, eof
+
+        message, eof = asyncio.run(scenario())
+        assert message == {"op": "hello", "n": 7}
+        assert eof is None

@@ -1,0 +1,129 @@
+"""Content-addressed repository: bundles, manifests, delta sync."""
+
+import json
+
+import pytest
+
+from repro.learning.cache import SEMANTICS_VERSION
+from repro.service.repo import (
+    BundleError,
+    RuleRepository,
+    bundle_digest,
+    make_bundle,
+    sign_payload,
+    verify_bundle,
+    verify_manifest,
+)
+
+
+class TestBundles:
+    def test_digest_is_stable_under_rule_order(self, mcf_rules):
+        forward = make_bundle(list(mcf_rules), "arm-x86")
+        backward = make_bundle(list(reversed(mcf_rules)), "arm-x86")
+        assert bundle_digest(forward) == bundle_digest(backward)
+
+    def test_verify_roundtrip(self, mcf_rules):
+        document = make_bundle(list(mcf_rules), "arm-x86")
+        restored = verify_bundle(document, bundle_digest(document))
+        assert sorted(restored, key=str) == \
+            sorted(set(mcf_rules), key=str)
+
+    def test_tampered_bundle_rejected(self, mcf_rules):
+        document = make_bundle(list(mcf_rules), "arm-x86")
+        digest = bundle_digest(document)
+        document["rules"] = document["rules"][:-1]
+        with pytest.raises(BundleError):
+            verify_bundle(document, digest)
+
+    def test_foreign_document_rejected(self):
+        with pytest.raises(BundleError):
+            verify_bundle({"format": "something-else", "rules": []},
+                          bundle_digest({"format": "something-else",
+                                         "rules": []}))
+
+
+class TestManifest:
+    def test_signature_roundtrip(self, tmp_path, mcf_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        repo.publish(list(mcf_rules), "arm-x86")
+        manifest = repo.manifest()
+        payload = verify_manifest(manifest, repo.key)
+        assert payload["generation"] == 1
+        assert len(payload["bundles"]) == 1
+
+    def test_forged_signature_rejected(self, tmp_path, mcf_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        repo.publish(list(mcf_rules), "arm-x86")
+        manifest = repo.manifest()
+        manifest["payload"]["generation"] = 99
+        with pytest.raises(BundleError):
+            verify_manifest(manifest, repo.key)
+        with pytest.raises(BundleError):
+            verify_manifest(repo.manifest(), b"wrong key")
+
+    def test_sign_payload_depends_on_content(self):
+        key = b"k" * 32
+        assert sign_payload({"a": 1}, key) != sign_payload({"a": 2}, key)
+
+
+class TestRepository:
+    def test_publish_and_reload(self, tmp_path, mcf_rules):
+        root = tmp_path / "repo"
+        repo = RuleRepository(root)
+        ref = repo.publish(list(mcf_rules), "arm-x86")
+        assert ref is not None
+        assert ref.generation == 1
+        assert ref.semantics == SEMANTICS_VERSION
+
+        reloaded = RuleRepository(root)
+        assert reloaded.generation == 1
+        assert sorted(reloaded.all_rules("arm-x86"), key=str) == \
+            sorted(repo.all_rules("arm-x86"), key=str)
+
+    def test_republish_is_noop(self, tmp_path, mcf_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        assert repo.publish(list(mcf_rules), "arm-x86") is not None
+        assert repo.publish(list(mcf_rules), "arm-x86") is None
+        assert repo.generation == 1
+        # ... even across a restart (the known set is rebuilt from disk)
+        reloaded = RuleRepository(tmp_path / "repo")
+        assert reloaded.publish(list(mcf_rules), "arm-x86") is None
+
+    def test_overlapping_publish_is_minimal_delta(
+            self, tmp_path, mcf_rules, libquantum_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        repo.publish(list(mcf_rules), "arm-x86")
+        mixed = list(mcf_rules) + list(libquantum_rules)
+        ref = repo.publish(mixed, "arm-x86")
+        genuinely_new = set(libquantum_rules) - set(mcf_rules)
+        if genuinely_new:
+            assert ref is not None
+            assert ref.rules == len(genuinely_new)
+        else:
+            assert ref is None
+
+    def test_delta_since(self, tmp_path, mcf_rules, libquantum_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        first = repo.publish(list(mcf_rules), "arm-x86")
+        second = repo.publish(list(libquantum_rules), "arm-x86")
+        assert [r.digest for r in repo.delta_since(0)] == [
+            ref.digest for ref in (first, second) if ref is not None
+        ]
+        if second is not None:
+            assert [r.digest for r in repo.delta_since(first.generation)] \
+                == [second.digest]
+            assert repo.delta_since(second.generation) == []
+
+    def test_unknown_bundle(self, tmp_path):
+        repo = RuleRepository(tmp_path / "repo")
+        with pytest.raises(BundleError):
+            repo.load_bundle("0" * 64)
+
+    def test_bundle_files_are_content_addressed(self, tmp_path,
+                                                mcf_rules):
+        repo = RuleRepository(tmp_path / "repo")
+        ref = repo.publish(list(mcf_rules), "arm-x86")
+        path = tmp_path / "repo" / "bundles" / f"{ref.digest}.json"
+        with open(path) as fp:
+            document = json.load(fp)
+        assert bundle_digest(document) == ref.digest

@@ -1,0 +1,213 @@
+"""End-to-end rule service: gaps -> online learning -> hot-install.
+
+The acceptance demo for PR 4: a client with an *empty* rule store runs
+a benchmark, reports its translation gaps, the server learns rules for
+them from its staged corpus and publishes a bundle, the client
+hot-installs it into the live engine, and the second run's dynamic
+rule coverage lands within 1% of offline leave-nothing-out learning.
+Both sync flavours are exercised: cold-start full-manifest sync and
+incremental delta sync.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.dbt.engine import DBTEngine
+from repro.learning.cache import SEMANTICS_VERSION
+from repro.learning.store import RuleStore
+from repro.service.client import RuleServiceClient, ServiceError
+from repro.service.learner import OnlineLearner
+from repro.service.repo import RuleRepository
+from repro.service.server import AsyncRuleServer, RuleService
+
+
+class ServerThread:
+    """A live unix-socket rule server on a background event loop."""
+
+    def __init__(self, service: RuleService, path: str) -> None:
+        self.service = service
+        self.path = path
+        self.loop = asyncio.new_event_loop()
+        self.server = AsyncRuleServer(service, auto_learn=False)
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start_unix(path))
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "server failed to start"
+
+    def stop(self) -> None:
+        async def shutdown() -> None:
+            await self.server.close()
+
+        asyncio.run_coroutine_threadsafe(shutdown(), self.loop).result(10)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def server(tmp_path, mcf_pair, libquantum_pair):
+    repo = RuleRepository(tmp_path / "repo")
+    learner = OnlineLearner({
+        "mcf": mcf_pair,
+        "libquantum": libquantum_pair,
+    })
+    service = RuleService(repo, learner)
+    thread = ServerThread(service, str(tmp_path / "rules.sock"))
+    yield thread
+    thread.stop()
+
+
+def _client(server, **kwargs):
+    return RuleServiceClient(socket_path=server.path, **kwargs)
+
+
+def _offline_coverage(pair, rules):
+    guest, _ = pair
+    engine = DBTEngine(guest, "rules", RuleStore.from_rules(list(rules)))
+    engine.run()
+    return engine.last_run.dynamic_coverage
+
+
+class TestEndToEnd:
+    def test_gap_learn_install_cycle(self, server, mcf_pair, mcf_rules):
+        guest, _ = mcf_pair
+        with _client(server) as client:
+            info = client.ping()
+            assert info["direction"] == "arm-x86"
+            assert info["semantics"] == SEMANTICS_VERSION
+
+            engine = DBTEngine(guest, "rules",
+                               gap_sink=client.recorder)
+            first = engine.run()
+            assert engine.last_run.dynamic_coverage == 0.0
+
+            assert client.report_gaps() > 0
+            flushed = client.flush()
+            assert flushed["published"] is True
+
+            result = client.sync(engine)
+            assert result.cold is True
+            assert result.rules_installed > 0
+            assert result.blocks_invalidated > 0
+
+            second = engine.run()
+            assert second.return_value == first.return_value
+            online = engine.last_run.dynamic_coverage
+            offline = _offline_coverage(mcf_pair, mcf_rules)
+            assert online == pytest.approx(offline, abs=0.01)
+
+    def test_cold_then_delta_sync(self, server, mcf_pair,
+                                  libquantum_pair):
+        mcf_guest, _ = mcf_pair
+        lq_guest, _ = libquantum_pair
+        with _client(server) as mcf_client, _client(server) as lq_client:
+            # client A: report mcf gaps, learn, cold-sync.
+            mcf_engine = DBTEngine(mcf_guest, "rules",
+                                   gap_sink=mcf_client.recorder)
+            mcf_engine.run()
+            mcf_client.report_gaps()
+            mcf_client.flush()
+            cold = mcf_client.sync(mcf_engine)
+            assert cold.cold is True and cold.bundles >= 1
+            generation_after_cold = cold.generation
+
+            # client B cold-syncs the same bundles concurrently.
+            lq_engine = DBTEngine(lq_guest, "rules",
+                                  gap_sink=lq_client.recorder)
+            lq_engine.run()
+            b_cold = lq_client.sync(lq_engine)
+            assert b_cold.cold is True
+            assert b_cold.generation == generation_after_cold
+
+            # client B's gaps trigger a second publish ...
+            lq_client.report_gaps()
+            assert lq_client.flush()["published"] is True
+
+            # ... which reaches client A through an incremental delta.
+            delta = mcf_client.sync(mcf_engine)
+            assert delta.cold is False
+            assert delta.generation > generation_after_cold
+            assert delta.bundles >= 1
+            # already-installed bundles never re-transfer
+            assert set(delta.digests).isdisjoint(set(cold.digests))
+
+            # a further delta sync is empty (nothing new published)
+            assert mcf_client.sync(mcf_engine).bundles == 0
+
+    def test_sync_is_idempotent_across_reconnects(self, server,
+                                                  mcf_pair):
+        guest, _ = mcf_pair
+        with _client(server) as client:
+            engine = DBTEngine(guest, "rules", gap_sink=client.recorder)
+            engine.run()
+            client.report_gaps()
+            client.flush()
+            first = client.sync(engine)
+            assert first.rules_installed > 0
+
+        # a fresh client (new connection, generation 0) re-fetches the
+        # manifest but the engine-side install stays idempotent.
+        with _client(server) as fresh:
+            again = fresh.sync(engine)
+            assert again.cold is True
+            assert again.rules_installed == 0
+            assert again.blocks_invalidated == 0
+
+    def test_manifest_signature_verification(self, server, mcf_pair):
+        guest, _ = mcf_pair
+        key = server.service.repo.key
+        with _client(server, manifest_key=key) as client:
+            engine = DBTEngine(guest, "rules", gap_sink=client.recorder)
+            engine.run()
+            client.report_gaps()
+            client.flush()
+            result = client.sync(engine)
+            assert result.rules_installed > 0
+
+    def test_mid_run_hot_install_via_attach(self, server, mcf_pair,
+                                            mcf_rules):
+        guest, _ = mcf_pair
+        with _client(server) as client:
+            engine = DBTEngine(guest, "rules")
+            client.attach(engine, every=64, flush=True)
+            first = engine.run()
+            # the attach tick reported, learned, and installed mid-run
+            assert client.generation > 0
+            assert len(engine.rule_store) > 0
+
+            second = engine.run()
+            assert second.return_value == first.return_value
+            online = engine.last_run.dynamic_coverage
+            offline = _offline_coverage(mcf_pair, mcf_rules)
+            assert online == pytest.approx(offline, abs=0.01)
+
+    def test_unknown_ops_and_bundles_error_cleanly(self, server):
+        with _client(server) as client:
+            with pytest.raises(ServiceError):
+                client.request("no_such_op")
+            with pytest.raises(ServiceError):
+                client.fetch_rules("0" * 64)
+            # the connection survives server-side errors
+            assert client.ping()["ok"] is True
+
+    def test_stats_reflect_activity(self, server, mcf_pair):
+        guest, _ = mcf_pair
+        with _client(server) as client:
+            engine = DBTEngine(guest, "rules", gap_sink=client.recorder)
+            engine.run()
+            client.report_gaps()
+            client.flush()
+            stats = client.stats()
+            assert stats["gaps_unique"] > 0
+            assert stats["gaps_pending"] == 0
+            assert stats["learn_rounds"] == 1
+            assert stats["bundles_published"] >= 1
