@@ -13,11 +13,19 @@ result.
 Exit status 0 means the gate passed.  Run from the repo root:
 
     PYTHONPATH=src python scripts/chaos_gate.py
+
+Set ``REPRO_GATE_ARTIFACT_DIR`` to write a full trace of the gate's
+learning runs (``chaos.jsonl``) there for CI artifact upload on
+failure; tracing is off by default.
 """
 
+import contextlib
+import os
 import sys
 import tempfile
 from pathlib import Path
+
+from repro.obs.trace import tracing
 
 from repro.benchsuite import BENCHMARK_NAMES, build_learning_pair
 from repro.dbt.engine import DBTEngine
@@ -132,12 +140,21 @@ def check_guard_self_healing(builds) -> None:
 
 
 def main() -> None:
-    builds = {name: build_learning_pair(name) for name in GATE_BENCHMARKS}
-    clean_cache = VerificationCache()
-    clean = learn_corpus(builds, cache=clean_cache)
-    with tempfile.TemporaryDirectory() as tmp:
-        check_learning_chaos(builds, clean, clean_cache, Path(tmp))
-    check_guard_self_healing(builds)
+    artifact_dir = os.environ.get("REPRO_GATE_ARTIFACT_DIR")
+    if artifact_dir:
+        Path(artifact_dir).mkdir(parents=True, exist_ok=True)
+        trace_scope = tracing(Path(artifact_dir) / "chaos.jsonl")
+    else:
+        trace_scope = contextlib.nullcontext()
+    with trace_scope:
+        builds = {
+            name: build_learning_pair(name) for name in GATE_BENCHMARKS
+        }
+        clean_cache = VerificationCache()
+        clean = learn_corpus(builds, cache=clean_cache)
+        with tempfile.TemporaryDirectory() as tmp:
+            check_learning_chaos(builds, clean, clean_cache, Path(tmp))
+        check_guard_self_healing(builds)
     print("chaos_gate: PASS")
 
 

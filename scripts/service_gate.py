@@ -13,13 +13,23 @@ against it:
 * client A then delta-syncs the bundle client B's gaps produced
   (incremental sync moves only the new bundle, never re-transfers);
 * the client-side trace must reconcile: every rule a sync claimed to
-  install matches the engines' ``dbt.hot_install`` events.
+  install matches the engines' ``dbt.hot_install`` events;
+* the client and server traces must **stitch**: at least one gap's
+  trace id is observable in both files (capture client-side, settled
+  server-side, hot-installed client-side) and the stitched timeline
+  yields end-to-end gap-to-hot-install latency percentiles.
 
 Exit status 0 means the gate passed.  Run from the repo root:
 
     PYTHONPATH=src python scripts/service_gate.py
+
+Set ``REPRO_GATE_ARTIFACT_DIR`` to keep the working directory (trace
+files included) at a known path for CI artifact upload; by default a
+throwaway temp dir is used.
 """
 
+import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -31,8 +41,8 @@ from repro.benchsuite import build_learning_pair
 from repro.dbt.engine import DBTEngine
 from repro.learning.pipeline import learn_rules
 from repro.learning.store import RuleStore
-from repro.obs.report import aggregate, reconcile
-from repro.obs.trace import read_trace, tracing
+from repro.obs.report import aggregate, reconcile, stitch
+from repro.obs.trace import TraceError, read_trace, tracing
 from repro.service.client import RuleServiceClient
 
 GATE_BENCHMARKS = ("mcf", "libquantum")
@@ -105,10 +115,37 @@ def offline_coverage(name: str) -> float:
     return engine.last_run.dynamic_coverage
 
 
+def stop_server(server: subprocess.Popen) -> None:
+    """Shut the server down gracefully so its trace sink flushes.
+
+    SIGINT unwinds the server's ``tracing`` context manager (the
+    asyncio loop surfaces it as KeyboardInterrupt); SIGTERM would kill
+    the process with the trace tail still buffered.
+    """
+    if server.poll() is not None:
+        return
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
 def main() -> None:
-    tmp = Path(tempfile.mkdtemp(prefix="service-gate-"))
+    artifact_dir = os.environ.get("REPRO_GATE_ARTIFACT_DIR")
+    if artifact_dir:
+        tmp = Path(artifact_dir)
+        tmp.mkdir(parents=True, exist_ok=True)
+    else:
+        tmp = Path(tempfile.mkdtemp(prefix="service-gate-"))
     socket_path = tmp / "rules.sock"
     trace_path = tmp / "clients.jsonl"
+    server_trace_path = tmp / "server.jsonl"
     server = subprocess.Popen(
         [
             sys.executable, "-m", "repro.service.server",
@@ -117,6 +154,7 @@ def main() -> None:
             "--corpus", ",".join(GATE_BENCHMARKS),
             "--no-auto-learn",
             "--no-cache",
+            "--trace", str(server_trace_path),
         ],
     )
     try:
@@ -163,17 +201,35 @@ def main() -> None:
                     f"{COVERAGE_TOLERANCE:.0%} of offline {offline:.4f}"
                 )
 
-        problems = reconcile(aggregate(read_trace(str(trace_path))))
+        client_records = read_trace(str(trace_path))
+        problems = reconcile(aggregate(client_records))
         if problems:
             fail("trace reconciliation: " + "; ".join(problems))
         print("service_gate: trace reconciliation OK")
-    finally:
-        server.terminate()
+
+        # The stitched-timeline check needs the server's flushed trace.
+        stop_server(server)
         try:
-            server.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            server.kill()
-            server.wait()
+            stitched = stitch([
+                (str(trace_path), client_records),
+                (str(server_trace_path),
+                 read_trace(str(server_trace_path))),
+            ])
+        except TraceError as exc:
+            fail(f"stitch: {exc}")
+        summary = stitched.latency_summary()
+        if summary["count"] < 1:
+            fail(
+                "stitch: no gap completed the capture -> settled -> "
+                "hot-install journey across the client+server traces"
+            )
+        print(
+            "service_gate: stitched gap->install latency: "
+            f"count {summary['count']}, p50 {summary['p50']:.1f}ms, "
+            f"p95 {summary['p95']:.1f}ms"
+        )
+    finally:
+        stop_server(server)
 
     print("service_gate: PASS")
 

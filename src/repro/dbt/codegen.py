@@ -418,6 +418,7 @@ class TranslatedBlock:
     guest_length: int = 0
     rule_covered: list[bool] = field(default_factory=list)
     hit_rules: list = field(default_factory=list)  # (rule, length) pairs
+    hit_profiles: list = field(default_factory=list)  # ruletrans.HitProfile
     translation_cost: float = 0.0
     exec_count: int = 0
     exec_cycles: float = 0.0  # host cycles attributed to this block (per run)

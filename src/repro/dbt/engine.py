@@ -120,6 +120,67 @@ class DBTStats:
 
 
 @dataclass
+class RuleProfile:
+    """Lifetime profitability ledger for one learned rule.
+
+    Translation-time entries accrue every time the rule is
+    instantiated into a block (re-translations after invalidation
+    re-pay, which is correct — the costs really recur); execution-time
+    entries accrue per dispatch of a block containing the hit.  The
+    cycle model is :mod:`repro.dbt.perf`'s; "saved" always means
+    *relative to the TCG counterfactual captured at the hit site*.
+
+    Lookup-cost attribution: every successful hit is charged exactly
+    one :data:`~repro.dbt.perf.RULE_LOOKUP_COST` probe.  Probes that
+    missed are real cost too, but belong to no rule — they are the
+    store's overhead, already visible in ``translation_cycles``.
+    """
+
+    digest: str
+    rule: object
+    hits: int = 0                  #: translate-time instantiations
+    exec_hits: int = 0             #: dispatches of blocks with this hit
+    guest_covered: int = 0         #: guest instrs covered, translate-time
+    host_emitted: int = 0          #: host template instrs emitted
+    tcg_ops_avoided: int = 0       #: TCG micro-ops never generated
+    translation_cycles_saved: float = 0.0
+    exec_cycles_saved: float = 0.0
+
+    @property
+    def lookup_cost(self) -> float:
+        return perf.RULE_LOOKUP_COST * self.hits
+
+    @property
+    def cycles_saved(self) -> float:
+        return self.translation_cycles_saved + self.exec_cycles_saved
+
+    @property
+    def net_cycles(self) -> float:
+        return self.cycles_saved - self.lookup_cost
+
+    @property
+    def profitable(self) -> bool:
+        return self.net_cycles > 0
+
+    def count_fields(self) -> dict:
+        """Flat numeric summary (trace payloads, report tables)."""
+        return {
+            "digest": self.digest,
+            "hits": self.hits,
+            "exec_hits": self.exec_hits,
+            "guest_covered": self.guest_covered,
+            "host_emitted": self.host_emitted,
+            "tcg_ops_avoided": self.tcg_ops_avoided,
+            "translation_cycles_saved": self.translation_cycles_saved,
+            "exec_cycles_saved": self.exec_cycles_saved,
+            "lookup_cost": self.lookup_cost,
+            "cycles_saved": self.cycles_saved,
+            "net_cycles": self.net_cycles,
+            "profitable": self.profitable,
+        }
+
+
+@dataclass
 class DBTRunResult:
     return_value: int
     stats: DBTStats
@@ -178,6 +239,10 @@ class DBTEngine:
         #: counters must still be accounted at run end.
         self._retired_blocks: list[TranslatedBlock] = []
         self._runs_completed = 0
+        #: Lifetime per-rule profitability ledgers, keyed by Rule
+        #: (identity excludes provenance, so re-learned equal rules
+        #: share one ledger).
+        self.rule_profiles: dict = {}
         #: Cumulative since construction (never reset).
         self.lifetime = DBTStats()
         #: The most recent completed run (empty before the first).
@@ -236,6 +301,9 @@ class DBTEngine:
             tb.guest_length = len(result.guest_instrs)
             tb.rule_covered = result.rule_covered
             tb.hit_rules = result.hit_rules
+            tb.hit_profiles = result.hit_profiles
+            for profile in result.hit_profiles:
+                self._account_hit(profile)
             tb.translation_cost = (
                 perf.TCG_OP_COST * result.tcg_op_count
                 + perf.RULE_LOOKUP_COST * result.lookup_attempts
@@ -309,6 +377,37 @@ class DBTEngine:
                 miss_reasons=miss_reasons,
             )
         return tb
+
+    # -- per-rule profitability --------------------------------------------------
+
+    def _rule_profile(self, rule) -> RuleProfile:
+        profile = self.rule_profiles.get(rule)
+        if profile is None:
+            from repro.learning.serialize import rule_digest
+
+            profile = self.rule_profiles[rule] = RuleProfile(
+                digest=rule_digest(rule), rule=rule
+            )
+        return profile
+
+    def _account_hit(self, hit) -> None:
+        """Fold one translate-time rule application into its ledger."""
+        profile = self._rule_profile(hit.rule)
+        profile.hits += 1
+        profile.guest_covered += hit.length
+        profile.host_emitted += hit.rule_host_len
+        profile.tcg_ops_avoided += hit.tcg_ops
+        profile.translation_cycles_saved += (
+            perf.TCG_OP_COST * hit.tcg_ops
+            - perf.RULE_EMIT_COST * hit.rule_host_len
+        )
+
+    def rule_profitability(self) -> list[RuleProfile]:
+        """Lifetime per-rule ledgers, most profitable first."""
+        return sorted(
+            self.rule_profiles.values(),
+            key=lambda p: (-p.net_cycles, p.digest),
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -574,7 +673,8 @@ class DBTEngine:
 
     # -- hot install ---------------------------------------------------------
 
-    def hot_install(self, rules, source: str = "direct") -> tuple[int, int]:
+    def hot_install(self, rules, source: str = "direct",
+                    digest: str | None = None) -> tuple[int, int]:
         """Install freshly served rules into the live store mid-run.
 
         Exact duplicates are skipped by the store's idempotent
@@ -584,6 +684,11 @@ class DBTEngine:
         contain a newly installed rule's mnemonic window are
         invalidated (through the same retire machinery the guard uses)
         so their next dispatch retranslates with the new rules.
+
+        ``digest`` names the served bundle these rules came from; it is
+        carried on the ``dbt.hot_install`` trace record so the report
+        layer can join an install back to the publish (and, through the
+        gap's trace id, to the miss that caused it).
 
         Returns ``(installed, invalidated)`` counts.
         """
@@ -617,6 +722,7 @@ class DBTEngine:
                 "dbt.hot_install",
                 engine=self.engine_id,
                 source=source,
+                digest=digest,
                 offered=len(offered),
                 installed=len(installed),
                 invalidated=invalidated,
@@ -653,6 +759,14 @@ class DBTEngine:
                 tb.exec_count * tb.guest_length
             active.dynamic_rule_guest_instructions += \
                 tb.exec_count * sum(tb.rule_covered)
+            if tb.exec_count:
+                for hit in tb.hit_profiles:
+                    profile = self._rule_profile(hit.rule)
+                    profile.exec_hits += tb.exec_count
+                    profile.exec_cycles_saved += (
+                        (hit.tcg_host_cycles - hit.host_cycles)
+                        * tb.exec_count
+                    )
         lifetime = self.lifetime
         lifetime.dynamic_host_instructions += \
             active.dynamic_host_instructions
@@ -685,6 +799,15 @@ class DBTEngine:
                 exec_cycles=tb.exec_cycles,
                 guest_len=tb.guest_length,
                 covered=sum(tb.rule_covered),
+            )
+        # Lifetime-cumulative per-rule ledgers; the report aggregator
+        # keeps the last record per (engine, digest), so repeated runs
+        # on one engine never double-count.
+        for profile in self.rule_profitability():
+            tracer.event(
+                "dbt.rule_profile",
+                engine=self.engine_id,
+                **profile.count_fields(),
             )
         tracer.event(
             "dbt.run",

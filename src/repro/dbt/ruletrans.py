@@ -48,6 +48,27 @@ MISS_REASONS = (
 MAX_GAP_LENGTH = 8
 
 
+@dataclass(frozen=True)
+class HitProfile:
+    """The profitability evidence of one rule application.
+
+    Captured at translation time: what the rule actually emitted, and
+    what TCG *would have* emitted for the same guest instructions (the
+    counterfactual).  The engine combines these with per-block
+    execution counts to attribute cycles saved (or wasted) per rule —
+    the "did this rule pay for its :data:`~repro.dbt.perf.RULE_LOOKUP_COST`"
+    question the evaluation turns on.
+    """
+
+    rule: Rule
+    length: int                #: guest instructions the rule covered
+    rule_host_len: int         #: host template length (emit-cost basis)
+    host_cycles: float         #: exec cycles/visit of the rule's host code
+    tcg_ops: int               #: TCG micro-ops the rule avoided
+    tcg_host_len: int          #: host instrs TCG would have emitted
+    tcg_host_cycles: float     #: exec cycles/visit of that TCG host code
+
+
 @dataclass
 class BlockTranslation:
     """Result of translating one guest block with rules."""
@@ -59,6 +80,7 @@ class BlockTranslation:
     tcg_op_count: int
     lookup_attempts: int
     miss_reasons: dict[str, int] = field(default_factory=dict)
+    hit_profiles: list[HitProfile] = field(default_factory=list)
 
 
 def flags_dead_after(rule: Rule, block: list[Instruction],
@@ -177,6 +199,41 @@ def _check_host_constraints(instr: Instruction) -> None:
         raise RuleApplicationError(str(exc)) from exc
 
 
+def _counterfactual_tcg(
+    program: CompiledProgram,
+    block: list[Instruction],
+    start: int,
+    length: int,
+    guest_addr: int,
+) -> tuple[int, int, float]:
+    """What TCG would have produced for ``block[start:start+length]``.
+
+    Translates the covered guest instructions through the normal TCG
+    path into a throwaway assembler — same ``is_last`` logic as the
+    fallback path, so branch rules are compared against the branch
+    lowering they displaced.  Returns ``(tcg_ops, host_instrs,
+    host_cycles)``.  Runs once per rule application (translation time,
+    never execution time), so the cost is one extra translation of the
+    covered window.
+    """
+    from repro.dbt.perf import instruction_cycles
+
+    shadow = BlockAssembler()
+    ops_total = 0
+    for j in range(start, start + length):
+        tcg = TcgBlock(guest_start=guest_addr)
+        tcg.temp_counter = 50_000 + j * 100  # disjoint from the real path
+        translate_instruction(
+            program, tcg, block[j], guest_addr + 4 * j,
+            is_last=j == len(block) - 1,
+        )
+        ops_total += len(tcg.ops)
+        for op in tcg.ops:
+            codegen.lower_tcg_op(shadow, op)
+    cycles = sum(instruction_cycles(instr) for instr in shadow.instrs)
+    return ops_total, len(shadow.instrs), cycles
+
+
 def translate_block_with_rules(
     program: CompiledProgram,
     start_index: int,
@@ -192,11 +249,14 @@ def translate_block_with_rules(
     """
     from repro.obs.trace import get_tracer
 
+    from repro.dbt.perf import instruction_cycles
+
     block = discover_block(program, start_index)
     guest_addr = 0x8000 + 4 * start_index
     assembler = BlockAssembler()
     covered = [False] * len(block)
     hit_rules: list[tuple[Rule, int]] = []
+    hit_profiles: list[HitProfile] = []
     miss_reasons: dict[str, int] = {}
     tcg_ops_total = 0
     lookups = 0
@@ -219,12 +279,14 @@ def translate_block_with_rules(
             elif not _binding_applicable(match):
                 match, reason = None, MISS_BINDING
         if match is not None:
+            hit_host_start = len(assembler.instrs)
             try:
                 _, branch_cc = instantiate_host(
                     match.rule, match.binding, assembler
                 )
             except RuleApplicationError:
                 match, reason = None, MISS_APPLY_ERROR
+                del assembler.instrs[hit_host_start:]
             else:
                 hit_rules.append((match.rule, match.length))
                 if tracer.enabled:
@@ -241,6 +303,24 @@ def translate_block_with_rules(
                     assembler.emit(branch_cc, Label(tb_label(taken)))
                     assembler.emit("jmp", Label(tb_label(fallthrough)))
                     ended = True
+                # Profitability evidence: the rule's actual host code
+                # (including any block-ending writeback + branch it
+                # forced) vs. the TCG counterfactual for the same span.
+                hit_host = assembler.instrs[hit_host_start:]
+                tcg_ops, tcg_len, tcg_cycles = _counterfactual_tcg(
+                    program, block, i, match.length, guest_addr
+                )
+                hit_profiles.append(HitProfile(
+                    rule=match.rule,
+                    length=match.length,
+                    rule_host_len=len(match.rule.host),
+                    host_cycles=sum(
+                        instruction_cycles(instr) for instr in hit_host
+                    ),
+                    tcg_ops=tcg_ops,
+                    tcg_host_len=tcg_len,
+                    tcg_host_cycles=tcg_cycles,
+                ))
                 i += match.length
                 continue
         if reason is not None:
@@ -277,6 +357,7 @@ def translate_block_with_rules(
         tcg_op_count=tcg_ops_total,
         lookup_attempts=lookups,
         miss_reasons=miss_reasons,
+        hit_profiles=hit_profiles,
     )
 
 

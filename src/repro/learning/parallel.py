@@ -188,20 +188,36 @@ class _PoolScheduler:
         probing = False
         try:
             while queue or suspects or inflight:
+                # submit() reports a broken pool synchronously when a
+                # worker dies between batches — before any in-flight
+                # future has surfaced the break via result().  A chunk
+                # refused at submit time never ran, so it is requeued
+                # where it came from (never blamed) and the normal
+                # rebuild below takes over.
+                broken = False
                 if suspects and not inflight:
                     chunk, attempts = suspects.popleft()
-                    future = pool.submit(_resolve_chunk, chunk,
-                                         self.budget, self.plan)
-                    inflight[future] = (chunk, attempts)
-                    probing = True
+                    try:
+                        future = pool.submit(_resolve_chunk, chunk,
+                                             self.budget, self.plan)
+                    except BrokenExecutor:
+                        suspects.appendleft((chunk, attempts))
+                        broken = True
+                    else:
+                        inflight[future] = (chunk, attempts)
+                        probing = True
                 elif not suspects and not probing:
                     while queue and len(inflight) < 2 * self.workers:
                         chunk, attempts = queue.popleft()
-                        future = pool.submit(_resolve_chunk, chunk,
-                                             self.budget, self.plan)
+                        try:
+                            future = pool.submit(_resolve_chunk, chunk,
+                                                 self.budget, self.plan)
+                        except BrokenExecutor:
+                            queue.appendleft((chunk, attempts))
+                            broken = True
+                            break
                         inflight[future] = (chunk, attempts)
                 done, _ = wait(inflight, return_when=FIRST_COMPLETED)
-                broken = False
                 for future in done:
                     chunk, attempts = inflight.pop(future)
                     try:

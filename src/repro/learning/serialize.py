@@ -129,6 +129,26 @@ def rule_to_json(rule: Rule) -> dict:
     }
 
 
+def rule_digest(rule: Rule) -> str:
+    """A short stable content digest identifying a rule's semantics.
+
+    Hashes the canonical JSON form minus the provenance fields
+    (``origin``/``line``) and derived ``cc_info`` — exactly the fields
+    :class:`~repro.learning.rule.Rule` excludes from equality — so two
+    equal rules learned from different corpus lines share one digest.
+    This is the key per-rule attribution (profitability, hit
+    reconciliation) reports under: stable across processes and runs,
+    unlike ``id()`` or insertion order.
+    """
+    import hashlib
+
+    data = rule_to_json(rule)
+    for ephemeral in ("origin", "line", "cc_info"):
+        data.pop(ephemeral, None)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
 def rule_from_json(data: dict) -> Rule:
     try:
         return Rule(

@@ -21,6 +21,39 @@ from __future__ import annotations
 
 import threading
 
+#: The quantiles every summary view reports.
+SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def histogram_quantiles(bucket: dict, quantiles=SUMMARY_QUANTILES) -> dict:
+    """Weighted nearest-rank quantiles of a sparse ``{value: count}``
+    histogram, as ``{"p50": v, "p95": v, "p99": v}``.
+
+    Exact, not interpolated: each reported quantile is a value that was
+    actually observed, which keeps summaries honest for the small
+    discrete distributions (rule lengths, solver calls, frame
+    latencies) these histograms hold.  Empty input gives ``{}``.
+    """
+    pairs = sorted(
+        (value, count) for value, count in bucket.items() if count > 0
+    )
+    total = sum(count for _, count in pairs)
+    if total == 0:
+        return {}
+    result = {}
+    for q in quantiles:
+        # nearest-rank: the smallest value whose cumulative count
+        # reaches ceil(q * total).
+        rank = max(1, -(-int(q * total * 1_000_000) // 1_000_000))
+        rank = min(rank, total)
+        cumulative = 0
+        for value, count in pairs:
+            cumulative += count
+            if cumulative >= rank:
+                result[f"p{int(q * 100)}"] = value
+                break
+    return result
+
 
 class MetricsRegistry:
     """Process-local named counters and histograms.
@@ -58,12 +91,24 @@ class MetricsRegistry:
         return len(self._counters) + len(self._histograms)
 
     def snapshot(self) -> dict:
-        """A plain-dict (picklable, JSON-able for string keys) view."""
-        return {
-            "counters": dict(self._counters),
-            "histograms": {
+        """A plain-dict (picklable, JSON-able for string keys) view.
+
+        Includes a derived ``quantiles`` summary per histogram;
+        ``merge()`` recomputes from the raw buckets, so shipping a
+        snapshot across a process boundary loses nothing.
+        """
+        with self._lock:
+            histograms = {
                 name: dict(bucket)
                 for name, bucket in self._histograms.items()
+            }
+            counters = dict(self._counters)
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "quantiles": {
+                name: histogram_quantiles(bucket)
+                for name, bucket in histograms.items()
             },
         }
 
@@ -92,7 +137,8 @@ def format_metrics(source: MetricsRegistry | dict, title: str = "metrics",
     ``prefix`` filters to names starting with it (a tuple matches any
     of several prefixes, e.g. ``("learning.cache.", "learning.verify.")``).
     Counters print as integers when whole; histograms print their
-    value/count pairs sorted by value.
+    value/count pairs sorted by value, followed by a p50/p95/p99
+    summary row.
     """
     snapshot = source.snapshot() if isinstance(source, MetricsRegistry) \
         else source
@@ -114,6 +160,11 @@ def format_metrics(source: MetricsRegistry | dict, title: str = "metrics",
             for value, count in sorted(bucket.items(), key=lambda kv: kv[0])
         )
         rows.append((name + "{}", "{" + text + "}"))
+        summary = snapshot.get("quantiles", {}).get(name) \
+            or histogram_quantiles(bucket)
+        if summary:
+            text = " ".join(f"{q}={v}" for q, v in summary.items())
+            rows.append((name + ".quantiles", text))
     if not rows:
         return f"{title}: (none)"
     width = max(len(name) for name, _ in rows)

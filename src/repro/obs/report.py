@@ -11,13 +11,29 @@ prints:
   and the top-N hottest blocks by attributed execution cycles;
 * rule-service activity (gap reports, bundle publishes, syncs and
   hot-installs) when the trace covers a ``repro-serve`` deployment;
+* a per-rule **profitability table** (cycles saved vs. lookup cost per
+  rule digest, from ``dbt.rule_profile`` ledgers), flagging rules
+  whose lookup cost exceeds their savings;
 * a reconciliation section cross-checking the per-event aggregates
   against the ``LearningReport`` (``learn.report`` records) and
   ``DBTStats`` (``dbt.run`` records) accounting paths embedded in the
   same trace — plus, for service traces, the client's claimed sync
-  installs against the engines' ``dbt.hot_install`` events.  The paths
-  are computed independently, so agreement validates both; any
-  discrepancy fails the CLI with exit code 1.
+  installs against the engines' ``dbt.hot_install`` events, and the
+  profitability ledgers against the per-translate rule-hit counters.
+  The paths are computed independently, so agreement validates both;
+  any discrepancy fails the CLI with exit code 1.
+
+Several trace files aggregate together (``report a.jsonl b.jsonl``),
+and ``--stitch`` additionally joins them onto one absolute timeline
+using each file's trace-header epoch: a gap's ``service.gap_capture``
+(client file), its ``service.gap_settled`` naming the published bundle
+(server file), and the ``dbt.hot_install`` of that bundle (client
+file) share one trace id, so the report can state end-to-end
+gap-to-installed-rule latency percentiles for the whole deployment.
+
+Files whose trace header announces an unknown semantics version are
+rejected loudly — misreading re-versioned fields would silently
+corrupt every figure this tool re-derives.
 """
 
 from __future__ import annotations
@@ -26,8 +42,14 @@ import argparse
 import json
 import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 
-from repro.obs.trace import TraceRecord, read_trace
+from repro.obs.trace import (
+    TraceError,
+    TraceRecord,
+    check_trace_version,
+    read_trace,
+)
 
 PREP_REASONS = ("CI", "PI", "MB")
 PARAM_REASONS = ("Num", "Name", "FailG")
@@ -119,6 +141,10 @@ class EngineAggregate:
     #: guard retranslation can replace a block at the same address with
     #: different coverage mid-run.
     blocks: dict = field(default_factory=dict)
+    #: digest -> the LAST dbt.rule_profile record's fields.  The
+    #: engine emits lifetime-cumulative ledgers at every run end, so
+    #: later records supersede earlier ones rather than summing.
+    rule_profiles: dict = field(default_factory=dict)
     #: The DBTStats accounting path (the last dbt.run event).
     run_record: dict | None = None
     runs: int = 0
@@ -163,6 +189,19 @@ class EngineAggregate:
     def ranked_miss_reasons(self) -> list[tuple[str, int]]:
         return sorted(self.miss_reasons.items(),
                       key=lambda kv: kv[1], reverse=True)
+
+    def profitability(self) -> list[dict]:
+        """Per-rule ledgers, most profitable first (the engine's own
+        ``rule_profitability()`` ordering: net cycles desc, digest)."""
+        return sorted(
+            self.rule_profiles.values(),
+            key=lambda p: (-p.get("net_cycles", 0.0),
+                           p.get("digest", "")),
+        )
+
+    def unprofitable_rules(self) -> list[dict]:
+        return [p for p in self.profitability()
+                if not p.get("profitable")]
 
 
 @dataclass
@@ -291,6 +330,10 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
             e.mode = fields.get("mode", e.mode)
             e.run_record = fields
             e.runs += 1
+        elif name == "dbt.rule_profile":
+            # Lifetime-cumulative ledger snapshots: last one wins.
+            engine(fields).rule_profiles[fields.get("digest", "")] = \
+                fields
         elif name == "dbt.hot_install":
             s = agg.service
             entry = s.hot_installs.setdefault(
@@ -392,6 +435,41 @@ def reconcile_dbt(agg: TraceAggregate,
     return problems
 
 
+def reconcile_profitability(agg: TraceAggregate) -> list[str]:
+    """Cross-check the per-rule profitability ledgers
+    (``dbt.rule_profile``, the engine's ``_account_hit`` path) against
+    the per-translate rule-hit counters (``dbt.translate`` events'
+    ``hit_lengths``).  Both count every translate-time rule
+    instantiation, through entirely separate code paths, so totals
+    must agree exactly."""
+    problems = []
+    for key, e in sorted(agg.engines.items()):
+        if not e.rule_profiles:
+            continue
+        profile_hits = sum(
+            p.get("hits", 0) for p in e.rule_profiles.values()
+        )
+        event_hits = sum(e.hit_lengths.values())
+        if profile_hits != event_hits:
+            problems.append(
+                f"engine {key}: rule_profile hits {profile_hits} != "
+                f"translate hit_lengths total {event_hits}"
+            )
+        profile_covered = sum(
+            p.get("guest_covered", 0) for p in e.rule_profiles.values()
+        )
+        event_covered = sum(
+            length * count for length, count in e.hit_lengths.items()
+        )
+        if profile_covered != event_covered:
+            problems.append(
+                f"engine {key}: rule_profile guest_covered "
+                f"{profile_covered} != translate hit_lengths coverage "
+                f"{event_covered}"
+            )
+    return problems
+
+
 def reconcile_service(agg: TraceAggregate) -> list[str]:
     """Cross-check the client path (``service.sync_result`` spans'
     install totals) against the engine path (``dbt.hot_install``
@@ -427,7 +505,7 @@ def reconcile_service(agg: TraceAggregate) -> list[str]:
 
 def reconcile(agg: TraceAggregate) -> list[str]:
     return (reconcile_learning(agg) + reconcile_dbt(agg)
-            + reconcile_service(agg))
+            + reconcile_profitability(agg) + reconcile_service(agg))
 
 
 # -- figure derivations --------------------------------------------------------
@@ -457,6 +535,171 @@ def hit_lengths_from_trace(agg: TraceAggregate) -> dict[int, dict]:
         for key, e in sorted(agg.engines.items())
         if e.mode == "rules"
     }
+
+
+def profitability_from_trace(agg: TraceAggregate) -> dict[int, list]:
+    """Per-rule profitability ledgers per engine, net cycles desc."""
+    return {
+        key: e.profitability()
+        for key, e in sorted(agg.engines.items())
+        if e.rule_profiles
+    }
+
+
+# -- multi-file stitching ------------------------------------------------------
+
+
+@dataclass
+class GapJourney:
+    """One gap's life across processes, on the absolute timeline.
+
+    Joined by trace id: the client's ``service.gap_capture`` roots the
+    trace, the server's ``service.gap_settled`` names the bundle the
+    covering rules published into, and the client's ``dbt.hot_install``
+    of that bundle digest completes the journey."""
+
+    trace_id: str
+    digest: str
+    captured_at: float
+    settled_at: float | None = None
+    bundle: str | None = None
+    installed_at: float | None = None
+
+    @property
+    def latency(self) -> float | None:
+        """Capture-to-hot-install seconds; None while incomplete."""
+        if self.installed_at is None:
+            return None
+        return self.installed_at - self.captured_at
+
+
+@dataclass
+class StitchResult:
+    """Several trace files joined onto one wall-clock timeline."""
+
+    #: (source, header epoch, record count) per input file.
+    files: list = field(default_factory=list)
+    #: Every captured gap, ordered by capture time.
+    journeys: list = field(default_factory=list)
+
+    @property
+    def completed(self) -> list:
+        return [j for j in self.journeys if j.latency is not None]
+
+    def latency_summary(self) -> dict:
+        """count / p50 / p95 / p99 / max of end-to-end latency (ms)."""
+        from repro.obs.metrics import histogram_quantiles
+
+        latencies = [j.latency * 1000.0 for j in self.completed]
+        if not latencies:
+            return {"count": 0}
+        histogram: dict = {}
+        for value in latencies:
+            histogram[value] = histogram.get(value, 0) + 1
+        summary = {"count": len(latencies)}
+        summary.update(
+            {k: round(v, 3)
+             for k, v in histogram_quantiles(histogram).items()}
+        )
+        summary["max"] = round(max(latencies), 3)
+        return summary
+
+    def to_json(self) -> dict:
+        return {
+            "files": [
+                {"source": source, "epoch": epoch, "records": count}
+                for source, epoch, count in self.files
+            ],
+            "gaps": {
+                "captured": len(self.journeys),
+                "settled": sum(
+                    1 for j in self.journeys if j.settled_at is not None
+                ),
+                "installed": len(self.completed),
+            },
+            "latency_ms": self.latency_summary(),
+        }
+
+
+def stitch(sources: list[tuple[str, list[TraceRecord]]]) -> StitchResult:
+    """Join trace files onto one absolute timeline by header epoch.
+
+    Each file's ``trace.header`` records the wall-clock epoch of its
+    tracer's monotonic zero, so ``epoch + record.ts`` places every
+    record — from any process — on one comparable axis.  Gap journeys
+    are then joined by trace id (capture -> settled) and bundle digest
+    (settled -> hot-install); the install matched is the earliest one
+    of that bundle at or after the capture.
+    """
+    result = StitchResult()
+    captures: dict[str, GapJourney] = {}
+    settles: dict[str, tuple] = {}
+    installs: list[tuple] = []
+    for source, records in sources:
+        header = check_trace_version(records, source=source)
+        if header is None or "epoch" not in header.fields:
+            raise TraceError(
+                f"{source}: no trace-header epoch — written by a "
+                "pre-header tracer? --stitch needs wall-clock anchors"
+            )
+        epoch = float(header.fields["epoch"])
+        result.files.append((source, epoch, len(records)))
+        for record in records:
+            abs_ts = epoch + record.ts
+            name = record.name
+            if name == "service.gap_capture" and record.trace_id:
+                captures.setdefault(
+                    record.trace_id,
+                    GapJourney(
+                        trace_id=record.trace_id,
+                        digest=record.fields.get("digest", ""),
+                        captured_at=abs_ts,
+                    ),
+                )
+            elif name == "service.gap_settled" and record.trace_id:
+                settles[record.trace_id] = \
+                    (record.fields.get("bundle"), abs_ts)
+            elif name == "dbt.hot_install" \
+                    and record.fields.get("digest"):
+                installs.append((record.fields["digest"], abs_ts))
+    installs.sort(key=lambda item: item[1])
+    for trace_id, journey in captures.items():
+        settled = settles.get(trace_id)
+        if settled is not None:
+            journey.bundle, journey.settled_at = settled
+            if journey.bundle:
+                for digest, abs_ts in installs:
+                    if digest == journey.bundle \
+                            and abs_ts >= journey.captured_at:
+                        journey.installed_at = abs_ts
+                        break
+        result.journeys.append(journey)
+    result.journeys.sort(key=lambda j: j.captured_at)
+    return result
+
+
+def render_stitch(result: StitchResult) -> str:
+    lines = [f"== stitched timeline ({len(result.files)} files) =="]
+    for source, epoch, count in result.files:
+        lines.append(f"  {source}: {count} records, epoch {epoch:.3f}")
+    journeys = result.journeys
+    settled = sum(1 for j in journeys if j.settled_at is not None)
+    lines.append(
+        f"gaps: {len(journeys)} captured, {settled} settled, "
+        f"{len(result.completed)} hot-installed"
+    )
+    summary = result.latency_summary()
+    if summary["count"]:
+        lines.append(
+            "gap-report -> hot-install latency: "
+            f"count {summary['count']}, p50 {summary['p50']:.1f}ms, "
+            f"p95 {summary['p95']:.1f}ms, max {summary['max']:.1f}ms"
+        )
+    else:
+        lines.append(
+            "gap-report -> hot-install latency: no completed journeys"
+        )
+    return "\n".join(lines)
 
 
 # -- rendering -----------------------------------------------------------------
@@ -535,6 +778,36 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
                     f"{reason} x{count}" for reason, count in misses
                 )
                 lines.append(f"rule-miss reasons (ranked): {ranked}")
+        profiles = e.profitability()
+        if profiles:
+            shown = profiles if len(profiles) <= 2 * top else \
+                profiles[:top] + profiles[-top:]
+            lines.append(
+                f"rule profitability ({len(profiles)} rules, "
+                f"net cycles = saved - lookup cost):"
+            )
+            lines.append(
+                "  digest            hits  exec      saved     lookup"
+                "        net"
+            )
+            for i, p in enumerate(shown):
+                if len(shown) < len(profiles) and i == top:
+                    lines.append("  ...")
+                flag = "" if p.get("profitable") else "  UNPROFITABLE"
+                lines.append(
+                    f"  {p.get('digest', '?'):<16s}  "
+                    f"{p.get('hits', 0):<4d}  "
+                    f"{p.get('exec_hits', 0):<6d}  "
+                    f"{p.get('cycles_saved', 0.0):9.0f}  "
+                    f"{p.get('lookup_cost', 0.0):9.0f}  "
+                    f"{p.get('net_cycles', 0.0):9.0f}{flag}"
+                )
+            unprofitable = e.unprofitable_rules()
+            if unprofitable:
+                lines.append(
+                    f"  {len(unprofitable)} rule(s) cost more to look "
+                    "up than they save"
+                )
         hot = e.hottest_blocks(top)
         if hot:
             lines.append(f"hottest blocks (top {len(hot)}):")
@@ -588,6 +861,8 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
             )
         if agg.engines:
             checked.append(f"{len(agg.engines)} engine(s) vs DBTStats")
+        if any(e.rule_profiles for e in agg.engines.values()):
+            checked.append("rule profiles vs translate hits")
         if agg.service.active:
             checked.append("service syncs vs hot-installs")
         lines.append(
@@ -605,7 +880,14 @@ def main(argv: list[str] | None = None) -> int:
                     "cross-check it against the LearningReport/DBTStats "
                     "records embedded in the trace.",
     )
-    parser.add_argument("trace", help="JSON-lines trace file")
+    parser.add_argument("trace", nargs="+",
+                        help="JSON-lines trace file(s); several "
+                             "aggregate together")
+    parser.add_argument("--stitch", action="store_true",
+                        help="join the files onto one wall-clock "
+                             "timeline (via trace-header epochs) and "
+                             "report end-to-end gap-to-hot-install "
+                             "latency")
     parser.add_argument("--top", type=int, default=10, metavar="N",
                         help="hottest blocks to list per engine "
                              "(default: 10)")
@@ -614,7 +896,20 @@ def main(argv: list[str] | None = None) -> int:
                              "of the text report")
     args = parser.parse_args(argv)
 
-    agg = aggregate(read_trace(args.trace))
+    try:
+        sources = [
+            (str(Path(path)), read_trace(path)) for path in args.trace
+        ]
+        for source, records in sources:
+            check_trace_version(records, source=source)
+        stitched = stitch(sources) if args.stitch else None
+    except (TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    agg = aggregate(
+        [record for _, records in sources for record in records]
+    )
     problems = reconcile(agg)
     if args.json:
         payload = {
@@ -628,10 +923,19 @@ def main(argv: list[str] | None = None) -> int:
                 str(key): value
                 for key, value in hit_lengths_from_trace(agg).items()
             },
+            "profitability": {
+                str(key): value
+                for key, value in profitability_from_trace(agg).items()
+            },
             "reconciliation": problems,
         }
+        if stitched is not None:
+            payload["stitch"] = stitched.to_json()
         print(json.dumps(payload, indent=1))
     else:
+        if stitched is not None:
+            print(render_stitch(stitched))
+            print()
         print(render_report(agg, top=args.top))
     return 1 if problems else 0
 

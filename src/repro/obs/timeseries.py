@@ -1,0 +1,162 @@
+"""Windowed time-series for live service telemetry.
+
+A :class:`TimeSeries` is a ring of per-second buckets: ``add(n)``
+accumulates into the bucket for the current second, and ``rate()`` /
+``total()`` read back only the buckets inside the window, so a
+long-running ``repro-serve`` answers "gaps/sec right now" without ever
+growing memory — the ring recycles buckets in place as time advances.
+
+:class:`LatencyRecorder` is the companion for durations: a sparse
+histogram of millisecond-rounded observations plus running count/sum,
+summarised through :func:`repro.obs.metrics.histogram_quantiles`.
+
+:class:`ServiceTelemetry` bundles the series and recorders the rule
+server exposes through its ``stats`` op; ``repro.obs.top`` renders the
+snapshot.  Everything here is wall-clock-free on the wire: snapshots
+carry rates and histograms, not timestamps, so clients need no clock
+agreement with the server.
+
+All classes are thread-safe — the asyncio server records from its
+event loop and from learning-executor threads concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import histogram_quantiles
+
+
+class TimeSeries:
+    """A ring buffer of per-second counting buckets.
+
+    ``window`` seconds of history are retained; older buckets are
+    recycled lazily as ``add``/``rate`` observe time advancing.  The
+    clock is injectable for deterministic tests.
+    """
+
+    def __init__(self, window: float = 60.0, clock=time.monotonic) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1 second: {window!r}")
+        self.window = float(window)
+        self._clock = clock
+        self._slots = int(window)
+        # Each slot holds (absolute_second, count); a slot whose
+        # recorded second no longer matches is stale and reads as 0.
+        self._buckets: list[list] = [[-1, 0.0] for _ in range(self._slots)]
+        self._lifetime = 0.0
+        self._lock = threading.Lock()
+
+    def _bucket(self, second: int) -> list:
+        slot = self._buckets[second % self._slots]
+        if slot[0] != second:
+            slot[0] = second
+            slot[1] = 0.0
+        return slot
+
+    def add(self, amount: float = 1) -> None:
+        now = int(self._clock())
+        with self._lock:
+            self._bucket(now)[1] += amount
+            self._lifetime += amount
+
+    def total(self) -> float:
+        """Sum over the live window."""
+        now = int(self._clock())
+        floor = now - self._slots + 1
+        with self._lock:
+            return sum(
+                count for second, count in self._buckets
+                if floor <= second <= now
+            )
+
+    def rate(self) -> float:
+        """Events per second over the live window."""
+        return self.total() / self.window
+
+    @property
+    def lifetime(self) -> float:
+        """Total ever added, independent of the window."""
+        with self._lock:
+            return self._lifetime
+
+    def snapshot(self) -> dict:
+        return {
+            "window_seconds": self.window,
+            "total": self.total(),
+            "rate_per_sec": self.rate(),
+            "lifetime": self.lifetime,
+        }
+
+
+class LatencyRecorder:
+    """Sparse millisecond histogram with count/sum and quantiles."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        ms = int(round(seconds * 1000))
+        with self._lock:
+            self._buckets[ms] = self._buckets.get(ms, 0) + 1
+            self._count += 1
+            self._sum += seconds
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            buckets = dict(self._buckets)
+            count = self._count
+            total = self._sum
+        return {
+            "count": count,
+            "mean_ms": (total / count * 1000) if count else 0.0,
+            "histogram_ms": buckets,
+            "quantiles_ms": histogram_quantiles(buckets),
+        }
+
+
+class ServiceTelemetry:
+    """The rule server's live instrument cluster.
+
+    * ``gaps`` — new gap windows absorbed (rate answers "gaps/sec");
+    * ``rules`` — rules published by learning rounds;
+    * ``frames`` — request frames handled, any op;
+    * per-op latency recorders, keyed by op name.
+
+    ``snapshot(queue_depth=...)`` is the JSON body of the ``stats``
+    op's ``telemetry`` field; the caller supplies point-in-time gauges
+    (learner queue depth) that live outside the telemetry object.
+    """
+
+    def __init__(self, window: float = 60.0, clock=time.monotonic) -> None:
+        self.gaps = TimeSeries(window, clock)
+        self.rules = TimeSeries(window, clock)
+        self.frames = TimeSeries(window, clock)
+        self._ops: dict[str, LatencyRecorder] = {}
+        self._lock = threading.Lock()
+        self._started = time.time()
+
+    def observe_op(self, op: str, seconds: float) -> None:
+        """Record one handled frame of ``op`` taking ``seconds``."""
+        self.frames.add()
+        with self._lock:
+            recorder = self._ops.get(op)
+            if recorder is None:
+                recorder = self._ops[op] = LatencyRecorder()
+        recorder.observe(seconds)
+
+    def snapshot(self, **gauges) -> dict:
+        with self._lock:
+            ops = dict(self._ops)
+        return {
+            "uptime_seconds": time.time() - self._started,
+            "gaps": self.gaps.snapshot(),
+            "rules": self.rules.snapshot(),
+            "frames": self.frames.snapshot(),
+            "ops": {name: rec.snapshot() for name, rec in ops.items()},
+            **gauges,
+        }

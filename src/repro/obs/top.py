@@ -1,0 +1,154 @@
+"""``repro-top``: a live view of a running rule server.
+
+Polls the server's ``stats`` op over the same wire protocol the DBT
+clients use and renders the windowed telemetry as a terminal
+dashboard::
+
+    repro-top --socket /run/repro/rules.sock            # live, 2s refresh
+    repro-top --socket /run/repro/rules.sock --once     # one snapshot
+    python -m repro.obs.top --host db1 --port 7421 --json
+
+The dashboard shows the server-side view of the online-learning loop:
+gaps/sec arriving, the learner's queue depth, rules/bundles published,
+and per-op frame latency quantiles.  ``--json`` dumps the raw ``stats``
+response for scripting; ``--once`` renders a single snapshot and exits
+(the form CI and the e2e tests use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def _fmt_rate(series: dict) -> str:
+    rate = series.get("rate_per_sec", 0.0)
+    window = series.get("window_seconds", 0)
+    total = series.get("total", 0)
+    lifetime = series.get("lifetime", 0)
+    return (
+        f"{rate:8.2f}/s  (last {int(window)}s: {int(total)},"
+        f" lifetime: {int(lifetime)})"
+    )
+
+
+def _fmt_ms(value) -> str:
+    return f"{value:.1f}ms" if isinstance(value, float) else f"{value}ms"
+
+
+def render(stats: dict) -> str:
+    """The ``stats`` response as a dashboard string."""
+    lines = ["repro-top — rule service"]
+    lines.append(
+        "  generation {gen:<6} bundles {bundles:<5} "
+        "rules published {rules:<6} learn rounds {rounds}".format(
+            gen=stats.get("generation", 0),
+            bundles=stats.get("bundles", 0),
+            rules=stats.get("rules_published", 0),
+            rounds=stats.get("learn_rounds", 0),
+        )
+    )
+    gaps = stats.get("gaps", {})
+    lines.append(
+        "  gaps: seen {seen}, pending {pending}, settled {settled}".format(
+            seen=gaps.get("seen", 0),
+            pending=gaps.get("pending", 0),
+            settled=gaps.get("settled", 0),
+        )
+    )
+    telemetry = stats.get("telemetry")
+    if not telemetry:
+        lines.append("  (server reports no live telemetry)")
+        return "\n".join(lines)
+    uptime = telemetry.get("uptime_seconds", 0.0)
+    lines.append(f"  uptime {uptime:.0f}s   learner queue depth "
+                 f"{telemetry.get('queue_depth', 0)}")
+    lines.append("")
+    lines.append("  windowed rates")
+    for key, label in (("gaps", "gaps absorbed"),
+                       ("rules", "rules published"),
+                       ("frames", "frames handled")):
+        series = telemetry.get(key)
+        if series:
+            lines.append(f"    {label:<16} {_fmt_rate(series)}")
+    ops = telemetry.get("ops", {})
+    if ops:
+        lines.append("")
+        lines.append("  per-op frame latency")
+        lines.append(f"    {'op':<14} {'count':>7} {'mean':>9} "
+                     f"{'p50':>7} {'p95':>7} {'p99':>7}")
+        for op in sorted(ops):
+            snap = ops[op]
+            quantiles = snap.get("quantiles_ms", {})
+            lines.append(
+                "    {op:<14} {count:>7} {mean:>9} {p50:>7} {p95:>7} "
+                "{p99:>7}".format(
+                    op=op,
+                    count=snap.get("count", 0),
+                    mean=_fmt_ms(snap.get("mean_ms", 0.0)),
+                    p50=_fmt_ms(quantiles.get("p50", 0)),
+                    p95=_fmt_ms(quantiles.get("p95", 0)),
+                    p99=_fmt_ms(quantiles.get("p99", 0)),
+                )
+            )
+    return "\n".join(lines)
+
+
+def fetch_stats(socket_path: str | None,
+                address: tuple[str, int] | None) -> dict:
+    # Imported here so `--help` works without the service package.
+    from repro.service.client import RuleServiceClient
+
+    with RuleServiceClient(socket_path=socket_path,
+                           address=address) as client:
+        return client.stats()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="live telemetry view of a running repro-serve",
+    )
+    parser.add_argument("--socket", help="unix socket path of the server")
+    parser.add_argument("--host", help="TCP host of the server")
+    parser.add_argument("--port", type=int, help="TCP port of the server")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh interval in seconds (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="render one snapshot and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw stats response as JSON")
+    args = parser.parse_args(argv)
+
+    if args.socket:
+        socket_path, address = args.socket, None
+    elif args.host and args.port:
+        socket_path, address = None, (args.host, args.port)
+    else:
+        parser.error("pass --socket PATH or --host/--port")
+
+    try:
+        while True:
+            stats = fetch_stats(socket_path, address)
+            if args.json:
+                output = json.dumps(stats, indent=2, sort_keys=True)
+            else:
+                output = render(stats)
+            if args.once:
+                print(output)
+                return 0
+            # Clear the screen between refreshes, home the cursor.
+            sys.stdout.write("\x1b[2J\x1b[H" + output + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-top: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

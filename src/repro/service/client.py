@@ -33,7 +33,12 @@ from repro.learning.cache import SEMANTICS_VERSION
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.service.gaps import GapRecorder
-from repro.service.protocol import ProtocolError, recv_message, send_message
+from repro.service.protocol import (
+    ProtocolError,
+    attach_trace,
+    recv_message,
+    send_message,
+)
 from repro.service.repo import BundleError, verify_bundle, verify_manifest
 
 
@@ -89,6 +94,9 @@ class RuleServiceClient:
     def request(self, op: str, **fields) -> dict:
         message = {"op": op}
         message.update(fields)
+        # Requests sent from inside a span carry its context, so the
+        # server's handling span joins this client's trace.
+        attach_trace(message, get_tracer().inject())
         send_message(self._sock, message)
         response = recv_message(self._sock)
         if response is None:
@@ -135,7 +143,8 @@ class RuleServiceClient:
         report = self.recorder.drain()
         if not report:
             return 0
-        response = self.request("report_gaps", gaps=report)
+        with get_tracer().span("service.report_gaps", gaps=len(report)):
+            response = self.request("report_gaps", gaps=report)
         metrics = get_metrics()
         metrics.inc("service.client.gap_reports")
         metrics.inc("service.client.gaps_reported", len(report))
@@ -192,7 +201,7 @@ class RuleServiceClient:
                 rules = self.fetch_rules(digest)
                 fetched += len(rules)
                 new_rules, newly_invalid = engine.hot_install(
-                    rules, source="sync"
+                    rules, source="sync", digest=digest
                 )
                 installed += new_rules
                 invalidated += newly_invalid

@@ -13,15 +13,25 @@ server's online learner matches staged corpus candidates against gap
 windows by mnemonic subsequence, which is exactly the information a
 rule needs to possibly cover part of the gap (rule matching never
 changes mnemonics, only operand bindings).
+
+With tracing enabled, every *new* gap a recorder captures roots a
+fresh trace (a ``service.gap_capture`` event), and the gap carries the
+span context's wire form end to end: the server's aggregator continues
+the same trace id with ``service.gap_received`` when the gap first
+arrives and the learning round closes it with ``service.gap_settled``
+naming the published bundle.  One trace id therefore spans the gap's
+whole life across both processes — which is what lets the report layer
+measure gap-report-to-hot-install latency.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.learning.canon import snippet_text
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import extract_context, get_tracer
 
 
 @dataclass(frozen=True)
@@ -32,23 +42,37 @@ class Gap:
     direction: str
     text: str
     mnemonics: tuple[str, ...]
+    #: Wire form of the capture event's span context (None when the
+    #: capturing client traced nothing).  Transport metadata, not
+    #: identity: two captures of the same window are the same gap.
+    trace: dict | None = field(default=None, compare=False, hash=False)
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "digest": self.digest,
             "direction": self.direction,
             "text": self.text,
             "mnemonics": list(self.mnemonics),
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "Gap":
+        trace = data.get("trace")
         return cls(
             digest=data["digest"],
             direction=data["direction"],
             text=data["text"],
             mnemonics=tuple(data["mnemonics"]),
+            trace=trace if isinstance(trace, dict) else None,
         )
+
+    @property
+    def context(self):
+        """The capture-time :class:`~repro.obs.trace.SpanContext`."""
+        return extract_context(self.trace)
 
 
 def canonical_gap(instrs, direction: str = "arm-x86") -> Gap:
@@ -93,6 +117,15 @@ class GapRecorder:
             self._counts[gap.digest] = \
                 self._counts.get(gap.digest, 0) + 1
             return
+        tracer = get_tracer()
+        if tracer.enabled:
+            # A new gap roots a fresh trace; its id follows the gap to
+            # the server and back (see the module docstring).
+            context = tracer.event(
+                "service.gap_capture", root=True,
+                digest=gap.digest, length=len(gap.mnemonics),
+            )
+            gap = replace(gap, trace=context.to_wire())
         self._pending[gap.digest] = gap
         self._counts[gap.digest] = self._counts.get(gap.digest, 0) + 1
 
@@ -128,6 +161,7 @@ class GapAggregator:
 
     def absorb(self, report: list[dict]) -> int:
         """Merge one client report; returns the number of new gaps."""
+        tracer = get_tracer()
         new = 0
         for item in report:
             gap = Gap.from_json(item)
@@ -137,6 +171,14 @@ class GapAggregator:
             self._pending[gap.digest] = gap
             self.unique += 1
             new += 1
+            if tracer.enabled:
+                # Continue the capturing client's trace in this
+                # process's trace file (context is None for untraced
+                # clients — the event still records the arrival).
+                tracer.event(
+                    "service.gap_received", context=gap.context,
+                    digest=gap.digest,
+                )
         metrics = get_metrics()
         metrics.inc("service.gaps.reported", len(report))
         metrics.inc("service.gaps.new", new)

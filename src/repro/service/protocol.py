@@ -16,6 +16,13 @@ Both transport flavours live here so they cannot drift apart:
 Requests are ``{"op": ..., ...}``; responses are ``{"ok": true, ...}``
 or ``{"ok": false, "error": "..."}``.  :func:`error_response` and
 :func:`ok_response` keep the envelope uniform.
+
+Request envelopes may additionally carry a ``trace`` field — the wire
+form of a :class:`~repro.obs.trace.SpanContext` — so the span a client
+sends a request from continues as the parent of the server's handling
+span.  :func:`attach_trace` / :func:`extract_trace` keep the field
+name and shape in one place; a request without one (or from a
+tracing-disabled peer) extracts to ``None`` and is handled normally.
 """
 
 from __future__ import annotations
@@ -131,6 +138,30 @@ async def read_message(reader) -> dict | None:
 async def write_message(writer, message: dict) -> None:
     writer.write(encode_frame(message))
     await writer.drain()
+
+
+# -- trace-context propagation -------------------------------------------------
+
+
+def attach_trace(message: dict, context_wire: dict | None) -> dict:
+    """Attach a span context's wire form to a request envelope
+    (no-op for ``None`` — tracing disabled or outside any span)."""
+    if context_wire:
+        message["trace"] = context_wire
+    return message
+
+
+def extract_trace(message: dict):
+    """Pop the ``trace`` field off a request envelope and parse it.
+
+    Returns a :class:`~repro.obs.trace.SpanContext` or ``None``; always
+    removes the field so op handlers never see transport metadata.
+    """
+    from repro.obs.trace import extract_context
+
+    if not isinstance(message, dict):
+        return None
+    return extract_context(message.pop("trace", None))
 
 
 # -- response envelope -------------------------------------------------------

@@ -28,7 +28,16 @@ envelopes, see :mod:`repro.service.protocol`):
     resulting bundle; the deterministic path tests and scripted
     clients use.
 ``stats``
-    Gap/bundle/learning counters.
+    Gap/bundle/learning counters plus live windowed telemetry
+    (:class:`~repro.obs.timeseries.ServiceTelemetry`): gaps/sec,
+    rules published, per-op frame latency quantiles, learner queue
+    depth.  ``repro-top`` polls this op.
+
+Every request's handling is timed into the telemetry, and when a
+request envelope carries a ``trace`` field the handler runs inside a
+span parented on the client's context — so one trace id follows a gap
+report from the client's engine into the learning round that settles
+it.
 
 The server is single-writer by construction: one asyncio loop owns the
 repository and the gap aggregator, concurrent client connections are
@@ -42,15 +51,18 @@ import argparse
 import asyncio
 import contextlib
 import sys
+import time
 
 from repro.learning.cache import SEMANTICS_VERSION, VerificationCache
 from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.timeseries import ServiceTelemetry
 from repro.obs.trace import get_tracer, tracing
 from repro.service.gaps import GapAggregator
 from repro.service.learner import OnlineLearner
 from repro.service.protocol import (
     ProtocolError,
     error_response,
+    extract_trace,
     ok_response,
     read_message,
     write_message,
@@ -73,6 +85,7 @@ class RuleService:
         self.learner = learner
         self.direction = direction
         self.gaps = GapAggregator()
+        self.telemetry = ServiceTelemetry()
         self.learn_rounds = 0
         self.rules_published = 0
         self.bundles_published = 0
@@ -83,13 +96,23 @@ class RuleService:
         if not isinstance(request, dict):
             return error_response("request must be a JSON object")
         op = request.get("op")
+        context = extract_trace(request)
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             return error_response(f"unknown op {op!r}")
+        tracer = get_tracer()
+        start = time.perf_counter()
         try:
+            if tracer.enabled:
+                # Parent the handling span on the requesting client's
+                # span when the envelope carried one.
+                with tracer.span(f"service.op.{op}", context=context):
+                    return handler(request)
             return handler(request)
         except (BundleError, KeyError, TypeError, ValueError) as exc:
             return error_response(f"{type(exc).__name__}: {exc}")
+        finally:
+            self.telemetry.observe_op(str(op), time.perf_counter() - start)
 
     def _op_ping(self, request: dict) -> dict:
         return ok_response(
@@ -119,6 +142,7 @@ class RuleService:
         if not isinstance(report, list):
             return error_response("gaps must be a list")
         new = self.gaps.absorb(report)
+        self.telemetry.gaps.add(len(report))
         return ok_response(
             accepted=len(report),
             new=new,
@@ -137,6 +161,12 @@ class RuleService:
         return ok_response(
             generation=self.repo.generation,
             bundles=len(self.repo.entries()),
+            gaps={
+                "seen": self.gaps.unique,
+                "reported": self.gaps.reported,
+                "pending": self.gaps.pending,
+                "settled": self.gaps.settled,
+            },
             gaps_reported=self.gaps.reported,
             gaps_unique=self.gaps.unique,
             gaps_pending=self.gaps.pending,
@@ -144,16 +174,22 @@ class RuleService:
             learn_rounds=self.learn_rounds,
             rules_published=self.rules_published,
             bundles_published=self.bundles_published,
+            telemetry=self.telemetry.snapshot(
+                queue_depth=self.gaps.pending,
+            ),
         )
 
     # -- online learning scheduler -------------------------------------------
 
-    def run_learning_round(self):
+    def run_learning_round(self, context=None):
         """Dedup pending gaps, learn on matching candidates, publish.
 
         Returns the published :class:`~repro.service.repo.BundleRef`
         (None when the round yielded nothing new).  Synchronous — the
-        asyncio layer decides where it runs.
+        asyncio layer decides where it runs; ``context`` optionally
+        parents the round's trace records on the triggering request's
+        span (the async path runs off the requesting thread, so the
+        ambient stack cannot carry it).
         """
         pending = self.gaps.take_pending()
         if not pending or self.learner is None:
@@ -166,15 +202,30 @@ class RuleService:
         if ref is not None:
             self.bundles_published += 1
             self.rules_published += ref.rules
+            self.telemetry.rules.add(ref.rules)
         tracer = get_tracer()
         if tracer.enabled:
+            digest = ref.digest if ref is not None else None
+            # One settlement record per gap, each on the trace the
+            # capturing client rooted — the join point that lets the
+            # stitched report connect a miss to the bundle (and so to
+            # the hot-install) that closed it.
+            for gap in pending:
+                tracer.event(
+                    "service.gap_settled",
+                    context=gap.context,
+                    digest=gap.digest,
+                    bundle=digest,
+                    rules=len(round_.rules),
+                )
             tracer.event(
                 "service.publish",
+                context=context,
                 gaps=round_.gaps,
                 candidates=round_.matched_candidates,
                 verify_calls=round_.verify_calls,
                 rules=len(round_.rules),
-                digest=ref.digest if ref is not None else None,
+                digest=digest,
                 generation=self.repo.generation,
             )
         return ref
@@ -192,14 +243,21 @@ class AsyncRuleServer:
         self._scheduled: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
 
-    async def _flush_async(self) -> dict:
+    async def _flush_async(self, request: dict | None = None) -> dict:
         # Learning is CPU-bound; run it off-loop so concurrent clients
         # keep getting served, serialized so rounds never interleave.
+        # The requesting client's trace context travels explicitly:
+        # the executor thread has no ambient span stack.
+        context = extract_trace(request) if request is not None else None
+        start = time.perf_counter()
         async with self._learn_lock:
             loop = asyncio.get_running_loop()
             published = await loop.run_in_executor(
-                None, self.service.run_learning_round
+                None, lambda: self.service.run_learning_round(context)
             )
+        self.service.telemetry.observe_op(
+            "flush", time.perf_counter() - start
+        )
         return ok_response(
             generation=self.service.repo.generation,
             published=published is not None,
@@ -228,7 +286,7 @@ class AsyncRuleServer:
                     break
                 op = request.get("op") if isinstance(request, dict) else None
                 if op == "flush":
-                    response = await self._flush_async()
+                    response = await self._flush_async(request)
                 else:
                     response = self.service.handle(request)
                     if (

@@ -11,8 +11,41 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_metrics,
     get_metrics,
+    histogram_quantiles,
     set_metrics,
 )
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram(self):
+        assert histogram_quantiles({}) == {}
+        assert histogram_quantiles({5: 0}) == {}
+
+    def test_single_value(self):
+        assert histogram_quantiles({7: 3}) == {"p50": 7, "p95": 7, "p99": 7}
+
+    def test_nearest_rank_over_uniform_1_to_100(self):
+        bucket = {value: 1 for value in range(1, 101)}
+        assert histogram_quantiles(bucket) == {"p50": 50, "p95": 95,
+                                               "p99": 99}
+
+    def test_weighted_counts(self):
+        # 90 observations of 1, 10 of 1000: p50 is 1, tail sees 1000.
+        bucket = {1: 90, 1000: 10}
+        summary = histogram_quantiles(bucket)
+        assert summary["p50"] == 1
+        assert summary["p95"] == 1000
+        assert summary["p99"] == 1000
+
+    def test_quantiles_are_observed_values(self):
+        bucket = {2: 5, 9: 5}
+        summary = histogram_quantiles(bucket)
+        assert set(summary.values()) <= {2, 9}
+
+    def test_custom_quantiles(self):
+        bucket = {value: 1 for value in range(1, 11)}
+        assert histogram_quantiles(bucket, (0.10, 0.90)) \
+            == {"p10": 1, "p90": 9}
 
 
 class TestRegistry:
@@ -43,8 +76,11 @@ class TestRegistry:
         registry.inc("a", 2)
         registry.observe("h", 7)
         snapshot = registry.snapshot()
-        assert snapshot == {"counters": {"a": 2},
-                            "histograms": {"h": {7: 1}}}
+        assert snapshot == {
+            "counters": {"a": 2},
+            "histograms": {"h": {7: 1}},
+            "quantiles": {"h": {"p50": 7, "p95": 7, "p99": 7}},
+        }
         # Worker processes ship snapshots across the pool boundary.
         assert pickle.loads(pickle.dumps(snapshot)) == snapshot
         snapshot["counters"]["a"] = 99

@@ -16,11 +16,22 @@ from repro.obs.report import (
     coverage_from_trace,
     hit_lengths_from_trace,
     main,
+    profitability_from_trace,
     reconcile,
+    reconcile_profitability,
     render_report,
+    render_stitch,
+    stitch,
     table1_from_trace,
 )
-from repro.obs.trace import read_trace, tracing
+from repro.obs.trace import (
+    TRACE_HEADER_NAME,
+    TRACE_SEMANTICS_VERSION,
+    TraceError,
+    TraceRecord,
+    read_trace,
+    tracing,
+)
 
 SOURCE = """
 int data[16];
@@ -159,6 +170,154 @@ class TestEngineAggregation:
         assert sum(shares) <= 1 + 1e-9
 
 
+class TestProfitabilityReport:
+    def test_aggregated_ledgers_match_engine(self, traced):
+        engine = traced["rules"]
+        derived = traced["agg"].engines[engine.engine_id]
+        ledgers = {p.digest: p for p in engine.rule_profitability()}
+        assert set(derived.rule_profiles) == set(ledgers)
+        for digest, fields in derived.rule_profiles.items():
+            ledger = ledgers[digest]
+            assert fields["hits"] == ledger.hits
+            assert fields["exec_hits"] == ledger.exec_hits
+            assert fields["net_cycles"] == \
+                pytest.approx(ledger.net_cycles)
+            assert fields["profitable"] == ledger.profitable
+
+    def test_profitability_sorted_net_desc(self, traced):
+        engine = traced["rules"]
+        table = profitability_from_trace(traced["agg"])
+        rows = table[engine.engine_id]
+        assert rows  # rules actually hit, so ledgers exist
+        nets = [row["net_cycles"] for row in rows]
+        assert nets == sorted(nets, reverse=True)
+        assert [row["digest"] for row in rows] == \
+            [p.digest for p in engine.rule_profitability()]
+
+    def test_render_includes_profitability_table(self, traced):
+        engine = traced["rules"]
+        text = render_report(traced["agg"])
+        assert "rule profitability" in text
+        for profile in engine.rule_profitability():
+            assert profile.digest in text
+
+    def test_tampered_profile_hits_are_caught(self, traced):
+        records = [
+            type(r)(ts=r.ts, kind=r.kind, name=r.name,
+                    fields=dict(r.fields))
+            for r in traced["records"]
+        ]
+        for record in records:
+            if record.name == "dbt.rule_profile":
+                record.fields["hits"] += 1
+        problems = reconcile_profitability(aggregate(records))
+        assert any("rule_profile hits" in p for p in problems)
+
+    def test_clean_profiles_reconcile(self, traced):
+        assert reconcile_profitability(traced["agg"]) == []
+
+
+def _header(epoch: float) -> TraceRecord:
+    return TraceRecord(
+        ts=0.0, kind="event", name=TRACE_HEADER_NAME,
+        fields={"version": TRACE_SEMANTICS_VERSION, "epoch": epoch,
+                "pid": 1},
+    )
+
+
+def _gap_files():
+    """Synthetic client + server traces for one gap's journey.
+
+    Client clock starts at epoch 100.0, server at 100.2; the gap is
+    captured at abs 100.5, settled server-side at abs 102.0 naming
+    bundle b1, and the client hot-installs b1 at abs 102.5 — an
+    end-to-end latency of exactly 2.0 seconds.
+    """
+    client = [
+        _header(100.0),
+        TraceRecord(ts=0.5, kind="event", name="service.gap_capture",
+                    fields={"digest": "g1", "length": 3},
+                    trace_id="t1", span_id="s1"),
+        TraceRecord(ts=2.5, kind="event", name="dbt.hot_install",
+                    fields={"source": "direct", "digest": "b1",
+                            "installed": 2, "invalidated": 0}),
+    ]
+    server = [
+        _header(100.2),
+        TraceRecord(ts=0.8, kind="event", name="service.gap_received",
+                    fields={"digest": "g1"},
+                    trace_id="t1", span_id="s2"),
+        TraceRecord(ts=1.8, kind="event", name="service.gap_settled",
+                    fields={"digest": "g1", "bundle": "b1",
+                            "rules": 2},
+                    trace_id="t1", span_id="s3"),
+    ]
+    return client, server
+
+
+class TestStitch:
+    def test_joins_capture_settle_install_across_files(self):
+        client, server = _gap_files()
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        (journey,) = result.journeys
+        assert journey.trace_id == "t1"
+        assert journey.digest == "g1"
+        assert journey.bundle == "b1"
+        assert journey.captured_at == pytest.approx(100.5)
+        assert journey.settled_at == pytest.approx(102.0)
+        assert journey.installed_at == pytest.approx(102.5)
+        assert journey.latency == pytest.approx(2.0)
+
+    def test_latency_summary_percentiles(self):
+        client, server = _gap_files()
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        summary = result.latency_summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == pytest.approx(2000.0)
+        assert summary["p95"] == pytest.approx(2000.0)
+        assert summary["max"] == pytest.approx(2000.0)
+
+    def test_unsettled_gap_stays_incomplete(self):
+        client, _ = _gap_files()
+        result = stitch([("client.jsonl", client)])
+        (journey,) = result.journeys
+        assert journey.settled_at is None
+        assert journey.latency is None
+        assert result.latency_summary() == {"count": 0}
+        assert "no completed journeys" in render_stitch(result)
+
+    def test_install_before_capture_not_matched(self):
+        client, server = _gap_files()
+        # Move the hot-install before the capture: a pre-existing
+        # bundle with the same digest must not complete the journey.
+        client[2] = TraceRecord(
+            ts=0.1, kind="event", name="dbt.hot_install",
+            fields={"source": "direct", "digest": "b1",
+                    "installed": 2, "invalidated": 0},
+        )
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        (journey,) = result.journeys
+        assert journey.bundle == "b1"
+        assert journey.installed_at is None
+
+    def test_headerless_file_is_rejected(self):
+        client, _ = _gap_files()
+        with pytest.raises(TraceError, match="epoch"):
+            stitch([("legacy.jsonl", client[1:])])
+
+    def test_render_mentions_latency(self):
+        client, server = _gap_files()
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        text = render_stitch(result)
+        assert "stitched timeline (2 files)" in text
+        assert "1 captured, 1 settled, 1 hot-installed" in text
+        assert "count 1, p50 2000.0ms" in text
+
+
 class TestReconciliation:
     def test_reconcile_is_clean(self, traced):
         assert reconcile(traced["agg"]) == []
@@ -235,3 +394,65 @@ class TestCli:
         assert main([str(trace_path), "--top", "1"]) == 0
         out = capsys.readouterr().out
         assert "hottest blocks (top 1):" in out
+
+    def test_json_report_includes_profitability(self, traced,
+                                                trace_path, capsys):
+        assert main([str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = payload["profitability"][str(traced["rules"].engine_id)]
+        assert rows
+        assert {p.digest for p in traced["rules"].rule_profitability()} \
+            == {row["digest"] for row in rows}
+
+    @pytest.fixture()
+    def gap_files(self, tmp_path):
+        from repro.obs.trace import encode_line
+
+        client_records, server_records = _gap_files()
+        client = tmp_path / "client.jsonl"
+        server = tmp_path / "server.jsonl"
+        for path, records in ((client, client_records),
+                              (server, server_records)):
+            path.write_text(
+                "".join(encode_line(r) + "\n" for r in records)
+            )
+        return client, server
+
+    def test_stitch_cli_reports_latency(self, gap_files, capsys):
+        client, server = gap_files
+        assert main(["--stitch", str(client), str(server)]) == 0
+        out = capsys.readouterr().out
+        assert "stitched timeline (2 files)" in out
+        assert "count 1, p50 2000.0ms" in out
+
+    def test_stitch_json_payload(self, gap_files, capsys):
+        client, server = gap_files
+        assert main(["--stitch", "--json",
+                     str(client), str(server)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stitch"]["gaps"] == \
+            {"captured": 1, "settled": 1, "installed": 1}
+        assert payload["stitch"]["latency_ms"]["count"] == 1
+        assert payload["stitch"]["latency_ms"]["p50"] == \
+            pytest.approx(2000.0)
+
+    def test_future_semantics_version_rejected(self, tmp_path, capsys):
+        from repro.obs.trace import encode_line
+
+        path = tmp_path / "future.jsonl"
+        header = TraceRecord(
+            ts=0.0, kind="event", name=TRACE_HEADER_NAME,
+            fields={"version": TRACE_SEMANTICS_VERSION + 1,
+                    "epoch": 100.0, "pid": 1},
+        )
+        path.write_text(encode_line(header) + "\n")
+        assert main([str(path)]) == 2
+        assert "semantics version" in capsys.readouterr().err
+
+    def test_multiple_files_aggregate_together(self, traced, trace_path,
+                                               gap_files, capsys):
+        client, _ = gap_files
+        assert main([str(trace_path), str(client)]) == 0
+        out = capsys.readouterr().out
+        expected = traced["agg"].records + 3  # header + 2 events
+        assert f"{expected} records" in out

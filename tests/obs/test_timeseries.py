@@ -1,0 +1,145 @@
+"""Ring-buffer time-series, latency recorders, and service telemetry."""
+
+import threading
+
+import pytest
+
+from repro.obs.timeseries import LatencyRecorder, ServiceTelemetry, TimeSeries
+
+
+class FakeClock:
+    """A settable monotonic clock for deterministic window tests."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTimeSeries:
+    def test_empty_series_reads_zero(self):
+        series = TimeSeries(window=10, clock=FakeClock())
+        assert series.total() == 0
+        assert series.rate() == 0
+        assert series.lifetime == 0
+
+    def test_add_and_total_within_window(self):
+        clock = FakeClock()
+        series = TimeSeries(window=10, clock=clock)
+        series.add()
+        series.add(4)
+        clock.advance(3)
+        series.add(2)
+        assert series.total() == 7
+        assert series.rate() == pytest.approx(0.7)
+        assert series.lifetime == 7
+
+    def test_old_buckets_age_out_of_window(self):
+        clock = FakeClock()
+        series = TimeSeries(window=5, clock=clock)
+        series.add(100)
+        clock.advance(4)
+        assert series.total() == 100
+        clock.advance(2)  # now 6s past the burst, window is 5
+        assert series.total() == 0
+        assert series.lifetime == 100
+
+    def test_ring_recycles_buckets_in_place(self):
+        clock = FakeClock()
+        series = TimeSeries(window=3, clock=clock)
+        for _ in range(20):  # far more seconds than slots
+            clock.advance(1)
+            series.add(1)
+        assert series.total() == 3  # only the last 3 seconds survive
+        assert series.lifetime == 20
+        assert len(series._buckets) == 3
+
+    def test_stale_slot_resets_on_reuse(self):
+        clock = FakeClock()
+        series = TimeSeries(window=2, clock=clock)
+        series.add(5)
+        clock.advance(2)  # same slot index, different second
+        series.add(1)
+        assert series.total() == 1
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries(window=0)
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        series = TimeSeries(window=10, clock=clock)
+        series.add(5)
+        snapshot = series.snapshot()
+        assert snapshot == {
+            "window_seconds": 10.0,
+            "total": 5,
+            "rate_per_sec": 0.5,
+            "lifetime": 5,
+        }
+
+    def test_concurrent_adds_do_not_lose_counts(self):
+        series = TimeSeries(window=60)
+        threads = [
+            threading.Thread(
+                target=lambda: [series.add() for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert series.lifetime == 4000
+
+
+class TestLatencyRecorder:
+    def test_empty_snapshot(self):
+        snapshot = LatencyRecorder().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_ms"] == 0.0
+        assert snapshot["quantiles_ms"] == {}
+
+    def test_observations_round_to_milliseconds(self):
+        recorder = LatencyRecorder()
+        recorder.observe(0.0101)
+        recorder.observe(0.0102)
+        recorder.observe(0.5)
+        snapshot = recorder.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["histogram_ms"] == {10: 2, 500: 1}
+        assert snapshot["quantiles_ms"]["p50"] == 10
+        assert snapshot["quantiles_ms"]["p99"] == 500
+        assert snapshot["mean_ms"] == pytest.approx(173.43, abs=0.1)
+
+
+class TestServiceTelemetry:
+    def test_observe_op_counts_frames_and_latency(self):
+        telemetry = ServiceTelemetry(window=60, clock=FakeClock())
+        telemetry.observe_op("report_gaps", 0.002)
+        telemetry.observe_op("report_gaps", 0.004)
+        telemetry.observe_op("sync", 0.010)
+        snapshot = telemetry.snapshot()
+        assert snapshot["frames"]["total"] == 3
+        assert snapshot["ops"]["report_gaps"]["count"] == 2
+        assert snapshot["ops"]["sync"]["count"] == 1
+
+    def test_gauges_pass_through(self):
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        snapshot = telemetry.snapshot(queue_depth=7)
+        assert snapshot["queue_depth"] == 7
+        assert snapshot["uptime_seconds"] >= 0
+
+    def test_gap_and_rule_series(self):
+        clock = FakeClock()
+        telemetry = ServiceTelemetry(window=10, clock=clock)
+        telemetry.gaps.add(3)
+        telemetry.rules.add(2)
+        snapshot = telemetry.snapshot()
+        assert snapshot["gaps"]["total"] == 3
+        assert snapshot["gaps"]["rate_per_sec"] == pytest.approx(0.3)
+        assert snapshot["rules"]["total"] == 2

@@ -1,4 +1,4 @@
-"""Trace record schema, tracer emission, and the global install."""
+"""Trace record schema, span ids, the header, and the global install."""
 
 import io
 import json
@@ -7,17 +7,28 @@ import pytest
 
 from repro.obs.trace import (
     NULL_TRACER,
+    TRACE_HEADER_NAME,
+    TRACE_SEMANTICS_VERSION,
     NullTracer,
+    SpanContext,
     TraceError,
     TraceRecord,
     Tracer,
+    check_trace_version,
     decode_line,
     encode_line,
+    extract_context,
     get_tracer,
     read_trace,
     set_tracer,
+    trace_header,
     tracing,
 )
+
+
+def body(records):
+    """The instrumentation records of a trace (header stripped)."""
+    return [r for r in records if r.name != TRACE_HEADER_NAME]
 
 
 class TestRecordRoundTrip:
@@ -49,6 +60,31 @@ class TestRecordRoundTrip:
             record = TraceRecord(ts=0.0, kind=kind, name="n", fields={})
             assert decode_line(encode_line(record)) == record
 
+    def test_ids_round_trip(self):
+        record = TraceRecord(
+            ts=0.1, kind="event", name="gap",
+            fields={}, trace_id="t" * 16, span_id="s" * 16,
+            parent_id="p" * 16,
+        )
+        data = record.to_json()
+        assert data["trace_id"] == "t" * 16
+        assert TraceRecord.from_json(data) == record
+
+    def test_absent_ids_stay_off_the_wire(self):
+        record = TraceRecord(ts=0.0, kind="event", name="n")
+        data = record.to_json()
+        assert "trace_id" not in data
+        assert "span_id" not in data
+        assert "parent_id" not in data
+
+    def test_context_property(self):
+        with_ids = TraceRecord(
+            ts=0.0, kind="event", name="n",
+            trace_id="aa", span_id="bb",
+        )
+        assert with_ids.context == SpanContext("aa", "bb")
+        assert TraceRecord(ts=0.0, kind="event", name="n").context is None
+
 
 class TestRecordValidation:
     @pytest.mark.parametrize("data", [
@@ -62,6 +98,9 @@ class TestRecordValidation:
         {"ts": 0, "kind": "event", "name": ""},
         {"ts": 0, "kind": "event", "name": 7},
         {"ts": 0, "kind": "event", "name": "x", "fields": [1]},
+        {"ts": 0, "kind": "event", "name": "x", "trace_id": ""},
+        {"ts": 0, "kind": "event", "name": "x", "span_id": 7},
+        {"ts": 0, "kind": "event", "name": "x", "parent_id": ["p"]},
     ])
     def test_malformed_records_raise(self, data):
         with pytest.raises(TraceError):
@@ -72,6 +111,80 @@ class TestRecordValidation:
             decode_line("{not json")
 
 
+class TestSpanContextWire:
+    def test_wire_round_trip(self):
+        context = SpanContext(trace_id="abc", span_id="def")
+        assert SpanContext.from_wire(context.to_wire()) == context
+        assert extract_context(context.to_wire()) == context
+
+    @pytest.mark.parametrize("data", [
+        None, "abc", 7, [],
+        {},
+        {"trace_id": "abc"},
+        {"span_id": "def"},
+        {"trace_id": "", "span_id": "def"},
+        {"trace_id": "abc", "span_id": 9},
+    ])
+    def test_malformed_wire_context_is_none(self, data):
+        assert extract_context(data) is None
+
+
+class TestTraceHeader:
+    def test_first_record_is_header_with_epoch(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("a")
+        records = read_trace(io.StringIO(sink.getvalue()))
+        header = records[0]
+        assert header.name == TRACE_HEADER_NAME
+        assert header.ts == 0.0
+        assert header.fields["version"] == TRACE_SEMANTICS_VERSION
+        assert header.fields["epoch"] == tracer.epoch
+        assert header.fields["epoch"] > 0
+        assert isinstance(header.fields["pid"], int)
+
+    def test_header_emitted_exactly_once(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        for i in range(5):
+            tracer.event("tick", i=i)
+        records = read_trace(io.StringIO(sink.getvalue()))
+        headers = [r for r in records if r.name == TRACE_HEADER_NAME]
+        assert len(headers) == 1
+        assert records[0] is headers[0]
+
+    def test_header_excluded_from_records_written(self):
+        tracer = Tracer(io.StringIO())
+        assert tracer.records_written == 0
+        tracer.event("a")
+        assert tracer.records_written == 1
+
+    def test_trace_header_helper(self):
+        sink = io.StringIO()
+        Tracer(sink).event("a")
+        records = read_trace(io.StringIO(sink.getvalue()))
+        assert trace_header(records) is records[0]
+        assert trace_header(body(records)) is None
+
+    def test_check_trace_version_accepts_current(self):
+        sink = io.StringIO()
+        Tracer(sink)
+        records = read_trace(io.StringIO(sink.getvalue()))
+        assert check_trace_version(records) is records[0]
+
+    def test_check_trace_version_accepts_headerless(self):
+        records = [TraceRecord(ts=0.0, kind="event", name="legacy")]
+        assert check_trace_version(records) is None
+
+    def test_check_trace_version_rejects_future(self):
+        record = TraceRecord(
+            ts=0.0, kind="event", name=TRACE_HEADER_NAME,
+            fields={"version": TRACE_SEMANTICS_VERSION + 1, "epoch": 1.0},
+        )
+        with pytest.raises(TraceError, match="semantics version"):
+            check_trace_version([record], source="t.jsonl")
+
+
 class TestTracer:
     def test_writes_valid_jsonl(self):
         sink = io.StringIO()
@@ -80,10 +193,10 @@ class TestTracer:
         tracer.event("b")
         assert tracer.records_written == 2
         lines = sink.getvalue().splitlines()
-        assert len(lines) == 2
+        assert len(lines) == 3  # header + 2 events
         parsed = [json.loads(line) for line in lines]
-        assert [p["name"] for p in parsed] == ["a", "b"]
-        assert parsed[0]["fields"] == {"x": 1}
+        assert [p["name"] for p in parsed] == [TRACE_HEADER_NAME, "a", "b"]
+        assert parsed[1]["fields"] == {"x": 1}
 
     def test_timestamps_are_monotone_nondecreasing(self):
         sink = io.StringIO()
@@ -99,8 +212,7 @@ class TestTracer:
         tracer = Tracer(sink)
         with tracer.span("learn.verify", benchmark="mcf"):
             tracer.event("learn.verdict", line=3)
-        records = read_trace(io.StringIO(sink.getvalue()))
-        begin, inner, end = records
+        begin, inner, end = body(read_trace(io.StringIO(sink.getvalue())))
         assert (begin.kind, begin.name) == ("begin", "learn.verify")
         assert begin.fields == {"benchmark": "mcf"}
         assert inner.name == "learn.verdict"
@@ -116,8 +228,120 @@ class TestTracer:
         with pytest.raises(RuntimeError):
             with tracer.span("work"):
                 raise RuntimeError("boom")
-        kinds = [r.kind for r in read_trace(io.StringIO(sink.getvalue()))]
+        kinds = [r.kind for r in body(read_trace(io.StringIO(sink.getvalue())))]
         assert kinds == ["begin", "end"]
+
+
+class TestSpanIds:
+    def test_plain_event_outside_spans_carries_no_ids(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        assert tracer.event("bare") is None
+        (record,) = body(read_trace(io.StringIO(sink.getvalue())))
+        assert record.trace_id is None
+        assert record.span_id is None
+        assert record.parent_id is None
+
+    def test_root_event_mints_a_fresh_trace(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        context = tracer.event("gap.capture", root=True, digest="d1")
+        assert context is not None
+        (record,) = body(read_trace(io.StringIO(sink.getvalue())))
+        assert record.trace_id == context.trace_id
+        assert record.span_id == context.span_id
+        assert record.parent_id is None
+
+    def test_two_roots_get_distinct_traces(self):
+        tracer = Tracer(io.StringIO())
+        a = tracer.event("gap", root=True)
+        b = tracer.event("gap", root=True)
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_span_begin_end_share_ids(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("work") as context:
+            pass
+        begin, end = body(read_trace(io.StringIO(sink.getvalue())))
+        assert begin.trace_id == end.trace_id == context.trace_id
+        assert begin.span_id == end.span_id == context.span_id
+        assert begin.parent_id is None
+
+    def test_nested_span_parents_under_outer(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.trace_id == outer.trace_id
+        records = body(read_trace(io.StringIO(sink.getvalue())))
+        inner_begin = next(r for r in records if r.name == "inner")
+        assert inner_begin.parent_id == outer.span_id
+
+    def test_event_inside_span_inherits_trace(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            context = tracer.event("tick")
+        assert context.trace_id == outer.trace_id
+        records = body(read_trace(io.StringIO(sink.getvalue())))
+        tick = next(r for r in records if r.name == "tick")
+        assert tick.parent_id == outer.span_id
+        assert tick.span_id != outer.span_id
+
+    def test_current_context_tracks_stack(self):
+        tracer = Tracer(io.StringIO())
+        assert tracer.current_context() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_context() == outer
+            with tracer.span("inner") as inner:
+                assert tracer.current_context() == inner
+            assert tracer.current_context() == outer
+        assert tracer.current_context() is None
+
+    def test_inject_extract_round_trip(self):
+        tracer = Tracer(io.StringIO())
+        assert tracer.inject() is None
+        with tracer.span("request") as context:
+            wire = tracer.inject()
+        assert extract_context(wire) == context
+
+    def test_remote_context_parents_cross_process_work(self):
+        # Simulate the wire: client spans, server continues the trace.
+        client_sink, server_sink = io.StringIO(), io.StringIO()
+        client = Tracer(client_sink)
+        with client.span("service.sync"):
+            wire = client.inject()
+        server = Tracer(server_sink)
+        remote = extract_context(wire)
+        with server.span("service.op.sync", context=remote) as handled:
+            server.event("service.learn")
+        client_records = body(read_trace(io.StringIO(client_sink.getvalue())))
+        server_records = body(read_trace(io.StringIO(server_sink.getvalue())))
+        client_trace = {r.trace_id for r in client_records}
+        server_trace = {r.trace_id for r in server_records}
+        assert client_trace == server_trace == {handled.trace_id}
+        server_begin = next(r for r in server_records if r.kind == "begin")
+        assert server_begin.parent_id == client_records[0].span_id
+
+    def test_event_with_explicit_context_ignores_ambient(self):
+        tracer = Tracer(io.StringIO())
+        remote = SpanContext(trace_id="remote-trace", span_id="remote-span")
+        with tracer.span("ambient"):
+            context = tracer.event("settled", context=remote)
+        assert context.trace_id == "remote-trace"
+
+    def test_span_with_no_ambient_roots_a_trace(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("solo") as context:
+            pass
+        assert context is not None
+        begin, _ = body(read_trace(io.StringIO(sink.getvalue())))
+        assert begin.trace_id == context.trace_id
+        assert begin.parent_id is None
 
 
 class TestNullTracer:
@@ -125,8 +349,10 @@ class TestNullTracer:
         tracer = NullTracer()
         assert tracer.enabled is False
         assert tracer.event("anything", x=1) is None
-        with tracer.span("anything", x=1):
-            pass
+        with tracer.span("anything", x=1) as context:
+            assert context is None
+        assert tracer.current_context() is None
+        assert tracer.inject() is None
         tracer.flush()
         tracer.close()
 
@@ -160,7 +386,7 @@ class TestGlobalInstall:
             assert get_tracer() is tracer
             get_tracer().event("inside")
         assert get_tracer() is before
-        records = read_trace(io.StringIO(sink.getvalue()))
+        records = body(read_trace(io.StringIO(sink.getvalue())))
         assert [r.name for r in records] == ["inside"]
 
     def test_tracing_restores_on_exception(self):
@@ -175,5 +401,6 @@ class TestGlobalInstall:
         with tracing(path):
             get_tracer().event("on.disk", ok=True)
         records = read_trace(path)
-        assert len(records) == 1
-        assert records[0].fields == {"ok": True}
+        assert records[0].name == TRACE_HEADER_NAME
+        assert len(body(records)) == 1
+        assert body(records)[0].fields == {"ok": True}

@@ -1,0 +1,138 @@
+"""Live telemetry e2e: stats op, repro-top, and the gap trace id.
+
+Drives a real unix-socket server (the ServerThread harness from the
+e2e suite) and checks the observability surface added around it:
+
+* the ``stats`` op carries the windowed :class:`ServiceTelemetry`
+  snapshot (gap/rule rates, per-op frame latencies, queue depth) next
+  to the legacy flat fields;
+* ``repro-top --once`` renders a live dashboard from that payload over
+  the same socket (and ``--json`` emits it raw);
+* one trace id follows a gap across the whole loop — capture at the
+  client's translate-time miss, arrival and settlement on the server,
+  and the hot-install that closes it — which is the join the
+  multi-file stitch report depends on.
+"""
+
+import io
+
+import pytest
+
+from repro.dbt.engine import DBTEngine
+from repro.obs import top
+from repro.obs.trace import read_trace, tracing
+from repro.service.client import RuleServiceClient
+from repro.service.learner import OnlineLearner
+from repro.service.repo import RuleRepository
+from repro.service.server import RuleService
+
+from tests.service.test_service_e2e import ServerThread
+
+
+@pytest.fixture
+def server(tmp_path, mcf_pair):
+    repo = RuleRepository(tmp_path / "repo")
+    learner = OnlineLearner({"mcf": mcf_pair})
+    service = RuleService(repo, learner)
+    thread = ServerThread(service, str(tmp_path / "rules.sock"))
+    yield thread
+    thread.stop()
+
+
+def _drive_gap_cycle(server, mcf_pair):
+    guest, _ = mcf_pair
+    with RuleServiceClient(socket_path=server.path) as client:
+        engine = DBTEngine(guest, "rules", gap_sink=client.recorder)
+        engine.run()
+        assert client.report_gaps() > 0
+        client.flush()
+        result = client.sync(engine)
+        assert result.rules_installed > 0
+    return engine
+
+
+class TestStatsTelemetry:
+    def test_stats_carry_telemetry_snapshot(self, server, mcf_pair):
+        _drive_gap_cycle(server, mcf_pair)
+        with RuleServiceClient(socket_path=server.path) as client:
+            client.stats()
+            stats = client.stats()
+        telemetry = stats["telemetry"]
+        assert telemetry["uptime_seconds"] > 0
+        assert telemetry["gaps"]["lifetime"] > 0
+        assert telemetry["rules"]["lifetime"] > 0
+        assert telemetry["queue_depth"] == 0
+        ops = telemetry["ops"]
+        # an op's timing lands after its response, so the first stats
+        # call is visible by the second one
+        for op in ("report_gaps", "flush", "stats"):
+            assert ops[op]["count"] >= 1
+            assert set(ops[op]["quantiles_ms"]) == {"p50", "p95", "p99"}
+        # legacy flat fields stay for old consumers
+        assert stats["gaps_unique"] == stats["gaps"]["seen"]
+        assert stats["gaps"]["pending"] == 0
+        assert stats["gaps"]["settled"] > 0
+
+
+class TestReproTop:
+    def test_once_renders_live_snapshot(self, server, mcf_pair, capsys):
+        _drive_gap_cycle(server, mcf_pair)
+        assert top.main(["--socket", server.path, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "rules published" in out
+        assert "report_gaps" in out
+        assert "uptime" in out
+
+    def test_once_json_payload(self, server, mcf_pair, capsys):
+        import json
+
+        _drive_gap_cycle(server, mcf_pair)
+        assert top.main(["--socket", server.path, "--once",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["telemetry"]["gaps"]["lifetime"] > 0
+
+    def test_dead_socket_exits_nonzero(self, tmp_path, capsys):
+        assert top.main(["--socket", str(tmp_path / "nope.sock"),
+                         "--once"]) == 1
+        assert capsys.readouterr().err
+
+
+class TestGapTraceId:
+    def test_one_trace_id_spans_the_whole_loop(self, server, mcf_pair):
+        sink = io.StringIO()
+        with tracing(sink):
+            _drive_gap_cycle(server, mcf_pair)
+        records = read_trace(io.StringIO(sink.getvalue()))
+        by_name = {}
+        for record in records:
+            if record.trace_id:
+                by_name.setdefault(record.name, set()).add(
+                    record.trace_id
+                )
+        captures = by_name.get("service.gap_capture", set())
+        assert captures
+        # The in-process server shares this tracer, so its side of the
+        # loop lands in the same file: every settled gap's id must be
+        # one that a capture minted (same for arrivals).
+        assert by_name["service.gap_received"] <= captures
+        settled = by_name["service.gap_settled"]
+        assert settled and settled <= captures
+
+    def test_settled_gap_names_installed_bundle(self, server, mcf_pair):
+        sink = io.StringIO()
+        with tracing(sink):
+            _drive_gap_cycle(server, mcf_pair)
+        records = read_trace(io.StringIO(sink.getvalue()))
+        bundles = {
+            r.fields.get("bundle") for r in records
+            if r.name == "service.gap_settled" and r.fields.get("bundle")
+        }
+        installed = {
+            r.fields.get("digest") for r in records
+            if r.name == "dbt.hot_install" and r.fields.get("digest")
+        }
+        assert bundles
+        # every bundle a gap settled into was hot-installed back
+        assert bundles <= installed

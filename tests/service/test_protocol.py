@@ -7,12 +7,15 @@ import threading
 
 import pytest
 
+from repro.obs.trace import SpanContext
 from repro.service.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
+    attach_trace,
     decode_payload,
     encode_frame,
     error_response,
+    extract_trace,
     ok_response,
     read_message,
     recv_message,
@@ -86,6 +89,18 @@ class TestSyncSocket:
             a.close()
             b.close()
 
+    def test_truncated_header_raises(self):
+        # EOF after a *partial* header is corruption, not a clean
+        # close: only zero bytes between frames means EOF-ok.
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", 100)[:2])
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
 
 class TestAsyncStreams:
     def test_async_roundtrip(self):
@@ -108,3 +123,63 @@ class TestAsyncStreams:
         message, eof = asyncio.run(scenario())
         assert message == {"op": "hello", "n": 7}
         assert eof is None
+
+    @staticmethod
+    def _read_raw(raw: bytes):
+        """Feed raw bytes + EOF to the async reader, return/raise its
+        result — the same corruption cases the sync transport gets."""
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await read_message(reader)
+
+        return asyncio.run(scenario())
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            self._read_raw(struct.pack(">I", 100)[:2])
+
+    def test_truncated_payload_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            self._read_raw(struct.pack(">I", 100) + b"only a few bytes")
+
+    def test_oversize_announced_frame_raises(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            self._read_raw(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_clean_eof_between_frames_is_none(self):
+        assert self._read_raw(b"") is None
+
+    def test_undecodable_payload_raises(self):
+        payload = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            self._read_raw(struct.pack(">I", len(payload)) + payload)
+
+
+class TestTraceEnvelope:
+    def test_attach_and_extract_roundtrip(self):
+        context = SpanContext(trace_id="t" * 16, span_id="s" * 16)
+        message = attach_trace({"op": "ping"}, context.to_wire())
+        assert message["trace"] == context.to_wire()
+        extracted = extract_trace(message)
+        assert extracted == context
+        # extract always strips transport metadata off the envelope.
+        assert "trace" not in message
+
+    def test_attach_none_is_noop(self):
+        message = attach_trace({"op": "ping"}, None)
+        assert "trace" not in message
+
+    def test_extract_absent_or_garbage_is_none(self):
+        assert extract_trace({"op": "ping"}) is None
+        assert extract_trace({"op": "ping", "trace": "junk"}) is None
+        assert extract_trace("not a dict") is None
+
+    def test_trace_field_survives_framing(self):
+        context = SpanContext(trace_id="a" * 16, span_id="b" * 16)
+        frame = encode_frame(attach_trace({"op": "flush"},
+                                          context.to_wire()))
+        decoded = decode_payload(frame[4:])
+        assert extract_trace(decoded) == context
+        assert decoded == {"op": "flush"}
