@@ -74,6 +74,20 @@ CHECKS: dict[str, tuple[Check, ...]] = {
         Check("overhead_fraction", "lower", 1.0),
         Check("trace_site_visits", "lower", 0.10),
     ),
+    "translate_throughput": (
+        # Wall-clock throughput: wide bands for shared CI runners.
+        Check("lookup.indexed.lookups_per_second", "higher", 0.40),
+        Check("translate.indexed.blocks_per_second", "higher", 0.40),
+        Check("translate.indexed_dp.blocks_per_second", "higher", 0.40),
+        # The indexed-over-legacy ratio divides out box speed, so its
+        # band is tight — and the >= 2x acceptance floor lives in the
+        # bench itself.
+        Check("lookup_speedup", "higher", 0.25),
+        # Deterministic: both matchers must keep hitting the same
+        # positions, and the rule population must not shrink.
+        Check("lookup.indexed.hit_positions", "higher", 0.0),
+        Check("rules", "higher", 0.0),
+    ),
 }
 
 #: Metrics meaningless when the host is oversubscribed (jobs > cpus):

@@ -36,7 +36,8 @@ else
 fi
 
 if [[ "${1:-}" == "--bench" ]]; then
-    python -m pytest benchmarks/test_learning_throughput.py -x -q
+    python -m pytest benchmarks/test_learning_throughput.py \
+        benchmarks/test_translate_throughput.py -x -q
 fi
 
 echo "check.sh: all checks passed"

@@ -28,10 +28,21 @@ _CYCLES_ALU = 1.0
 TCG_OP_COST = 60.0          # per TCG micro-op (QEMU's translator)
 RULE_LOOKUP_COST = 120.0    # per match_at position (hash probe + longest-
                             # first sequence comparisons, Section 4)
+INDEXED_LOOKUP_COST = 15.0  # per match position under the mnemonic-trie
+                            # index: one trie walk enumerates every
+                            # candidate length, no per-length hash
+                            # probes (BENCH_translate.json calibrates
+                            # the ratio against the measured speedup)
 RULE_EMIT_COST = 30.0       # per host instruction emitted from a rule
 LLVMJIT_BLOCK_COST = 2_000.0  # per block: LLVM pass-manager overhead
 LLVMJIT_OP_COST = 220.0     # per TCG op fed to LLVM (IR build + opt + isel)
 DISPATCH_COST = 12.0        # per block dispatch in the execution loop
+
+
+def lookup_cost(matcher: str | None) -> float:
+    """Per-position rule-lookup cost for a store's matcher mode."""
+    return INDEXED_LOOKUP_COST if matcher == "indexed" \
+        else RULE_LOOKUP_COST
 
 
 def instruction_cycles(instr: Instruction) -> float:

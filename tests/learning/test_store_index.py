@@ -1,0 +1,183 @@
+"""Indexed (mnemonic-trie) vs legacy mean-hash matcher equivalence.
+
+The store promises both matchers are *exact*: identical longest match
+from ``match_at`` and identical full hit set from ``matches_at`` for
+any store contents, any block, any position — including tie-breaks
+between equal-length rules.  These properties are exercised over the
+real learned-rule population with randomized blocks and randomized
+insertion orders, plus incremental install/remove churn (the
+hot-install path never rebuilds the index).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.learning import learn_rules
+from repro.learning.store import MATCHER_MODES, RuleStore
+from repro.minic import compile_source
+
+from tests.learning.test_store_properties import SOURCE, _concretize
+
+
+@pytest.fixture(scope="module")
+def rules():
+    guest = compile_source(SOURCE, "arm", 2, "llvm")
+    host = compile_source(SOURCE, "x86", 2, "llvm")
+    return learn_rules(guest, host).rules
+
+
+@pytest.fixture(scope="module")
+def concrete_windows(rules):
+    windows = [w for w in map(_concretize, rules) if w is not None]
+    assert windows, "no concretizable rules learned"
+    return windows
+
+
+def _random_block(concrete_windows, rng, length=24):
+    """A guest block stitched from concretized rule windows."""
+    block = []
+    while len(block) < length:
+        block.extend(rng.choice(concrete_windows))
+    return block[:length]
+
+
+def _match_key(match):
+    if match is None:
+        return None
+    return (match.rule, match.length, match.binding.regs,
+            match.binding.slots, match.binding.label)
+
+
+def _paired_stores(rules, order=None):
+    ordered = list(rules) if order is None else order
+    return {
+        mode: RuleStore.from_rules(ordered, matcher=mode)
+        for mode in MATCHER_MODES
+    }
+
+
+class TestMatcherEquivalence:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), start=st.integers(0, 23))
+    def test_match_at_identical(self, rules, concrete_windows, seed,
+                                start):
+        stores = _paired_stores(rules)
+        block = _random_block(concrete_windows, random.Random(seed))
+        results = {
+            mode: _match_key(store.match_at(block, start))
+            for mode, store in stores.items()
+        }
+        assert results["indexed"] == results["hash"]
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), start=st.integers(0, 23))
+    def test_matches_at_identical(self, rules, concrete_windows, seed,
+                                  start):
+        stores = _paired_stores(rules)
+        block = _random_block(concrete_windows, random.Random(seed))
+        results = {
+            mode: [_match_key(m) for m in store.matches_at(block, start)]
+            for mode, store in stores.items()
+        }
+        assert results["indexed"] == results["hash"]
+
+    def test_matches_at_longest_first_and_contains_match_at(
+            self, rules, concrete_windows):
+        store = RuleStore.from_rules(rules)
+        rng = random.Random(7)
+        for _ in range(20):
+            block = _random_block(concrete_windows, rng)
+            for start in range(len(block)):
+                all_matches = store.matches_at(block, start)
+                lengths = [m.length for m in all_matches]
+                assert lengths == sorted(lengths, reverse=True)
+                best = store.match_at(block, start)
+                if all_matches:
+                    assert _match_key(best) == _match_key(all_matches[0])
+                else:
+                    assert best is None
+
+
+class TestInsertionOrderInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_shuffled_insertion_same_matches(self, rules,
+                                             concrete_windows, seed):
+        """Match results cannot depend on the order rules arrived in —
+        a hot-installed store must behave like an offline-built one."""
+        rng = random.Random(seed)
+        shuffled = list(rules)
+        rng.shuffle(shuffled)
+        for mode in MATCHER_MODES:
+            base = RuleStore.from_rules(rules, matcher=mode)
+            reordered = RuleStore.from_rules(shuffled, matcher=mode)
+            block = _random_block(concrete_windows, rng)
+            for start in range(len(block)):
+                a = base.match_at(block, start)
+                b = reordered.match_at(block, start)
+                if a is None:
+                    assert b is None
+                else:
+                    # Equal-length ties may legitimately pick a
+                    # different (semantically interchangeable) rule,
+                    # but the covered window must be identical.
+                    assert b is not None
+                    assert a.length == b.length
+
+    def test_buckets_sorted_length_descending(self, rules):
+        store = RuleStore.from_rules(rules)
+        for bucket in store._buckets.values():
+            lengths = [rule.length for rule in bucket]
+            assert lengths == sorted(lengths, reverse=True)
+
+
+class TestIncrementalIndex:
+    def test_insert_then_remove_round_trip(self, rules, concrete_windows):
+        for mode in MATCHER_MODES:
+            store = RuleStore(matcher=mode)
+            for rule in rules:
+                store.insert(rule)
+            full = len(store)
+            assert full == len(RuleStore.from_rules(rules, matcher=mode))
+            victim = rules[0]
+            assert store.remove(victim) is True
+            assert store.remove(victim) is False
+            concrete = _concretize(victim)
+            if concrete is not None:
+                match = store.match_at(concrete, 0)
+                assert match is None or match.rule != victim
+            # Re-install restores matching through the same index.
+            assert store.insert(victim) is True
+            if concrete is not None:
+                assert store.match_at(concrete, 0) is not None
+
+    def test_duplicate_insert_idempotent(self, rules):
+        for mode in MATCHER_MODES:
+            store = RuleStore.from_rules(rules, matcher=mode)
+            before = len(store)
+            for rule in rules:
+                assert store.insert(rule) is False
+            assert len(store) == before
+            assert len(store.all_rules()) == before
+
+    def test_incremental_equals_bulk(self, rules, concrete_windows):
+        """Hot-install churn (install half, then the rest) converges to
+        the same matcher behaviour as a bulk-built store."""
+        half = len(rules) // 2
+        rng = random.Random(3)
+        for mode in MATCHER_MODES:
+            bulk = RuleStore.from_rules(rules, matcher=mode)
+            churned = RuleStore.from_rules(rules[:half], matcher=mode)
+            churned.install(rules[half:])
+            block = _random_block(concrete_windows, rng)
+            for start in range(len(block)):
+                a = bulk.match_at(block, start)
+                b = churned.match_at(block, start)
+                assert _match_key(a) == _match_key(b)
+
+
+def test_unknown_matcher_rejected():
+    with pytest.raises(ValueError):
+        RuleStore(matcher="bogus")
