@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the fast checks every PR must keep green.
 #
-#   scripts/check.sh          # unit tests + lint + trace-overhead gate
+#   scripts/check.sh          # unit tests + lint + overhead gates
 #   scripts/check.sh --bench  # also regenerate BENCH_learning.json
+#   scripts/check.sh --slo    # also run the SLO burn-rate gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +23,11 @@ python scripts/chaos_gate.py
 # learning, and the trace must reconcile.
 python scripts/service_gate.py
 
-# Observability must stay free when off: bound the disabled-tracer
-# cost against sequential learning wall-clock (<= 2%).
+# Observability must stay cheap: bound the disabled-tracer cost
+# (<= 2%) and the profiler-on cost (<= 3%) against sequential
+# learning wall-clock.
 python -m pytest benchmarks/test_learning_throughput.py::test_disabled_tracer_overhead \
+    benchmarks/test_learning_throughput.py::test_profiler_on_overhead \
     -x -q --benchmark-disable
 
 if command -v ruff >/dev/null 2>&1; then
@@ -38,6 +41,13 @@ fi
 if [[ "${1:-}" == "--bench" ]]; then
     python -m pytest benchmarks/test_learning_throughput.py \
         benchmarks/test_translate_throughput.py -x -q
+fi
+
+# SLO gate: boot repro-serve with slo.toml + the sampling profiler,
+# drive the gap -> learn -> hot-install workload, require valid
+# Prometheus exposition and no burn-rate breach.
+if [[ "${1:-}" == "--slo" ]]; then
+    python scripts/slo_gate.py
 fi
 
 echo "check.sh: all checks passed"

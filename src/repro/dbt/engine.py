@@ -30,6 +30,7 @@ recent run's dynamic counters.  It is a snapshot, not a live object.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 
 from repro.host_x86 import execute as execute_x86
@@ -43,6 +44,7 @@ from repro.minic.compile import (
     CompiledProgram,
 )
 from repro.obs.metrics import get_metrics
+from repro.obs.profiler import phase
 from repro.obs.trace import get_tracer
 from repro.dbt import codegen, perf
 from repro.dbt.codegen import (
@@ -311,6 +313,11 @@ class DBTEngine:
         cached = self._cache.get(guest_addr)
         if cached is not None:
             return cached
+        with phase("dbt.translate"):
+            return self._translate_miss(guest_addr)
+
+    def _translate_miss(self, guest_addr: int) -> TranslatedBlock:
+        translate_t0 = time.perf_counter()
         start_index = self.program.index_of_addr(guest_addr)
         miss_reasons: dict[str, int] = {}
         if self.mode == "rules":
@@ -381,6 +388,10 @@ class DBTEngine:
             view.perf.translation_cycles += tb.translation_cost
         metrics = get_metrics()
         metrics.inc("dbt.blocks.translated")
+        metrics.observe_sketch(
+            "dbt.translate.ms",
+            (time.perf_counter() - translate_t0) * 1000.0,
+        )
         if self.mode == "rules":
             metrics.inc("dbt.rule.hits", len(tb.hit_rules))
             for _, length in tb.hit_rules:
@@ -476,22 +487,23 @@ class DBTEngine:
         active = self._active
         executed_blocks = 0
         try:
-            while guest_pc != HALT_ADDRESS:
-                if executed_blocks >= block_limit:
-                    raise DBTError("block limit exceeded")
-                executed_blocks += 1
-                if self.tick is not None:
-                    self.tick(self)
-                tb = self.translate(guest_pc)
-                if (
-                    self.guard is not None
-                    and tb.hit_rules
-                    and self.guard.should_check(tb.exec_count)
-                ):
-                    tb = self._guard_check(tb, state)
-                tb.exec_count += 1
-                active.perf.dispatches += 1
-                guest_pc = self._run_block(tb, state)
+            with phase("dbt.exec"):
+                while guest_pc != HALT_ADDRESS:
+                    if executed_blocks >= block_limit:
+                        raise DBTError("block limit exceeded")
+                    executed_blocks += 1
+                    if self.tick is not None:
+                        self.tick(self)
+                    tb = self.translate(guest_pc)
+                    if (
+                        self.guard is not None
+                        and tb.hit_rules
+                        and self.guard.should_check(tb.exec_count)
+                    ):
+                        tb = self._guard_check(tb, state)
+                    tb.exec_count += 1
+                    active.perf.dispatches += 1
+                    guest_pc = self._run_block(tb, state)
         finally:
             self._finalize_run()
         return_value = self._env_read(state, REG_OFFSET["r0"])

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 
@@ -24,6 +25,13 @@ from repro.learning.pipeline import learn_rules
 from repro.learning.serialize import dump_rules
 from repro.minic import compile_source
 from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    get_profiler,
+    profile_report,
+    set_profiler,
+)
 from repro.obs.trace import tracing
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -91,9 +99,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="dump every metrics counter/histogram to "
                              "stderr when done")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="run the sampling profiler and write the "
+                             "merged phase profile (parent + workers) "
+                             "as JSON here; '-' prints a text report "
+                             "to stderr instead")
+    parser.add_argument("--profile-hz", type=int, default=DEFAULT_HZ,
+                        metavar="HZ",
+                        help="profiler sampling rate (default: "
+                             f"{DEFAULT_HZ})")
     args = parser.parse_args(argv)
 
     set_metrics(None)  # a fresh registry per invocation
+    profiler = None
+    if args.profile:
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        set_profiler(profiler)  # workers' profiles merge into this one
+        profiler.start()
     with open(args.source) as fp:
         source = fp.read()
     if args.reformat:
@@ -126,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
             outcomes = learn_corpus_parallel(
                 {args.source: (guest, host)}, jobs=jobs, cache=cache,
                 budget=budget, journal=journal,
+                profile_hz=args.profile_hz if args.profile else 0,
             )
             outcome = outcomes[args.source]
         else:
@@ -137,6 +160,16 @@ def main(argv: list[str] | None = None) -> int:
         if journal is not None:
             # The run completed; the cache owns every verdict now.
             journal.clear()
+
+    if profiler is not None:
+        profiler.stop()
+        snapshot = get_profiler().snapshot()
+        if args.profile == "-":
+            print("\n".join(profile_report(snapshot)), file=sys.stderr)
+        else:
+            with open(args.profile, "w") as fp:
+                json.dump(snapshot, fp, sort_keys=True)
+            print(f"wrote profile to {args.profile}", file=sys.stderr)
 
     record_cache_metrics(cache)
     report = outcome.report

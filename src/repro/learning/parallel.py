@@ -78,6 +78,7 @@ from repro.learning.rule import dedup_rules
 from repro.learning.verify import VerifyFailure
 from repro.minic.compile import CompiledProgram
 from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.profiler import SamplingProfiler, get_profiler, phase
 from repro.obs.trace import get_tracer
 
 #: Candidates per worker task: large enough to amortize IPC, small
@@ -130,30 +131,49 @@ def _resolve_chunk(
     chunk: list[_ChunkItem],
     budget: DeadlineBudget | None = None,
     plan: FaultPlan = NO_FAULTS,
+    profile_hz: int = 0,
 ) -> tuple[list[tuple[str, CandidateOutcome]], dict]:
     """Worker entry point: verify one chunk of canonical candidates.
 
     Returns the per-candidate verdicts plus a
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the
     worker-side accounting, which the parent merges into the global
-    registry — the cross-process half of the metrics API.
+    registry — the cross-process half of the metrics API.  With
+    ``profile_hz > 0`` a sampling profiler covers the chunk and its
+    profile rides home inside the snapshot (key ``"profile"``), merged
+    into the parent's profiler exactly like the metrics.
     """
     registry = MetricsRegistry()
+    profiler = None
+    if profile_hz > 0:
+        profiler = SamplingProfiler(hz=profile_hz)
+        profiler.start()
     start = time.perf_counter()
     results = []
-    for digest, context, mappings in chunk:
-        outcome = resolve_candidate(context, mappings, budget=budget,
-                                    digest=digest, plan=plan)
-        registry.inc("learning.worker.resolved")
-        registry.inc("learning.worker.verify_calls", outcome.calls)
-        registry.observe("learning.worker.calls_per_candidate",
-                         outcome.calls)
-        if outcome.failure is VerifyFailure.TIMEOUT:
-            registry.inc("learning.worker.timeouts")
-        results.append((digest, outcome))
+    try:
+        with phase("learn.verify"):
+            for digest, context, mappings in chunk:
+                outcome = resolve_candidate(
+                    context, mappings, budget=budget,
+                    digest=digest, plan=plan,
+                )
+                registry.inc("learning.worker.resolved")
+                registry.inc("learning.worker.verify_calls",
+                             outcome.calls)
+                registry.observe("learning.worker.calls_per_candidate",
+                                 outcome.calls)
+                if outcome.failure is VerifyFailure.TIMEOUT:
+                    registry.inc("learning.worker.timeouts")
+                results.append((digest, outcome))
+    finally:
+        if profiler is not None:
+            profiler.stop()
     registry.inc("learning.worker.seconds", time.perf_counter() - start)
     registry.inc("learning.worker.chunks")
-    return results, registry.snapshot()
+    snapshot = registry.snapshot()
+    if profiler is not None:
+        snapshot["profile"] = profiler.snapshot()
+    return results, snapshot
 
 
 class _PoolScheduler:
@@ -162,7 +182,8 @@ class _PoolScheduler:
     def __init__(self, workers: int, budget: DeadlineBudget | None,
                  plan: FaultPlan, journal: OutcomeJournal | None,
                  resolved: dict[str, CandidateOutcome],
-                 max_retries: int, backoff_seconds: float) -> None:
+                 max_retries: int, backoff_seconds: float,
+                 profile_hz: int = 0) -> None:
         self.workers = workers
         self.budget = budget
         self.plan = plan
@@ -170,6 +191,7 @@ class _PoolScheduler:
         self.resolved = resolved
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
+        self.profile_hz = profile_hz
         self.metrics = get_metrics()
         self.completed_chunks = 0
 
@@ -199,7 +221,8 @@ class _PoolScheduler:
                     chunk, attempts = suspects.popleft()
                     try:
                         future = pool.submit(_resolve_chunk, chunk,
-                                             self.budget, self.plan)
+                                             self.budget, self.plan,
+                                             self.profile_hz)
                     except BrokenExecutor:
                         suspects.appendleft((chunk, attempts))
                         broken = True
@@ -211,7 +234,8 @@ class _PoolScheduler:
                         chunk, attempts = queue.popleft()
                         try:
                             future = pool.submit(_resolve_chunk, chunk,
-                                                 self.budget, self.plan)
+                                                 self.budget, self.plan,
+                                                 self.profile_hz)
                         except BrokenExecutor:
                             queue.appendleft((chunk, attempts))
                             broken = True
@@ -257,6 +281,9 @@ class _PoolScheduler:
             self._quarantine(chunk[0][0])
 
     def _absorb(self, chunk_result, snapshot) -> None:
+        profile = snapshot.pop("profile", None)
+        if profile is not None:
+            get_profiler().merge(profile)
         self.metrics.merge(snapshot)
         for digest, outcome in chunk_result:
             self.resolved[digest] = outcome
@@ -310,6 +337,7 @@ def learn_corpus_parallel(
     journal: OutcomeJournal | None = None,
     max_retries: int = DEFAULT_MAX_RETRIES,
     backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    profile_hz: int = 0,
 ) -> dict[str, LearningOutcome]:
     """Parallel drop-in for :func:`~repro.learning.pipeline.learn_corpus`.
 
@@ -366,7 +394,7 @@ def learn_corpus_parallel(
         metrics.inc("learning.pool.chunks", len(chunks))
         scheduler = _PoolScheduler(
             workers, budget, plan, journal, resolved,
-            max_retries, backoff_seconds,
+            max_retries, backoff_seconds, profile_hz=profile_hz,
         )
         pool_start = time.perf_counter()
         with get_tracer().span("learn.pool", workers=workers,

@@ -37,6 +37,7 @@ from repro.learning.rule import Rule, dedup_rules
 from repro.learning.verify import VerifyFailure
 from repro.minic.compile import CompiledProgram
 from repro.obs.metrics import get_metrics
+from repro.obs.profiler import phase
 from repro.obs.trace import get_tracer
 
 #: Table 1 failure-taxonomy codes, shared with the trace payloads.
@@ -167,7 +168,8 @@ def _extract_stage(
 ) -> list[SnippetPair]:
     tracer = get_tracer()
     start = time.perf_counter()
-    with tracer.span("learn.extract", benchmark=report.benchmark):
+    with tracer.span("learn.extract", benchmark=report.benchmark), \
+            phase("learn.extract"):
         extraction = extract_pairs(guest_program, host_program, direction)
     report.total_sequences = extraction.total_sequences
     report.prep_ci = extraction.prep_failures[PrepFailure.CALL_OR_INDIRECT]
@@ -209,7 +211,8 @@ def _paramize_stage(
     metrics = get_metrics()
     start = time.perf_counter()
     candidates: list[Candidate] = []
-    with tracer.span("learn.paramize", benchmark=report.benchmark):
+    with tracer.span("learn.paramize", benchmark=report.benchmark), \
+            phase("learn.paramize"):
         for pair in pairs:
             context = analyze_pair(pair, direction)
             mappings, failure = generate_mappings(context)
@@ -261,7 +264,8 @@ def _verify_stage(
     tracer = get_tracer()
     metrics = get_metrics()
     rules: list[Rule] = []
-    with tracer.span("learn.verify", benchmark=benchmark):
+    with tracer.span("learn.verify", benchmark=benchmark), \
+            phase("learn.verify"):
         for candidate in candidates:
             start = time.perf_counter()
             outcome = memo.get(candidate.digest)

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import threading
 
+from repro.obs.sketch import QuantileSketch
+
 #: The quantiles every summary view reports.
 SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
 
@@ -66,6 +68,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._histograms: dict[str, dict] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
         self._lock = threading.Lock()
 
     # -- recording -----------------------------------------------------------
@@ -79,6 +82,17 @@ class MetricsRegistry:
             bucket = self._histograms.setdefault(name, {})
             bucket[value] = bucket.get(value, 0) + count
 
+    def observe_sketch(self, name: str, value: float,
+                       count: int = 1) -> None:
+        """Record into a named bounded-error quantile sketch — the
+        shape for continuous latencies (unbounded distinct values),
+        where the sparse exact histograms would grow without limit."""
+        with self._lock:
+            sketch = self._sketches.get(name)
+            if sketch is None:
+                sketch = self._sketches[name] = QuantileSketch()
+        sketch.observe(value, count)
+
     # -- reading -------------------------------------------------------------
 
     def counter(self, name: str) -> float:
@@ -87,8 +101,13 @@ class MetricsRegistry:
     def histogram(self, name: str) -> dict:
         return dict(self._histograms.get(name, {}))
 
+    def sketch(self, name: str) -> QuantileSketch | None:
+        """The live named sketch, or None if nothing was recorded."""
+        return self._sketches.get(name)
+
     def __len__(self) -> int:
-        return len(self._counters) + len(self._histograms)
+        return (len(self._counters) + len(self._histograms)
+                + len(self._sketches))
 
     def snapshot(self) -> dict:
         """A plain-dict (picklable, JSON-able for string keys) view.
@@ -103,7 +122,11 @@ class MetricsRegistry:
                 for name, bucket in self._histograms.items()
             }
             counters = dict(self._counters)
-        return {
+            sketches = {
+                name: sketch.snapshot()
+                for name, sketch in self._sketches.items()
+            }
+        snapshot = {
             "counters": counters,
             "histograms": histograms,
             "quantiles": {
@@ -111,6 +134,11 @@ class MetricsRegistry:
                 for name, bucket in histograms.items()
             },
         }
+        if sketches:
+            # Only present when used, so sketch-free snapshots keep
+            # their pre-sketch shape (replay byte-compatibility).
+            snapshot["sketches"] = sketches
+        return snapshot
 
     # -- combining -----------------------------------------------------------
 
@@ -124,10 +152,20 @@ class MetricsRegistry:
         for name, bucket in snapshot.get("histograms", {}).items():
             for value, count in bucket.items():
                 self.observe(name, value, count)
+        for name, data in snapshot.get("sketches", {}).items():
+            with self._lock:
+                sketch = self._sketches.get(name)
+                if sketch is None:
+                    sketch = self._sketches[name] = QuantileSketch(
+                        relative_error=data.get("relative_error", 0.01)
+                        if isinstance(data, dict) else 0.01
+                    )
+            sketch.merge(data)
 
     def clear(self) -> None:
         self._counters.clear()
         self._histograms.clear()
+        self._sketches.clear()
 
 
 def format_metrics(source: MetricsRegistry | dict, title: str = "metrics",
@@ -165,6 +203,18 @@ def format_metrics(source: MetricsRegistry | dict, title: str = "metrics",
         if summary:
             text = " ".join(f"{q}={v}" for q, v in summary.items())
             rows.append((name + ".quantiles", text))
+    for name in sorted(snapshot.get("sketches", {})):
+        if not name.startswith(prefix):
+            continue
+        sketch = QuantileSketch.from_snapshot(
+            snapshot["sketches"][name]
+        )
+        summary = sketch.summary()
+        text = " ".join(
+            [f"count={summary['count']}"]
+            + [f"{q}={v:.3f}" for q, v in summary["quantiles"].items()]
+        )
+        rows.append((name + ".sketch", text))
     if not rows:
         return f"{title}: (none)"
     width = max(len(name) for name, _ in rows)

@@ -586,22 +586,34 @@ class StitchResult:
     def completed(self) -> list:
         return [j for j in self.journeys if j.latency is not None]
 
-    def latency_summary(self) -> dict:
-        """count / p50 / p95 / p99 / max of end-to-end latency (ms)."""
-        from repro.obs.metrics import histogram_quantiles
+    def latency_sketch(self):
+        """The end-to-end latencies (ms) as a bounded-error quantile
+        sketch — the mergeable form the SLO engine's convergence
+        objective (``stitch:gap_install``) evaluates."""
+        from repro.obs.sketch import QuantileSketch
 
+        sketch = QuantileSketch()
+        for journey in self.completed:
+            sketch.observe(journey.latency * 1000.0)
+        return sketch
+
+    def latency_summary(self) -> dict:
+        """count / p50 / p95 / p99 / max of end-to-end latency (ms).
+
+        Quantiles come from the sketch (so they match what the SLO
+        engine evaluates, within the declared ``relative_error``);
+        count and max stay exact.
+        """
         latencies = [j.latency * 1000.0 for j in self.completed]
         if not latencies:
             return {"count": 0}
-        histogram: dict = {}
-        for value in latencies:
-            histogram[value] = histogram.get(value, 0) + 1
+        sketch = self.latency_sketch()
         summary = {"count": len(latencies)}
         summary.update(
-            {k: round(v, 3)
-             for k, v in histogram_quantiles(histogram).items()}
+            {k: round(v, 3) for k, v in sketch.quantiles().items()}
         )
         summary["max"] = round(max(latencies), 3)
+        summary["relative_error"] = sketch.relative_error
         return summary
 
     def to_json(self) -> dict:
@@ -676,6 +688,37 @@ def stitch(sources: list[tuple[str, list[TraceRecord]]]) -> StitchResult:
         result.journeys.append(journey)
     result.journeys.sort(key=lambda j: j.captured_at)
     return result
+
+
+def reconcile_stitch_quantiles(result: StitchResult) -> list[str]:
+    """Cross-check the sketch-derived latency percentiles against the
+    exact nearest-rank quantiles of the raw journey latencies.
+
+    The sketch declares a relative-error bound; every reported
+    quantile must honour it against the ground-truth trace events, or
+    the summary (and anything the SLO engine concluded from it) is
+    lying.  Returns discrepancy descriptions (empty = within bound).
+    """
+    import math as _math
+
+    latencies = sorted(j.latency * 1000.0 for j in result.completed)
+    if not latencies:
+        return []
+    summary = result.latency_summary()
+    alpha = summary["relative_error"]
+    problems = []
+    for q in (0.50, 0.95, 0.99):
+        rank = max(1, _math.ceil(q * len(latencies)))
+        exact = latencies[rank - 1]
+        estimated = summary[f"p{round(q * 100)}"]
+        # round(…, 3) in the summary adds up to 0.5us on top.
+        if abs(estimated - exact) > alpha * exact + 5e-4:
+            problems.append(
+                f"stitch p{round(q * 100)}: sketch {estimated:.3f}ms "
+                f"vs exact {exact:.3f}ms exceeds the declared "
+                f"{alpha:.0%} relative-error bound"
+            )
+    return problems
 
 
 def render_stitch(result: StitchResult) -> str:

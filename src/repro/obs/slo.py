@@ -1,0 +1,417 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+Objectives are *declared* in a checked-in TOML file (``slo.toml`` at
+the repo root) and *evaluated* against the live telemetry the system
+already produces — per-event recordings routed into windowed
+good/bad counters, quantile-sketch snapshots, and point-in-time
+gauges.  Three kinds:
+
+``latency``
+    An event-driven objective: ``target`` fraction of events must
+    complete within ``threshold_ms``.  Each recorded event lands in a
+    pair of :class:`~repro.obs.timeseries.TimeSeries` (total, bad);
+    evaluation computes the **burn rate** over each configured window:
+
+        ``burn = bad_fraction / (1 - target)``
+
+    Burn 1.0 means the error budget is being spent exactly as fast as
+    it accrues; burn 10 means ten times too fast.  The objective
+    breaches only when burn >= ``burn_threshold`` on **every** window
+    (the multi-window rule from the SRE workbook: the long window
+    proves the problem is material, the short window proves it is
+    still happening — so alerts both fire fast and reset fast).
+
+``quantile``
+    A sketch-backed objective: quantile ``q`` of the named sketch
+    must not exceed ``max_ms``.  Covers convergence-style SLOs
+    (gap→install stitch p99) where the signal is a distribution
+    snapshot, not an event stream.
+
+``gauge``
+    A scalar bound: a named gauge must be >= ``min`` (or <= ``max``).
+    Covers throughput floors (verified candidates per second).
+
+State transitions (ok → breach, breach → ok) are emitted as
+``slo.alert`` / ``slo.recover`` events into the trace stream when a
+tracer is enabled, so alerts stitch into the same timeline as the
+spans that caused them.
+
+The engine is dependency-free: on Python 3.11+ it uses ``tomllib``;
+older interpreters fall back to a minimal TOML-subset parser that
+handles exactly the grammar ``slo.toml`` uses (``[[objective]]``
+tables, scalar keys, inline arrays of numbers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.timeseries import TimeSeries
+from repro.obs.trace import get_tracer
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on 3.10 CI only
+    _toml = None
+
+#: Default burn-rate evaluation windows (seconds): fast and slow.
+DEFAULT_WINDOWS = (60, 300)
+
+#: Default burn threshold: spending budget 2x too fast alerts.
+DEFAULT_BURN_THRESHOLD = 2.0
+
+#: Events required in the longest window before a latency objective
+#: can breach — tiny samples make noisy fractions.
+DEFAULT_MIN_EVENTS = 10
+
+
+class SloError(ValueError):
+    """Malformed SLO declaration."""
+
+
+def _parse_toml_text(text: str) -> dict:
+    if _toml is not None:
+        return _toml.loads(text)
+    return _mini_toml(text)
+
+
+def _mini_toml(text: str) -> dict:
+    """Parse the TOML subset slo.toml uses (3.10 fallback): top-level
+    keys, ``[[table]]`` arrays, strings, numbers, booleans, inline
+    arrays of numbers."""
+    root: dict = {}
+    current = root
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            name = line[2:-2].strip()
+            current = {}
+            root.setdefault(name, []).append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            current = root.setdefault(name, {})
+            continue
+        if "=" not in line:
+            raise SloError(f"unparsable slo.toml line: {raw!r}")
+        key, _, value = line.partition("=")
+        current[key.strip()] = _mini_toml_value(value.strip())
+    return root
+
+
+def _mini_toml_value(token: str):
+    if token.startswith('"') and token.endswith('"'):
+        return token[1:-1]
+    if token.startswith("[") and token.endswith("]"):
+        inner = token[1:-1].strip()
+        if not inner:
+            return []
+        return [_mini_toml_value(part.strip())
+                for part in inner.split(",") if part.strip()]
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError as exc:
+        raise SloError(f"unparsable slo.toml value: {token!r}") from exc
+
+
+class Objective:
+    """One declared objective; see module docstring for kinds."""
+
+    def __init__(self, name: str, kind: str, source: str,
+                 description: str = "", **params) -> None:
+        if kind not in ("latency", "quantile", "gauge"):
+            raise SloError(f"unknown objective kind: {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.source = source
+        self.description = description
+        self.params = params
+        if kind == "latency":
+            self.threshold_ms = float(params["threshold_ms"])
+            self.target = float(params["target"])
+            if not 0.0 < self.target < 1.0:
+                raise SloError(
+                    f"{name}: target must be in (0, 1): {self.target}"
+                )
+            self.windows = tuple(
+                int(w) for w in params.get("windows", DEFAULT_WINDOWS)
+            )
+            if not self.windows:
+                raise SloError(f"{name}: at least one window required")
+            self.burn_threshold = float(
+                params.get("burn_threshold", DEFAULT_BURN_THRESHOLD)
+            )
+            self.min_events = int(
+                params.get("min_events", DEFAULT_MIN_EVENTS)
+            )
+        elif kind == "quantile":
+            self.quantile = float(params.get("quantile", 0.99))
+            self.max_ms = float(params["max_ms"])
+            self.min_events = int(params.get("min_events", 1))
+        else:  # gauge
+            self.min = params.get("min")
+            self.max = params.get("max")
+            if self.min is None and self.max is None:
+                raise SloError(
+                    f"{name}: gauge objective needs min and/or max"
+                )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Objective":
+        data = dict(data)
+        try:
+            name = data.pop("name")
+            kind = data.pop("kind")
+            source = data.pop("source")
+        except KeyError as exc:
+            raise SloError(
+                f"objective missing required key {exc.args[0]!r}: {data}"
+            ) from exc
+        return cls(name, kind, source,
+                   data.pop("description", ""), **data)
+
+
+class _BurnCounter:
+    """Windowed good/bad event counters behind a latency objective."""
+
+    def __init__(self, objective: Objective, clock) -> None:
+        window = max(objective.windows)
+        self.total = TimeSeries(window, clock)
+        self.bad = TimeSeries(window, clock)
+
+    def record(self, value_ms: float, threshold_ms: float) -> None:
+        self.total.add()
+        if value_ms > threshold_ms:
+            self.bad.add()
+
+
+class SloEngine:
+    """Holds declared objectives, routes recordings, evaluates burn.
+
+    ``record(source, value_ms)`` feeds latency objectives listening on
+    ``source``; ``evaluate(sketches=..., gauges=...)`` supplies the
+    snapshot-style signals and returns the full report.  Thread-safe.
+    """
+
+    def __init__(self, objectives, clock=time.monotonic) -> None:
+        self.objectives = list(objectives)
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise SloError(f"duplicate objective names: {names}")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._counters = {
+            o.name: _BurnCounter(o, clock)
+            for o in self.objectives if o.kind == "latency"
+        }
+        self._states: dict[str, str] = {
+            o.name: "ok" for o in self.objectives
+        }
+        self._alerts: list[dict] = []
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_toml_text(cls, text: str,
+                       clock=time.monotonic) -> "SloEngine":
+        data = _parse_toml_text(text)
+        objectives = [
+            Objective.from_dict(entry)
+            for entry in data.get("objective", [])
+        ]
+        if not objectives:
+            raise SloError("slo.toml declares no [[objective]] tables")
+        return cls(objectives, clock=clock)
+
+    @classmethod
+    def from_toml(cls, path, clock=time.monotonic) -> "SloEngine":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_toml_text(handle.read(), clock=clock)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, source: str, value_ms: float) -> None:
+        """Feed one event into every latency objective on ``source``."""
+        for objective in self.objectives:
+            if objective.kind == "latency" \
+                    and objective.source == source:
+                self._counters[objective.name].record(
+                    value_ms, objective.threshold_ms
+                )
+
+    def sources(self) -> set:
+        """All sources any objective listens on (wiring sanity)."""
+        return {o.source for o in self.objectives}
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, sketches: dict | None = None,
+                 gauges: dict | None = None) -> dict:
+        """Evaluate every objective; emit alert/recover trace events
+        on state transitions; return the report dict."""
+        sketches = sketches or {}
+        gauges = gauges or {}
+        results = []
+        with self._lock:
+            for objective in self.objectives:
+                if objective.kind == "latency":
+                    result = self._eval_latency(objective)
+                elif objective.kind == "quantile":
+                    result = self._eval_quantile(
+                        objective, sketches.get(objective.source)
+                    )
+                else:
+                    result = self._eval_gauge(
+                        objective, gauges.get(objective.source)
+                    )
+                self._transition(objective, result)
+                results.append(result)
+            breaches = [r["name"] for r in results
+                        if r["state"] == "breach"]
+            return {
+                "objectives": results,
+                "breaches": breaches,
+                "ok": not breaches,
+                "alerts": list(self._alerts),
+            }
+
+    def _eval_latency(self, objective: Objective) -> dict:
+        counter = self._counters[objective.name]
+        budget = 1.0 - objective.target
+        windows = []
+        breach = True
+        for window in objective.windows:
+            total = counter.total.total(window)
+            bad = counter.bad.total(window)
+            fraction = (bad / total) if total else 0.0
+            burn = fraction / budget if budget else 0.0
+            windows.append({
+                "window_seconds": window,
+                "events": total,
+                "bad": bad,
+                "bad_fraction": fraction,
+                "burn_rate": burn,
+            })
+            if burn < objective.burn_threshold:
+                breach = False
+        long_total = counter.total.total(max(objective.windows))
+        if long_total < objective.min_events:
+            breach = False
+        return {
+            "name": objective.name,
+            "kind": "latency",
+            "source": objective.source,
+            "threshold_ms": objective.threshold_ms,
+            "target": objective.target,
+            "burn_threshold": objective.burn_threshold,
+            "windows": windows,
+            "state": "breach" if breach else "ok",
+        }
+
+    def _eval_quantile(self, objective: Objective,
+                       sketch) -> dict:
+        observed = None
+        count = 0
+        if sketch is not None:
+            if isinstance(sketch, dict):
+                sketch = QuantileSketch.from_snapshot(sketch)
+            observed = sketch.quantile(objective.quantile)
+            count = sketch.count
+        breach = (
+            observed is not None
+            and count >= objective.min_events
+            and observed > objective.max_ms
+        )
+        return {
+            "name": objective.name,
+            "kind": "quantile",
+            "source": objective.source,
+            "quantile": objective.quantile,
+            "max_ms": objective.max_ms,
+            "observed_ms": observed,
+            "events": count,
+            "state": "breach" if breach else "ok",
+        }
+
+    def _eval_gauge(self, objective: Objective, value) -> dict:
+        breach = False
+        if value is not None:
+            if objective.min is not None and value < objective.min:
+                breach = True
+            if objective.max is not None and value > objective.max:
+                breach = True
+        return {
+            "name": objective.name,
+            "kind": "gauge",
+            "source": objective.source,
+            "min": objective.min,
+            "max": objective.max,
+            "observed": value,
+            "state": "breach" if breach else "ok",
+        }
+
+    def _transition(self, objective: Objective, result: dict) -> None:
+        previous = self._states[objective.name]
+        state = result["state"]
+        if state == previous:
+            return
+        self._states[objective.name] = state
+        event = {
+            "objective": objective.name,
+            "from": previous,
+            "to": state,
+            "at": self._clock(),
+            "detail": result,
+        }
+        self._alerts.append(event)
+        tracer = get_tracer()
+        if tracer.enabled:
+            kind = "slo.alert" if state == "breach" else "slo.recover"
+            tracer.event(kind, objective=objective.name,
+                         source=objective.source, state=state)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self, sketches: dict | None = None,
+                 gauges: dict | None = None) -> dict:
+        """Alias of :meth:`evaluate` for the stats-op payload shape."""
+        return self.evaluate(sketches=sketches, gauges=gauges)
+
+
+def slo_report_lines(report: dict) -> list:
+    """Render an SLO report as aligned text lines for repro-top."""
+    lines = []
+    for result in report.get("objectives", []):
+        state = result["state"]
+        marker = "BREACH" if state == "breach" else "ok"
+        if result["kind"] == "latency":
+            burns = "/".join(
+                f"{w['burn_rate']:.2f}" for w in result["windows"]
+            )
+            detail = (
+                f"burn {burns} (x{result['burn_threshold']:.0f} "
+                f"over {result['threshold_ms']:.0f}ms)"
+            )
+        elif result["kind"] == "quantile":
+            observed = result["observed_ms"]
+            shown = "n/a" if observed is None else f"{observed:.1f}ms"
+            detail = (
+                f"p{round(result['quantile'] * 100)} {shown} "
+                f"(max {result['max_ms']:.0f}ms)"
+            )
+        else:
+            detail = f"value {result['observed']!r}"
+        lines.append(f"  {result['name']:<28} {marker:<6} {detail}")
+    return lines

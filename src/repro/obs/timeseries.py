@@ -5,10 +5,22 @@ accumulates into the bucket for the current second, and ``rate()`` /
 ``total()`` read back only the buckets inside the window, so a
 long-running ``repro-serve`` answers "gaps/sec right now" without ever
 growing memory — the ring recycles buckets in place as time advances.
+Reads accept an optional ``window`` narrower than the ring, which is
+what multi-window SLO burn rates evaluate over (:mod:`repro.obs.slo`).
 
-:class:`LatencyRecorder` is the companion for durations: a sparse
-histogram of millisecond-rounded observations plus running count/sum,
-summarised through :func:`repro.obs.metrics.histogram_quantiles`.
+Staleness invariant: a bucket is only counted when its recorded
+absolute second lies inside ``(now - window, now]``.  Buckets written
+a full lap (or more) ago carry an older second and read as zero, so an
+idle gap longer than the window can never resurrect previous-lap
+counts — :class:`tests.obs.test_timeseries` locks this with injected
+clocks.
+
+:class:`SketchLatency` is the duration recorder: a bounded-error
+:class:`~repro.obs.sketch.QuantileSketch` underneath, summarised with
+guaranteed-accuracy p50/p95/p99.  :class:`LatencyRecorder` — the old
+sparse exact-millisecond histogram — remains as a deprecated compat
+shim for one release; it now bounds its bucket dict (collapsing the
+lowest keys) so long-running servers no longer leak memory through it.
 
 :class:`ServiceTelemetry` bundles the series and recorders the rule
 server exposes through its ``stats`` op; ``repro.obs.top`` renders the
@@ -26,6 +38,12 @@ import threading
 import time
 
 from repro.obs.metrics import histogram_quantiles
+from repro.obs.sketch import QuantileSketch
+
+#: Cap on the compat LatencyRecorder's sparse histogram.  Small
+#: histograms stay exact; beyond this the lowest millisecond keys
+#: collapse together, preserving tail quantiles.
+MAX_SPARSE_BUCKETS = 512
 
 
 class TimeSeries:
@@ -61,19 +79,32 @@ class TimeSeries:
             self._bucket(now)[1] += amount
             self._lifetime += amount
 
-    def total(self) -> float:
-        """Sum over the live window."""
+    def total(self, window: float | None = None) -> float:
+        """Sum over the live window, or over the trailing ``window``
+        seconds when given (clamped to the ring's span).
+
+        Only buckets whose absolute second falls in
+        ``[now - w + 1, now]`` count; a bucket last written on a
+        previous lap of the ring carries an older second and is
+        excluded, so idle gaps longer than the window read as zero.
+        """
         now = int(self._clock())
-        floor = now - self._slots + 1
+        span = self._slots if window is None else max(
+            1, min(self._slots, int(window))
+        )
+        floor = now - span + 1
         with self._lock:
             return sum(
                 count for second, count in self._buckets
                 if floor <= second <= now
             )
 
-    def rate(self) -> float:
-        """Events per second over the live window."""
-        return self.total() / self.window
+    def rate(self, window: float | None = None) -> float:
+        """Events per second over the live (or trailing) window."""
+        span = self.window if window is None else max(
+            1.0, min(self.window, float(window))
+        )
+        return self.total(window) / span
 
     @property
     def lifetime(self) -> float:
@@ -91,7 +122,15 @@ class TimeSeries:
 
 
 class LatencyRecorder:
-    """Sparse millisecond histogram with count/sum and quantiles."""
+    """Sparse millisecond histogram with count/sum and quantiles.
+
+    .. deprecated:: PR7
+        Compat shim for one release — new callers should use
+        :class:`SketchLatency`, whose quantiles carry a guaranteed
+        error bound in constant memory.  The shim now caps its bucket
+        dict at :data:`MAX_SPARSE_BUCKETS` (lowest keys collapse), so
+        it no longer grows without limit under long-running servers.
+    """
 
     def __init__(self) -> None:
         self._buckets: dict[int, int] = {}
@@ -105,6 +144,17 @@ class LatencyRecorder:
             self._buckets[ms] = self._buckets.get(ms, 0) + 1
             self._count += 1
             self._sum += seconds
+            if len(self._buckets) > MAX_SPARSE_BUCKETS:
+                self._collapse_locked()
+
+    def _collapse_locked(self) -> None:
+        # Fold the lowest millisecond keys together; tail quantiles
+        # (the ones anyone alerts on) keep full resolution.
+        keys = sorted(self._buckets)
+        overflow = len(keys) - MAX_SPARSE_BUCKETS
+        sink = keys[overflow]
+        for key in keys[:overflow]:
+            self._buckets[sink] += self._buckets.pop(key)
 
     def snapshot(self) -> dict:
         with self._lock:
@@ -119,13 +169,35 @@ class LatencyRecorder:
         }
 
 
+class SketchLatency:
+    """Bounded-error duration recorder: a quantile sketch over
+    milliseconds, presenting the same snapshot shape the telemetry
+    consumers (stats op, repro-top) already read."""
+
+    def __init__(self, relative_error: float = 0.01) -> None:
+        self.sketch = QuantileSketch(relative_error=relative_error)
+
+    def observe(self, seconds: float) -> None:
+        self.sketch.observe(seconds * 1000.0)
+
+    def snapshot(self) -> dict:
+        summary = self.sketch.summary()
+        return {
+            "count": summary["count"],
+            "mean_ms": summary["mean"],
+            "max_ms": summary["max"],
+            "relative_error": summary["relative_error"],
+            "quantiles_ms": summary["quantiles"],
+        }
+
+
 class ServiceTelemetry:
     """The rule server's live instrument cluster.
 
     * ``gaps`` — new gap windows absorbed (rate answers "gaps/sec");
     * ``rules`` — rules published by learning rounds;
     * ``frames`` — request frames handled, any op;
-    * per-op latency recorders, keyed by op name.
+    * per-op latency sketches, keyed by op name.
 
     ``snapshot(queue_depth=...)`` is the JSON body of the ``stats``
     op's ``telemetry`` field; the caller supplies point-in-time gauges
@@ -136,7 +208,7 @@ class ServiceTelemetry:
         self.gaps = TimeSeries(window, clock)
         self.rules = TimeSeries(window, clock)
         self.frames = TimeSeries(window, clock)
-        self._ops: dict[str, LatencyRecorder] = {}
+        self._ops: dict[str, SketchLatency] = {}
         self._lock = threading.Lock()
         self._started = time.time()
 
@@ -146,8 +218,14 @@ class ServiceTelemetry:
         with self._lock:
             recorder = self._ops.get(op)
             if recorder is None:
-                recorder = self._ops[op] = LatencyRecorder()
+                recorder = self._ops[op] = SketchLatency()
         recorder.observe(seconds)
+
+    def op_sketches(self) -> dict:
+        """Live per-op :class:`QuantileSketch` objects, keyed by op —
+        the exposition endpoint and SLO engine read these."""
+        with self._lock:
+            return {name: rec.sketch for name, rec in self._ops.items()}
 
     def snapshot(self, **gauges) -> dict:
         with self._lock:

@@ -93,6 +93,23 @@ def render(stats: dict) -> str:
                     p99=_fmt_ms(quantiles.get("p99", 0)),
                 )
             )
+    slo = stats.get("slo")
+    if slo:
+        from repro.obs.slo import slo_report_lines
+
+        lines.append("")
+        breaches = slo.get("breaches", [])
+        headline = "all objectives ok" if not breaches else \
+            f"{len(breaches)} BREACHING: {', '.join(breaches)}"
+        lines.append(f"  SLOs — {headline}")
+        lines.extend(slo_report_lines(slo))
+    profile = stats.get("profile")
+    if profile:
+        from repro.obs.profiler import profile_report
+
+        lines.append("")
+        lines.extend("  " + line
+                     for line in profile_report(profile, top=8))
     return "\n".join(lines)
 
 

@@ -122,6 +122,13 @@ class RuleServiceClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def metrics(self) -> dict:
+        """The server's full observability frame: metrics snapshot,
+        live telemetry, and (when enabled server-side) the SLO report
+        and profiler snapshot — what ``python -m repro.obs.export``
+        renders as Prometheus text."""
+        return self.request("metrics")
+
     def manifest(self) -> dict:
         """The server's manifest payload (signature-verified when the
         client holds the repository key)."""

@@ -55,6 +55,13 @@ import time
 
 from repro.learning.cache import SEMANTICS_VERSION, VerificationCache
 from repro.obs.metrics import format_metrics, get_metrics, set_metrics
+from repro.obs.profiler import (
+    SamplingProfiler,
+    get_profiler,
+    phase,
+    set_profiler,
+)
+from repro.obs.slo import SloEngine
 from repro.obs.timeseries import ServiceTelemetry
 from repro.obs.trace import get_tracer, tracing
 from repro.service.gaps import GapAggregator
@@ -80,10 +87,12 @@ class RuleService:
         repo: RuleRepository,
         learner: OnlineLearner | None = None,
         direction: str = DIRECTION,
+        slo: SloEngine | None = None,
     ) -> None:
         self.repo = repo
         self.learner = learner
         self.direction = direction
+        self.slo = slo
         self.gaps = GapAggregator()
         self.telemetry = ServiceTelemetry()
         self.learn_rounds = 0
@@ -103,16 +112,23 @@ class RuleService:
         tracer = get_tracer()
         start = time.perf_counter()
         try:
-            if tracer.enabled:
-                # Parent the handling span on the requesting client's
-                # span when the envelope carried one.
-                with tracer.span(f"service.op.{op}", context=context):
-                    return handler(request)
-            return handler(request)
+            with phase(f"service.op.{op}"):
+                if tracer.enabled:
+                    # Parent the handling span on the requesting
+                    # client's span when the envelope carried one.
+                    with tracer.span(f"service.op.{op}",
+                                     context=context):
+                        return handler(request)
+                return handler(request)
         except (BundleError, KeyError, TypeError, ValueError) as exc:
             return error_response(f"{type(exc).__name__}: {exc}")
         finally:
-            self.telemetry.observe_op(str(op), time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.telemetry.observe_op(str(op), elapsed)
+            if self.slo is not None:
+                # Per-frame SLO accounting: each op feeds the burn-rate
+                # counters of any latency objective on source "op:<op>".
+                self.slo.record(f"op:{op}", elapsed * 1000.0)
 
     def _op_ping(self, request: dict) -> dict:
         return ok_response(
@@ -158,6 +174,12 @@ class RuleService:
         )
 
     def _op_stats(self, request: dict) -> dict:
+        extras = {}
+        if self.slo is not None:
+            extras["slo"] = self.slo_report()
+        profile = self._profile_frame()
+        if profile is not None:
+            extras["profile"] = profile
         return ok_response(
             generation=self.repo.generation,
             bundles=len(self.repo.entries()),
@@ -177,7 +199,47 @@ class RuleService:
             telemetry=self.telemetry.snapshot(
                 queue_depth=self.gaps.pending,
             ),
+            **extras,
         )
+
+    def _op_metrics(self, request: dict) -> dict:
+        """Everything the Prometheus exposition renders, in one frame:
+        the global metrics snapshot, windowed telemetry, the SLO report
+        (when an SLO engine is loaded) and the live profile (when the
+        sampling profiler runs)."""
+        payload = {
+            "metrics": get_metrics().snapshot(),
+            "telemetry": self.telemetry.snapshot(
+                queue_depth=self.gaps.pending,
+            ),
+        }
+        if self.slo is not None:
+            payload["slo"] = self.slo_report()
+        profile = self._profile_frame()
+        if profile is not None:
+            payload["profile"] = profile
+        return ok_response(**payload)
+
+    @staticmethod
+    def _profile_frame() -> dict | None:
+        """The live profile, when the sampling profiler is on (or has
+        collected samples before being stopped)."""
+        profiler = get_profiler()
+        snapshot = profiler.snapshot()
+        if profiler.running or snapshot["total_samples"]:
+            return snapshot
+        return None
+
+    def slo_report(self) -> dict:
+        """Evaluate the loaded objectives against live state: per-op
+        latency streams fed by :meth:`handle`, plus the per-op latency
+        sketches for quantile objectives on ``op:`` sources."""
+        assert self.slo is not None
+        sketches = {
+            f"op:{name}": sketch
+            for name, sketch in self.telemetry.op_sketches().items()
+        }
+        return self.slo.evaluate(sketches=sketches)
 
     # -- online learning scheduler -------------------------------------------
 
@@ -195,7 +257,8 @@ class RuleService:
         if not pending or self.learner is None:
             return None
         self.learn_rounds += 1
-        round_ = self.learner.learn(pending)
+        with phase("service.learn"):
+            round_ = self.learner.learn(pending)
         ref = None
         if round_.rules:
             ref = self.repo.publish(round_.rules, self.direction)
@@ -334,6 +397,7 @@ def build_service(
     corpus: tuple[str, ...] = (),
     cache: VerificationCache | None = None,
     jobs: int = 1,
+    slo: SloEngine | None = None,
 ) -> RuleService:
     """Assemble a service: repository + (optional) corpus learner."""
     repo = RuleRepository(repo_dir)
@@ -345,7 +409,7 @@ def build_service(
             name: build_learning_pair(name) for name in corpus
         }
         learner = OnlineLearner(builds, cache=cache, jobs=jobs)
-    return RuleService(repo, learner)
+    return RuleService(repo, learner, slo=slo)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -384,6 +448,15 @@ def main(argv: list[str] | None = None) -> int:
                              "activity here")
     parser.add_argument("--metrics", action="store_true",
                         help="dump metrics to stderr on shutdown")
+    parser.add_argument("--slo", metavar="PATH",
+                        help="load SLO objectives from this TOML file; "
+                             "per-op latency feeds multi-window burn "
+                             "rates, breaches emit slo.alert trace "
+                             "events and surface in stats/metrics ops")
+    parser.add_argument("--profile-hz", type=int, default=0, metavar="HZ",
+                        help="run the sampling profiler at this rate; "
+                             "the live profile rides in the stats and "
+                             "metrics ops (0: off)")
     args = parser.parse_args(argv)
 
     set_metrics(None)
@@ -394,7 +467,14 @@ def main(argv: list[str] | None = None) -> int:
     corpus = tuple(
         name for name in args.corpus.split(",") if name.strip()
     )
-    service = build_service(args.repo, corpus, cache=cache, jobs=args.jobs)
+    slo = SloEngine.from_toml(args.slo) if args.slo else None
+    profiler = None
+    if args.profile_hz > 0:
+        profiler = SamplingProfiler(hz=args.profile_hz)
+        set_profiler(profiler)
+        profiler.start()
+    service = build_service(args.repo, corpus, cache=cache, jobs=args.jobs,
+                            slo=slo)
     server = AsyncRuleServer(
         service,
         auto_learn=not args.no_auto_learn,
@@ -426,6 +506,8 @@ def main(argv: list[str] | None = None) -> int:
             asyncio.run(run())
         except KeyboardInterrupt:
             pass
+    if profiler is not None:
+        profiler.stop()
     if cache is not None:
         cache.save()
     if args.metrics:

@@ -1,0 +1,202 @@
+"""Tests for the sampling profiler and phase attribution."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    IDLE_PHASE,
+    SamplingProfiler,
+    current_phase,
+    get_profiler,
+    phase,
+    profile_report,
+    set_profiler,
+)
+
+
+class TestPhaseMarkers:
+    def test_phase_stack_nesting(self):
+        assert current_phase() == IDLE_PHASE
+        with phase("outer"):
+            assert current_phase() == "outer"
+            with phase("inner"):
+                assert current_phase() == "inner"
+            assert current_phase() == "outer"
+        assert current_phase() == IDLE_PHASE
+
+    def test_phase_survives_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with phase("doomed"):
+                raise RuntimeError("boom")
+        assert current_phase() == IDLE_PHASE
+
+    def test_phases_are_per_thread(self):
+        seen = {}
+
+        def worker():
+            with phase("worker-phase"):
+                seen["worker"] = current_phase()
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=worker)
+        with phase("main-phase"):
+            thread.start()
+            thread.join()
+            assert current_phase() == "main-phase"
+        assert seen["worker"] == "worker-phase"
+
+
+class TestDeterministicSampling:
+    """Drive sample_once() by hand — no timer thread, no flakiness."""
+
+    def test_samples_attribute_to_innermost_phase(self):
+        profiler = SamplingProfiler(hz=50)
+        with phase("learn.extract"):
+            with phase("learn.verify"):
+                for _ in range(5):
+                    profiler.sample_once()
+        snap = profiler.snapshot()
+        phases = snap["phases"]
+        assert phases["learn.verify"]["self_samples"] == 5
+        assert phases["learn.verify"]["cumulative_samples"] == 5
+        # The outer phase accrues cumulative but not self samples.
+        assert phases["learn.extract"]["self_samples"] == 0
+        assert phases["learn.extract"]["cumulative_samples"] == 5
+
+    def test_idle_attribution(self):
+        profiler = SamplingProfiler(hz=50)
+        for _ in range(3):
+            profiler.sample_once()
+        snap = profiler.snapshot()
+        assert snap["phases"][IDLE_PHASE]["self_samples"] >= 3
+        assert snap["total_samples"] >= 3
+
+    def test_include_idle_false_skips_phaseless_threads(self):
+        profiler = SamplingProfiler(hz=50, include_idle=False)
+        profiler.sample_once()
+        assert IDLE_PHASE not in profiler.snapshot()["phases"]
+
+    def test_locations_recorded_for_phased_samples(self):
+        profiler = SamplingProfiler(hz=50)
+        with phase("hot"):
+            profiler.sample_once()
+        locs = profiler.snapshot()["phases"]["hot"]["locations"]
+        assert locs, "expected at least one code location"
+        for where in locs:
+            filename, lineno, func = where.rsplit(":", 2)
+            assert filename.endswith(".py")
+            assert int(lineno) > 0
+            assert func
+
+    def test_snapshot_is_json_and_picklable(self):
+        profiler = SamplingProfiler(hz=50)
+        with phase("p"):
+            profiler.sample_once()
+        snap = profiler.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestTimerThread:
+    def test_start_stop_collects_samples(self):
+        profiler = SamplingProfiler(hz=200)
+        profiler.start()
+        assert profiler.running
+        deadline = time.monotonic() + 2.0
+        with phase("busy"):
+            while (
+                profiler.snapshot()["total_samples"] < 5
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+        profiler.stop()
+        assert not profiler.running
+        snap = profiler.snapshot()
+        assert snap["total_samples"] >= 5
+        assert snap["wall_seconds"] > 0.0
+        # Stop is idempotent; restart works.
+        profiler.stop()
+        profiler.start()
+        profiler.stop()
+
+    def test_context_manager(self):
+        with SamplingProfiler(hz=100) as profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_invalid_hz(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+
+class TestMerge:
+    def _profile_with(self, phase_name, samples):
+        profiler = SamplingProfiler(hz=50)
+        with phase(phase_name):
+            for _ in range(samples):
+                profiler.sample_once()
+        return profiler
+
+    def test_merge_adds_counts(self):
+        a = self._profile_with("alpha", 3)
+        b = self._profile_with("beta", 2)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["phases"]["alpha"]["self_samples"] == 3
+        assert snap["phases"]["beta"]["self_samples"] == 2
+        assert snap["total_samples"] == 5
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = self._profile_with("alpha", 2)
+        b = self._profile_with("alpha", 4)
+        a.merge(json.loads(json.dumps(b.snapshot())))
+        assert a.snapshot()["phases"]["alpha"]["self_samples"] == 6
+
+    def test_merge_is_associative_and_commutative(self):
+        snaps = [
+            self._profile_with(name, n).snapshot()
+            for name, n in (("x", 1), ("y", 2), ("z", 3))
+        ]
+
+        def combine(order):
+            out = SamplingProfiler(hz=50)
+            for idx in order:
+                out.merge(snaps[idx])
+            return json.dumps(out.snapshot(), sort_keys=True)
+
+        assert combine([0, 1, 2]) == combine([2, 0, 1])
+        assert combine([0, 1, 2]) == combine([1, 2, 0])
+
+    def test_merge_rejects_garbage(self):
+        profiler = SamplingProfiler()
+        with pytest.raises(ValueError):
+            profiler.merge({"kind": "ddsketch"})
+
+    def test_clear(self):
+        profiler = self._profile_with("p", 3)
+        profiler.clear()
+        snap = profiler.snapshot()
+        assert snap["total_samples"] == 0
+        assert snap["phases"] == {}
+
+
+class TestReportAndRegistry:
+    def test_profile_report_lines(self):
+        profiler = SamplingProfiler(hz=50)
+        with phase("dbt.exec"):
+            for _ in range(4):
+                profiler.sample_once()
+        lines = profile_report(profiler.snapshot())
+        assert lines[0].startswith("profile:")
+        assert any("dbt.exec" in line for line in lines[1:])
+
+    def test_global_registry_roundtrip(self):
+        original = get_profiler()
+        try:
+            mine = SamplingProfiler(hz=31)
+            set_profiler(mine)
+            assert get_profiler() is mine
+        finally:
+            set_profiler(original)

@@ -19,6 +19,7 @@ from repro.obs.report import (
     profitability_from_trace,
     reconcile,
     reconcile_profitability,
+    reconcile_stitch_quantiles,
     render_report,
     render_stitch,
     stitch,
@@ -275,9 +276,31 @@ class TestStitch:
                          ("server.jsonl", server)])
         summary = result.latency_summary()
         assert summary["count"] == 1
-        assert summary["p50"] == pytest.approx(2000.0)
-        assert summary["p95"] == pytest.approx(2000.0)
+        # Quantiles come from the sketch: exact within its declared
+        # relative-error bound; max stays exact.
+        alpha = summary["relative_error"]
+        assert summary["p50"] == pytest.approx(2000.0, rel=alpha)
+        assert summary["p95"] == pytest.approx(2000.0, rel=alpha)
         assert summary["max"] == pytest.approx(2000.0)
+
+    def test_latency_sketch_feeds_slo_source(self):
+        client, server = _gap_files()
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        sketch = result.latency_sketch()
+        assert sketch.count == 1
+        assert sketch.quantile(0.99) == pytest.approx(
+            2000.0, rel=sketch.relative_error
+        )
+
+    def test_sketch_percentiles_reconcile_with_raw_events(self):
+        client, server = _gap_files()
+        result = stitch([("client.jsonl", client),
+                         ("server.jsonl", server)])
+        assert reconcile_stitch_quantiles(result) == []
+        # And with no completed journeys there is nothing to check.
+        empty = stitch([("client.jsonl", [_header(100.0)])])
+        assert reconcile_stitch_quantiles(empty) == []
 
     def test_unsettled_gap_stays_incomplete(self):
         client, _ = _gap_files()
@@ -315,7 +338,7 @@ class TestStitch:
         text = render_stitch(result)
         assert "stitched timeline (2 files)" in text
         assert "1 captured, 1 settled, 1 hot-installed" in text
-        assert "count 1, p50 2000.0ms" in text
+        assert "count 1, p50 20" in text  # ~2000ms within sketch error
 
 
 class TestReconciliation:
@@ -423,7 +446,7 @@ class TestCli:
         assert main(["--stitch", str(client), str(server)]) == 0
         out = capsys.readouterr().out
         assert "stitched timeline (2 files)" in out
-        assert "count 1, p50 2000.0ms" in out
+        assert "count 1, p50 20" in out  # ~2000ms within sketch error
 
     def test_stitch_json_payload(self, gap_files, capsys):
         client, server = gap_files
@@ -433,8 +456,10 @@ class TestCli:
         assert payload["stitch"]["gaps"] == \
             {"captured": 1, "settled": 1, "installed": 1}
         assert payload["stitch"]["latency_ms"]["count"] == 1
-        assert payload["stitch"]["latency_ms"]["p50"] == \
-            pytest.approx(2000.0)
+        latency = payload["stitch"]["latency_ms"]
+        assert latency["p50"] == pytest.approx(
+            2000.0, rel=latency["relative_error"]
+        )
 
     def test_future_semantics_version_rejected(self, tmp_path, capsys):
         from repro.obs.trace import encode_line

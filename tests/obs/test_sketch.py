@@ -1,0 +1,252 @@
+"""Tests for the bounded-error quantile sketch."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.obs.sketch import (
+    DEFAULT_MAX_BUCKETS,
+    QuantileSketch,
+    SketchError,
+)
+
+
+def exact_quantile(values, q):
+    """Nearest-rank sample quantile, the ground truth the sketch
+    guarantees against."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TestErrorBound:
+    def test_quantiles_within_declared_relative_error(self):
+        rng = random.Random(1234)
+        for alpha in (0.01, 0.02, 0.05):
+            sketch = QuantileSketch(relative_error=alpha)
+            values = [rng.lognormvariate(1.5, 1.2) for _ in range(5000)]
+            for v in values:
+                sketch.observe(v)
+            for q in (0.10, 0.50, 0.90, 0.95, 0.99, 1.0):
+                true = exact_quantile(values, q)
+                est = sketch.quantile(q)
+                assert abs(est - true) <= alpha * true + 1e-12, (
+                    f"alpha={alpha} q={q}: est={est} true={true}"
+                )
+
+    def test_uniform_and_heavy_tail_distributions(self):
+        rng = random.Random(99)
+        workloads = [
+            [rng.uniform(0.5, 200.0) for _ in range(2000)],
+            [rng.paretovariate(1.5) for _ in range(2000)],
+        ]
+        for values in workloads:
+            sketch = QuantileSketch(relative_error=0.01)
+            for v in values:
+                sketch.observe(v)
+            for q in (0.5, 0.95, 0.99):
+                true = exact_quantile(values, q)
+                assert abs(sketch.quantile(q) - true) <= 0.01 * true
+
+    def test_exact_stats_are_exact(self):
+        sketch = QuantileSketch()
+        values = [3.0, 1.5, 9.25, 0.75]
+        for v in values:
+            sketch.observe(v)
+        assert sketch.count == 4
+        assert sketch.sum == pytest.approx(sum(values))
+        assert sketch.mean == pytest.approx(sum(values) / 4)
+        summary = sketch.summary()
+        assert summary["min"] == pytest.approx(0.75)
+        assert summary["max"] == pytest.approx(9.25)
+        assert summary["relative_error"] == 0.01
+
+
+class TestZeroAndEdges:
+    def test_zero_values_report_exactly_zero(self):
+        sketch = QuantileSketch()
+        for _ in range(10):
+            sketch.observe(0.0)
+        sketch.observe(100.0)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.count == 11
+
+    def test_negative_values_clamp_to_zero_bucket(self):
+        sketch = QuantileSketch()
+        sketch.observe(-5.0)
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.summary()["min"] == 0.0
+
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.quantile(0.99) == 0.0
+        assert sketch.fraction_over(1.0) == 0.0
+        assert sketch.mean == 0.0
+        assert len(sketch) == 0
+
+    def test_weighted_observe(self):
+        sketch = QuantileSketch()
+        sketch.observe(10.0, count=3)
+        sketch.observe(20.0, count=1)
+        assert sketch.count == 4
+        assert abs(sketch.quantile(0.5) - 10.0) <= 0.1
+        sketch.observe(1.0, count=0)
+        assert sketch.count == 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SketchError):
+            QuantileSketch(relative_error=0.0)
+        with pytest.raises(SketchError):
+            QuantileSketch(relative_error=1.5)
+        with pytest.raises(SketchError):
+            QuantileSketch(max_buckets=1)
+        with pytest.raises(SketchError):
+            QuantileSketch().quantile(1.5)
+
+
+class TestFractionOver:
+    def test_fraction_over_threshold(self):
+        sketch = QuantileSketch()
+        for _ in range(90):
+            sketch.observe(10.0)
+        for _ in range(10):
+            sketch.observe(1000.0)
+        assert sketch.fraction_over(100.0) == pytest.approx(0.10)
+        assert sketch.fraction_over(2000.0) == 0.0
+        assert sketch.fraction_over(1.0) == pytest.approx(1.0)
+
+
+class TestMerge:
+    def test_merge_equals_single_sketch(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(0.1) for _ in range(3000)]
+        whole = QuantileSketch()
+        parts = [QuantileSketch() for _ in range(3)]
+        for i, v in enumerate(values):
+            whole.observe(v)
+            parts[i % 3].observe(v)
+        merged = QuantileSketch()
+        for part in parts:
+            merged.merge(part)
+        merged_snap = merged.snapshot()
+        whole_snap = whole.snapshot()
+        # Float sums accumulate in different orders; everything else
+        # (bucket counts, count, min/max) is exactly equal.
+        assert merged_snap.pop("sum") == pytest.approx(
+            whole_snap.pop("sum")
+        )
+        assert merged_snap == whole_snap
+
+    def test_merge_is_associative_and_commutative(self):
+        rng = random.Random(21)
+        parts = []
+        for _ in range(4):
+            sketch = QuantileSketch()
+            for _ in range(500):
+                # Integer-valued observations add exactly in any
+                # order, so merge order cannot perturb the sum.
+                sketch.observe(float(rng.randrange(1, 1 << 20)))
+            parts.append(sketch)
+
+        def combine(order):
+            out = QuantileSketch()
+            for idx in order:
+                out.merge(parts[idx])
+            return out.to_json()
+
+        baseline = combine([0, 1, 2, 3])
+        assert combine([3, 2, 1, 0]) == baseline
+        assert combine([2, 0, 3, 1]) == baseline
+
+    def test_merge_from_snapshot_dict_roundtrip(self):
+        sketch = QuantileSketch()
+        for v in (1.0, 2.0, 0.0, 55.5):
+            sketch.observe(v)
+        snap = sketch.snapshot()
+        # Snapshot must be plain JSON.
+        restored = QuantileSketch.from_snapshot(
+            json.loads(json.dumps(snap))
+        )
+        assert restored.snapshot() == snap
+        assert restored.to_json() == sketch.to_json()
+
+    def test_merge_rejects_mismatched_resolution(self):
+        a = QuantileSketch(relative_error=0.01)
+        b = QuantileSketch(relative_error=0.05)
+        with pytest.raises(SketchError):
+            a.merge(b)
+        with pytest.raises(SketchError):
+            a.merge({"not": "a sketch"})
+
+    def test_byte_identical_snapshots_regardless_of_order(self):
+        # Exactly-representable values: addition order cannot change
+        # the float sum, so order-independence is byte-exact.
+        values = [5.0, 0.125, 300.0, 42.0, 0.0, 7.5]
+        forward = QuantileSketch()
+        backward = QuantileSketch()
+        for v in values:
+            forward.observe(v)
+        for v in reversed(values):
+            backward.observe(v)
+        assert forward.to_json() == backward.to_json()
+
+    def test_byte_identical_on_replay(self):
+        rng = random.Random(77)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(800)]
+
+        def run():
+            sketch = QuantileSketch()
+            for v in values:
+                sketch.observe(v)
+            return sketch.to_json()
+
+        assert run() == run()
+
+
+class TestBoundedMemory:
+    def test_bucket_count_is_bounded(self):
+        sketch = QuantileSketch(relative_error=0.01, max_buckets=64)
+        rng = random.Random(5)
+        # Span ~12 orders of magnitude: far more natural buckets
+        # than the cap.
+        for _ in range(20000):
+            sketch.observe(10 ** rng.uniform(-6, 6))
+        assert len(sketch.snapshot()["buckets"]) <= 64
+        assert sketch.count == 20000
+
+    def test_collapse_preserves_upper_quantiles(self):
+        values = []
+        rng = random.Random(11)
+        sketch = QuantileSketch(relative_error=0.01, max_buckets=128)
+        for _ in range(10000):
+            v = 10 ** rng.uniform(-4, 3)
+            values.append(v)
+            sketch.observe(v)
+        # Low keys collapsed, but p95/p99 live in high keys and keep
+        # the bound.
+        for q in (0.95, 0.99):
+            true = exact_quantile(values, q)
+            assert abs(sketch.quantile(q) - true) <= 0.01 * true
+
+    def test_merge_respects_bucket_cap(self):
+        a = QuantileSketch(max_buckets=32)
+        b = QuantileSketch(max_buckets=32)
+        rng = random.Random(3)
+        for _ in range(5000):
+            a.observe(10 ** rng.uniform(-5, 0))
+            b.observe(10 ** rng.uniform(0, 5))
+        a.merge(b)
+        assert len(a.snapshot()["buckets"]) <= 32
+        assert a.count == 10000
+
+    def test_default_cap_wide_enough_for_latencies(self):
+        # Milliseconds from 1us to 100s fit without collapsing at the
+        # default resolution.
+        sketch = QuantileSketch()
+        value = 0.001
+        while value < 100_000.0:
+            sketch.observe(value)
+            value *= 1.05
+        assert len(sketch.snapshot()["buckets"]) < DEFAULT_MAX_BUCKETS

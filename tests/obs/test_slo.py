@@ -1,0 +1,239 @@
+"""Tests for SLO declarations and multi-window burn-rate evaluation."""
+
+import io
+import os
+
+import pytest
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import (
+    Objective,
+    SloEngine,
+    SloError,
+    _mini_toml,
+    slo_report_lines,
+)
+from repro.obs.trace import Tracer, get_tracer, set_tracer
+
+
+class FakeClock:
+    def __init__(self, start: float = 5000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+SLO_TOML = """
+[[objective]]
+name = "sync-latency"
+kind = "latency"
+source = "op:sync"
+threshold_ms = 100.0
+target = 0.9
+windows = [10, 60]
+burn_threshold = 2.0
+min_events = 5
+
+[[objective]]
+name = "install-p99"
+kind = "quantile"
+source = "stitch:gap_install"
+quantile = 0.99
+max_ms = 1000.0
+
+[[objective]]
+name = "verify-floor"
+kind = "gauge"
+source = "gauge:verified_per_s"
+min = 1.0
+"""
+
+
+def make_engine(clock=None):
+    return SloEngine.from_toml_text(SLO_TOML, clock=clock or FakeClock())
+
+
+class TestDeclarations:
+    def test_parse_toml_text(self):
+        engine = make_engine()
+        assert [o.name for o in engine.objectives] == [
+            "sync-latency", "install-p99", "verify-floor",
+        ]
+        assert engine.sources() == {
+            "op:sync", "stitch:gap_install", "gauge:verified_per_s",
+        }
+
+    def test_checked_in_slo_toml_parses(self):
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "slo.toml"
+        )
+        engine = SloEngine.from_toml(path, clock=FakeClock())
+        assert len(engine.objectives) >= 3
+        kinds = {o.kind for o in engine.objectives}
+        assert kinds == {"latency", "quantile", "gauge"}
+
+    def test_mini_toml_fallback_matches_grammar(self):
+        data = _mini_toml(SLO_TOML)
+        assert len(data["objective"]) == 3
+        first = data["objective"][0]
+        assert first["name"] == "sync-latency"
+        assert first["threshold_ms"] == 100.0
+        assert first["windows"] == [10, 60]
+        assert first["min_events"] == 5
+
+    def test_rejects_bad_declarations(self):
+        with pytest.raises(SloError):
+            Objective("x", "nonsense", "op:x")
+        with pytest.raises(SloError):
+            Objective("x", "latency", "op:x",
+                      threshold_ms=10, target=1.5)
+        with pytest.raises(SloError):
+            Objective("x", "gauge", "gauge:x")  # no min/max
+        with pytest.raises(SloError):
+            SloEngine.from_toml_text("# empty\n")
+        with pytest.raises(SloError):
+            SloEngine([
+                Objective("dup", "gauge", "g", min=1),
+                Objective("dup", "gauge", "g", min=2),
+            ])
+
+
+class TestLatencyBurnRate:
+    def test_all_good_events_stay_ok(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        for _ in range(50):
+            engine.record("op:sync", 20.0)
+        report = engine.evaluate()
+        assert report["ok"]
+        latency = report["objectives"][0]
+        assert latency["state"] == "ok"
+        for window in latency["windows"]:
+            assert window["burn_rate"] == 0.0
+
+    def test_burn_on_all_windows_breaches(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        # 50% bad with a 10% budget: burn 5.0 >= threshold 2.0 on
+        # both windows.
+        for _ in range(20):
+            engine.record("op:sync", 20.0)
+            engine.record("op:sync", 500.0)
+        report = engine.evaluate()
+        latency = report["objectives"][0]
+        assert latency["state"] == "breach"
+        assert report["breaches"] == ["sync-latency"]
+        for window in latency["windows"]:
+            assert window["burn_rate"] == pytest.approx(5.0)
+
+    def test_short_window_recovery_clears_alert(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        for _ in range(20):
+            engine.record("op:sync", 500.0)
+        assert engine.evaluate()["objectives"][0]["state"] == "breach"
+        # 15s later the bad burst has left the 10s window but still
+        # sits in the 60s window: multi-window rule says recovered.
+        clock.advance(15)
+        for _ in range(10):
+            engine.record("op:sync", 20.0)
+        report = engine.evaluate()
+        latency = report["objectives"][0]
+        assert latency["state"] == "ok"
+        short, long = latency["windows"]
+        assert short["burn_rate"] < 2.0
+        assert long["burn_rate"] >= 2.0
+
+    def test_min_events_suppresses_noisy_breach(self):
+        engine = make_engine()
+        # 2 bad events out of 2: burn is huge but the sample is tiny.
+        engine.record("op:sync", 500.0)
+        engine.record("op:sync", 500.0)
+        assert engine.evaluate()["objectives"][0]["state"] == "ok"
+
+    def test_record_ignores_unknown_sources(self):
+        engine = make_engine()
+        engine.record("op:unheard_of", 9999.0)
+        assert engine.evaluate()["ok"]
+
+
+class TestQuantileAndGauge:
+    def test_quantile_breach_from_sketch(self):
+        engine = make_engine()
+        sketch = QuantileSketch()
+        for _ in range(100):
+            sketch.observe(5000.0)  # ms, way over max_ms=1000
+        report = engine.evaluate(
+            sketches={"stitch:gap_install": sketch}
+        )
+        quant = report["objectives"][1]
+        assert quant["state"] == "breach"
+        assert quant["observed_ms"] == pytest.approx(5000.0, rel=0.02)
+
+    def test_quantile_accepts_snapshot_dict(self):
+        engine = make_engine()
+        sketch = QuantileSketch()
+        sketch.observe(100.0)
+        report = engine.evaluate(
+            sketches={"stitch:gap_install": sketch.snapshot()}
+        )
+        assert report["objectives"][1]["state"] == "ok"
+
+    def test_quantile_without_signal_is_ok(self):
+        report = make_engine().evaluate()
+        quant = report["objectives"][1]
+        assert quant["state"] == "ok"
+        assert quant["observed_ms"] is None
+
+    def test_gauge_bounds(self):
+        engine = make_engine()
+        ok = engine.evaluate(gauges={"gauge:verified_per_s": 2.0})
+        assert ok["objectives"][2]["state"] == "ok"
+        bad = engine.evaluate(gauges={"gauge:verified_per_s": 0.25})
+        assert bad["objectives"][2]["state"] == "breach"
+        missing = engine.evaluate()
+        assert missing["objectives"][2]["state"] == "ok"
+
+
+class TestAlertEvents:
+    def test_transitions_emit_trace_events(self, tmp_path):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        original = get_tracer()
+        sink = io.StringIO()
+        try:
+            set_tracer(Tracer(sink))
+            for _ in range(20):
+                engine.record("op:sync", 500.0)
+            engine.evaluate()  # ok -> breach
+            clock.advance(61)  # everything ages out of both windows
+            engine.evaluate()  # breach -> ok
+            engine.evaluate()  # no transition, no event
+        finally:
+            set_tracer(original)
+        lines = [line for line in sink.getvalue().splitlines()
+                 if '"slo.' in line]
+        assert len(lines) == 2
+        assert '"slo.alert"' in lines[0]
+        assert '"slo.recover"' in lines[1]
+        report = engine.evaluate()
+        assert [a["to"] for a in report["alerts"]] == ["breach", "ok"]
+
+    def test_report_lines_render_all_kinds(self):
+        engine = make_engine()
+        engine.record("op:sync", 10.0)
+        sketch = QuantileSketch()
+        sketch.observe(50.0)
+        report = engine.evaluate(
+            sketches={"stitch:gap_install": sketch},
+            gauges={"gauge:verified_per_s": 3.0},
+        )
+        lines = slo_report_lines(report)
+        assert len(lines) == 3
+        assert "sync-latency" in lines[0]
+        assert "install-p99" in lines[1]
+        assert "verify-floor" in lines[2]

@@ -4,7 +4,13 @@ import threading
 
 import pytest
 
-from repro.obs.timeseries import LatencyRecorder, ServiceTelemetry, TimeSeries
+from repro.obs.timeseries import (
+    MAX_SPARSE_BUCKETS,
+    LatencyRecorder,
+    ServiceTelemetry,
+    SketchLatency,
+    TimeSeries,
+)
 
 
 class FakeClock:
@@ -97,6 +103,65 @@ class TestTimeSeries:
         assert series.lifetime == 4000
 
 
+class TestTimeSeriesStaleness:
+    """Regression lock: idle gaps must never resurrect previous-lap
+    buckets, at full-window or sub-window reads."""
+
+    def test_idle_gap_longer_than_window_reads_zero(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=10, clock=clock)
+        series.add(50)
+        clock.advance(25)  # idle for 2.5 laps of the ring
+        assert series.total() == 0
+        assert series.rate() == 0.0
+        assert series.lifetime == 50
+
+    def test_idle_gap_of_exactly_one_window(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=10, clock=clock)
+        series.add(50)
+        clock.advance(10)  # the write second is now just outside
+        assert series.total() == 0
+
+    def test_write_after_long_idle_counts_only_new_data(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=5, clock=clock)
+        series.add(100)
+        clock.advance(73)  # many laps later the slot indexes collide
+        series.add(1)
+        assert series.total() == 1
+        assert series.lifetime == 101
+
+    def test_subwindow_total_and_rate(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=60, clock=clock)
+        series.add(10)
+        clock.advance(30)
+        series.add(5)
+        # Full window sees both bursts; the trailing 10s only the
+        # second one.
+        assert series.total() == 15
+        assert series.total(window=10) == 5
+        assert series.rate(window=10) == pytest.approx(0.5)
+
+    def test_subwindow_respects_staleness_after_idle(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=60, clock=clock)
+        series.add(100)
+        clock.advance(120)  # idle two laps
+        assert series.total(window=5) == 0
+        assert series.total(window=60) == 0
+
+    def test_subwindow_clamps_to_ring_span(self):
+        clock = FakeClock(start=3000.0)
+        series = TimeSeries(window=10, clock=clock)
+        series.add(4)
+        # Asking for more history than the ring holds degrades to the
+        # full window, never garbage.
+        assert series.total(window=999) == 4
+        assert series.rate(window=0) == pytest.approx(4.0)
+
+
 class TestLatencyRecorder:
     def test_empty_snapshot(self):
         snapshot = LatencyRecorder().snapshot()
@@ -115,6 +180,41 @@ class TestLatencyRecorder:
         assert snapshot["quantiles_ms"]["p50"] == 10
         assert snapshot["quantiles_ms"]["p99"] == 500
         assert snapshot["mean_ms"] == pytest.approx(173.43, abs=0.1)
+
+    def test_bucket_dict_is_bounded(self):
+        recorder = LatencyRecorder()
+        # One observation per distinct millisecond, far beyond the cap.
+        for ms in range(3 * MAX_SPARSE_BUCKETS):
+            recorder.observe(ms / 1000.0)
+        snapshot = recorder.snapshot()
+        assert len(snapshot["histogram_ms"]) <= MAX_SPARSE_BUCKETS
+        assert snapshot["count"] == 3 * MAX_SPARSE_BUCKETS
+        # Collapsing folds low keys; the tail stays exact.
+        assert snapshot["quantiles_ms"]["p99"] >= 1500
+
+
+class TestSketchLatency:
+    def test_snapshot_shape_matches_consumers(self):
+        recorder = SketchLatency()
+        recorder.observe(0.010)
+        recorder.observe(0.010)
+        recorder.observe(0.500)
+        snapshot = recorder.snapshot()
+        assert snapshot["count"] == 3
+        assert set(snapshot["quantiles_ms"]) == {"p50", "p95", "p99"}
+        assert snapshot["quantiles_ms"]["p50"] == pytest.approx(
+            10.0, rel=0.02
+        )
+        assert snapshot["quantiles_ms"]["p99"] == pytest.approx(
+            500.0, rel=0.02
+        )
+        assert snapshot["mean_ms"] == pytest.approx(173.33, abs=0.1)
+        assert snapshot["relative_error"] == 0.01
+
+    def test_empty(self):
+        snapshot = SketchLatency().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["mean_ms"] == 0.0
 
 
 class TestServiceTelemetry:
@@ -143,3 +243,10 @@ class TestServiceTelemetry:
         assert snapshot["gaps"]["total"] == 3
         assert snapshot["gaps"]["rate_per_sec"] == pytest.approx(0.3)
         assert snapshot["rules"]["total"] == 2
+
+    def test_op_sketches_exposes_live_sketches(self):
+        telemetry = ServiceTelemetry(clock=FakeClock())
+        telemetry.observe_op("sync", 0.020)
+        sketches = telemetry.op_sketches()
+        assert set(sketches) == {"sync"}
+        assert sketches["sync"].count == 1

@@ -1,0 +1,154 @@
+"""Service observability ops: ``metrics`` exposition, SLO + profile.
+
+Covers the production-observability wiring around the rule service:
+
+* the new ``metrics`` op ships the full observability frame (metrics
+  snapshot, windowed telemetry, SLO report, live profile) in one
+  request, and ``python -m repro.obs.export`` renders it over the
+  wire as valid Prometheus text;
+* with an :class:`~repro.obs.slo.SloEngine` attached, every handled
+  frame feeds per-op burn-rate accounting and the report rides in
+  both ``stats`` and ``metrics``;
+* with the sampling profiler running, its snapshot rides along too,
+  and ``repro-top`` renders SLO and profiler panels from the same
+  payload.
+"""
+
+import pytest
+
+from repro.obs import top
+from repro.obs.export import main as export_main
+from repro.obs.export import parse_exposition, render_exposition
+from repro.obs.profiler import SamplingProfiler, phase, set_profiler
+from repro.obs.slo import SloEngine
+from repro.service.client import RuleServiceClient
+from repro.service.repo import RuleRepository
+from repro.service.server import RuleService
+
+from tests.service.test_service_e2e import ServerThread
+
+# Every op breaches: sub-microsecond latency budget, tiny windows.
+STRICT_SLO = """
+[[objective]]
+name = "ping-latency"
+kind = "latency"
+source = "op:ping"
+threshold_ms = 0.000001
+target = 0.99
+windows = [5, 30]
+min_events = 3
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_profiler():
+    set_profiler(None)
+    yield
+    set_profiler(None)
+
+
+def make_service(tmp_path, slo=None) -> RuleService:
+    return RuleService(RuleRepository(tmp_path / "repo"), slo=slo)
+
+
+class TestMetricsOp:
+    def test_frame_carries_metrics_and_telemetry(self, tmp_path):
+        service = make_service(tmp_path)
+        service.handle({"op": "ping"})
+        response = service.handle({"op": "metrics"})
+        assert response["ok"]
+        assert "counters" in response["metrics"]
+        assert "ping" in response["telemetry"]["ops"]
+        assert "slo" not in response
+        assert "profile" not in response
+
+    def test_slo_and_profile_ride_when_enabled(self, tmp_path):
+        engine = SloEngine.from_toml_text(STRICT_SLO)
+        service = make_service(tmp_path, slo=engine)
+        profiler = SamplingProfiler(hz=50)
+        set_profiler(profiler)
+        profiler.start()
+        try:
+            for _ in range(5):
+                service.handle({"op": "ping"})
+            # The timer thread may not fire inside this sub-millisecond
+            # window; take one deterministic sample.
+            with phase("service.op.ping"):
+                profiler.sample_once()
+            response = service.handle({"op": "metrics"})
+        finally:
+            profiler.stop()
+        assert response["slo"]["breaches"] == ["ping-latency"]
+        assert response["profile"]["kind"] == "profile"
+        stats = service.handle({"op": "stats"})
+        assert stats["slo"]["ok"] is False
+        assert stats["profile"]["kind"] == "profile"
+
+    def test_frame_renders_as_valid_prometheus_text(self, tmp_path):
+        engine = SloEngine.from_toml_text(STRICT_SLO)
+        service = make_service(tmp_path, slo=engine)
+        for _ in range(5):
+            service.handle({"op": "ping"})
+        response = service.handle({"op": "metrics"})
+        text = render_exposition(
+            metrics=response["metrics"],
+            telemetry=response["telemetry"],
+            slo=response["slo"],
+        )
+        names = {name for name, _, _ in parse_exposition(text)}
+        assert "repro_service_op_latency_ms" in names
+        assert "repro_slo_breach" in names
+
+
+class TestExportOverTheWire:
+    def test_export_cli_fetches_and_validates(self, tmp_path, capsys):
+        service = make_service(
+            tmp_path, slo=SloEngine.from_toml_text(STRICT_SLO)
+        )
+        server = ServerThread(service, str(tmp_path / "rules.sock"))
+        try:
+            with RuleServiceClient(socket_path=server.path) as client:
+                for _ in range(5):
+                    client.ping()
+                frame = client.metrics()
+            assert frame["ok"]
+            assert export_main(
+                ["--socket", server.path, "--validate"]
+            ) == 0
+        finally:
+            server.stop()
+        out = capsys.readouterr().out
+        assert "repro_slo_breach" in out
+        assert "repro_service_op_latency_ms" in out
+        parse_exposition(out)
+
+
+class TestReproTopPanels:
+    def drive(self, tmp_path):
+        engine = SloEngine.from_toml_text(STRICT_SLO)
+        service = make_service(tmp_path, slo=engine)
+        profiler = SamplingProfiler(hz=50)
+        set_profiler(profiler)
+        profiler.start()
+        try:
+            for _ in range(5):
+                service.handle({"op": "ping"})
+            with phase("service.op.ping"):
+                profiler.sample_once()
+        finally:
+            profiler.stop()
+        return service.handle({"op": "stats"})
+
+    def test_render_includes_slo_and_profile_panels(self, tmp_path):
+        stats = self.drive(tmp_path)
+        rendered = top.render(stats)
+        assert "SLOs — 1 BREACHING: ping-latency" in rendered
+        assert "ping-latency" in rendered
+        assert "profile:" in rendered
+
+    def test_render_without_panels_unchanged(self, tmp_path):
+        service = make_service(tmp_path)
+        service.handle({"op": "ping"})
+        rendered = top.render(service.handle({"op": "stats"}))
+        assert "SLOs" not in rendered
+        assert "profile:" not in rendered
