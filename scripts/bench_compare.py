@@ -85,6 +85,24 @@ CHECKS: dict[str, tuple[Check, ...]] = {
         Check("budget_fraction", "lower", 0.0),
         Check("samples", "higher", 0.95),
     ),
+    "fleet_gate": (
+        # Deterministic shape of the chaos run: the schedule and the
+        # client count are fixed, so these only move when the gate
+        # itself changes.
+        Check("shards", "higher", 0.0),
+        Check("clients", "higher", 0.0),
+        Check("kills", "higher", 0.0),
+        # Throughput/latency under churn: wide bands — the run shares
+        # a CI box with 12 client threads plus 3 shard processes, and
+        # install latency includes the deliberate kill downtime.
+        Check("gaps_per_second", "higher", 0.60),
+        Check("sync_p99_ms", "lower", 2.0),
+        Check("install_p99_ms", "lower", 2.0),
+        # At least as many gaps must complete the stitched capture ->
+        # settle -> hot-install journey; losing most of them means the
+        # trace plumbing or the redelivery path broke.
+        Check("stitched_installs", "higher", 0.50),
+    ),
     "translate_throughput": (
         # Wall-clock throughput: wide bands for shared CI runners.
         Check("lookup.indexed.lookups_per_second", "higher", 0.40),

@@ -4,6 +4,7 @@
 #   scripts/check.sh          # unit tests + lint + overhead gates
 #   scripts/check.sh --bench  # also regenerate BENCH_learning.json
 #   scripts/check.sh --slo    # also run the SLO burn-rate gate
+#   scripts/check.sh --fleet  # also run the fleet chaos gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +49,14 @@ fi
 # Prometheus exposition and no burn-rate breach.
 if [[ "${1:-}" == "--slo" ]]; then
     python scripts/slo_gate.py
+fi
+
+# Fleet gate: a 3-shard repro-serve fleet behind the repro-fleet
+# coordinator survives two mid-run shard kills (one restart from an
+# empty repo) with coverage parity, monotone generations, and no
+# duplicate hot-installs across a dozen concurrent clients.
+if [[ "${1:-}" == "--fleet" ]]; then
+    python scripts/fleet_gate.py
 fi
 
 echo "check.sh: all checks passed"

@@ -23,6 +23,8 @@ from repro.faults.plan import (
     FaultPlan,
     InjectedAbort,
     InjectedFailure,
+    KillEvent,
+    KillSchedule,
     corrupt_rule,
     fault_plan_scope,
     get_fault_plan,
@@ -41,6 +43,8 @@ __all__ = [
     "FaultPlan",
     "InjectedAbort",
     "InjectedFailure",
+    "KillEvent",
+    "KillSchedule",
     "corrupt_rule",
     "fault_plan_scope",
     "get_fault_plan",

@@ -82,6 +82,58 @@ class FaultPlan:
             simulated_hang()
 
 
+@dataclass(frozen=True)
+class KillEvent:
+    """One scheduled shard kill in a fleet chaos run.
+
+    ``at_seconds`` is elapsed time since the schedule started;
+    ``downtime`` is how long the shard stays dead before the driver
+    restarts it.  Time-keyed (not digest-keyed) because the injection
+    point is a *process*, not a candidate — but the schedule itself is
+    fixed ahead of time, so runs replay the same churn shape.
+    """
+
+    at_seconds: float
+    shard: str
+    downtime: float = 1.0
+
+
+@dataclass(frozen=True)
+class KillSchedule:
+    """A deterministic shard kill/restart schedule for the fleet gate.
+
+    The driver polls :meth:`due` with its elapsed clock and a set of
+    already-fired event indices; events fire exactly once, in declared
+    order.  :meth:`staggered` builds the canonical gate schedule: one
+    kill per shard, evenly spaced, so every shard proves it survives a
+    crash + catch-up while the others carry traffic.
+    """
+
+    events: tuple = ()
+
+    @classmethod
+    def staggered(cls, shards, first: float = 2.0,
+                  spacing: float = 3.0,
+                  downtime: float = 1.0) -> "KillSchedule":
+        return cls(tuple(
+            KillEvent(first + index * spacing, shard, downtime)
+            for index, shard in enumerate(shards)
+        ))
+
+    def due(self, elapsed: float, fired: set) -> list:
+        """Events whose time has come and that have not fired yet;
+        the caller adds the returned indices to ``fired``."""
+        return [
+            (index, event)
+            for index, event in enumerate(self.events)
+            if index not in fired and elapsed >= event.at_seconds
+        ]
+
+    @property
+    def kills(self) -> int:
+        return len(self.events)
+
+
 NO_FAULTS = FaultPlan()
 
 _PLAN: FaultPlan = NO_FAULTS

@@ -10,9 +10,12 @@ dashboard::
 
 The dashboard shows the server-side view of the online-learning loop:
 gaps/sec arriving, the learner's queue depth, rules/bundles published,
-and per-op frame latency quantiles.  ``--json`` dumps the raw ``stats``
-response for scripting; ``--once`` renders a single snapshot and exits
-(the form CI and the e2e tests use).
+and per-op frame latency quantiles.  Pointed at a ``repro-fleet``
+coordinator (same wire protocol), it additionally renders the fleet
+panel: per-shard ready/catching-up/down state, generations, queued
+gaps, and observed kills.  ``--json`` dumps the raw ``stats`` response
+for scripting; ``--once`` renders a single snapshot and exits (the
+form CI and the e2e tests use).
 """
 
 from __future__ import annotations
@@ -58,6 +61,36 @@ def render(stats: dict) -> str:
             settled=gaps.get("settled", 0),
         )
     )
+    fleet = stats.get("fleet")
+    if fleet:
+        lines.append(
+            "  fleet: {ready}/{total} shard(s) ready, "
+            "{routed} gap(s) routed, {queued} queued now "
+            "({queued_total} ever), {catchups} catch-up(s)".format(
+                ready=fleet.get("ready_shards", 0),
+                total=fleet.get("total_shards", 0),
+                routed=fleet.get("gaps_routed", 0),
+                queued=fleet.get("queued_gaps", 0),
+                queued_total=fleet.get("gaps_queued_total", 0),
+                catchups=fleet.get("catchups", 0),
+            )
+        )
+        shard_lines = fleet.get("shards", {})
+        if shard_lines:
+            lines.append(f"    {'shard':<10} {'state':<12} "
+                         f"{'gen':>6} {'queued':>7} {'kills':>6}")
+            for shard_id in sorted(shard_lines):
+                link = shard_lines[shard_id]
+                lines.append(
+                    "    {sid:<10} {state:<12} {gen:>6} {queued:>7} "
+                    "{kills:>6}".format(
+                        sid=shard_id,
+                        state=link.get("state", "?"),
+                        gen=link.get("generation", 0),
+                        queued=link.get("queued_gaps", 0),
+                        kills=link.get("kills_observed", 0),
+                    )
+                )
     telemetry = stats.get("telemetry")
     if not telemetry:
         lines.append("  (server reports no live telemetry)")

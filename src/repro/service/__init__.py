@@ -19,7 +19,13 @@ package provides that subsystem:
   (``repro-serve``): serves manifests/bundles, accepts batched gap
   reports, schedules learning, publishes new bundles;
 * :mod:`repro.service.client` — the DBT-side client: cold/delta sync,
-  gap upload, and hot-install into a live engine.
+  gap upload, hot-install into a live engine, and bounded-retry
+  failover with graceful read-only degradation;
+* :mod:`repro.service.fleet` — the sharded, replicated fleet layer
+  (``repro-fleet``): a consistent-hash router/coordinator that fans
+  gap reports across N shards, merges their deltas into one
+  generation-monotone view, and catches restarted shards up from its
+  journal before giving them traffic.
 """
 
 import importlib
@@ -29,12 +35,15 @@ import importlib
 #: twice (once as a package attribute, once as ``__main__``).
 _EXPORTS = {
     "BundleError": "repro.service.repo",
+    "FleetCoordinator": "repro.service.fleet",
     "GapAggregator": "repro.service.gaps",
     "GapRecorder": "repro.service.gaps",
+    "HashRing": "repro.service.fleet",
     "OnlineLearner": "repro.service.learner",
     "RuleRepository": "repro.service.repo",
     "RuleService": "repro.service.server",
     "RuleServiceClient": "repro.service.client",
+    "ShardLink": "repro.service.fleet",
     "SyncResult": "repro.service.client",
     "canonical_gap": "repro.service.gaps",
 }

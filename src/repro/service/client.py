@@ -17,6 +17,19 @@ over a unix socket or TCP.  Its lifecycle against a live engine:
   dispatch-loop ``tick`` that periodically reports gaps and pulls
   deltas *while the guest is running*.
 
+Failover: with ``retries > 0`` every request retries transport
+failures (reset, timeout, truncated frame, refused reconnect) with
+exponential backoff plus deterministic jitter, reconnecting a fresh
+socket per attempt; ``retries=0`` (the default) preserves single-shot
+semantics.  All retried operations are idempotent by construction:
+gap reports dedup server-side by digest, syncs dedup client-side by
+installed digest, and reads are pure.  An attached engine **never**
+errors out of ``run()`` because the service is unreachable: the tick
+degrades to read-only stale mode (keep translating with the
+last-synced rules, surfaced via the ``degraded`` flag and the
+``service.client.degraded`` gauge metric) and recovers automatically
+when a later tick reaches the fleet again.
+
 Bundle compatibility: a bundle is installed only when its direction
 matches and its semantics version equals the client's
 :data:`~repro.learning.cache.SEMANTICS_VERSION` — the same staleness
@@ -26,7 +39,9 @@ is verified against its content digest before any rule is decoded.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 from dataclasses import dataclass, field
 
 from repro.learning.cache import SEMANTICS_VERSION
@@ -71,42 +86,136 @@ class RuleServiceClient:
         semantics_version: int = SEMANTICS_VERSION,
         manifest_key: bytes | None = None,
         timeout: float | None = 30.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        backoff_jitter: float = 0.25,
+        op_timeouts: dict[str, float] | None = None,
     ) -> None:
         if (socket_path is None) == (address is None):
             raise ValueError("pass exactly one of socket_path / address")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0: {retries}")
         self.direction = direction
         self.semantics_version = semantics_version
         self.manifest_key = manifest_key
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.backoff_jitter = backoff_jitter
+        #: Per-op deadline overrides (e.g. ``{"flush": 600.0}``); ops
+        #: not listed use ``timeout``.
+        self.op_timeouts = dict(op_timeouts or {})
         #: Last manifest generation this client synced to.
         self.generation = 0
         #: Content digests already installed (idempotence guard).
         self.installed_digests: set[str] = set()
+        #: True while an attached engine runs on stale rules because
+        #: the service is unreachable (read-only degraded mode).
+        self.degraded = False
         self.recorder = GapRecorder(direction)
-        if socket_path is not None:
-            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            self._sock.settimeout(timeout)
-            self._sock.connect(socket_path)
-        else:
-            self._sock = socket.create_connection(address, timeout=timeout)
+        self._socket_path = socket_path
+        self._address = address
+        # Jitter is deterministic per endpoint so failure schedules
+        # replay identically in the chaos gates.
+        self._rng = random.Random(repr((socket_path, address)))
+        self._sock: socket.socket | None = None
+        # The initial connect honors the retry budget too, so a client
+        # racing a (re)starting server comes up instead of erroring.
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect()
+                break
+            except OSError:
+                if attempt == self.retries:
+                    raise
+                time.sleep(self._backoff(attempt))
 
     # -- plumbing ------------------------------------------------------------
 
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self._socket_path)
+            except OSError:
+                sock.close()
+                raise
+            self._sock = sock
+        else:
+            self._sock = socket.create_connection(
+                self._address, timeout=self.timeout
+            )
+
+    def _teardown(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter."""
+        delay = min(self.backoff_max,
+                    self.backoff_base * (2.0 ** attempt))
+        return delay * (1.0 + self.backoff_jitter * self._rng.random())
+
     def request(self, op: str, **fields) -> dict:
+        """One request/response exchange, with bounded retry.
+
+        Transport failures (reset, timeout, truncated frame, refused
+        reconnect) are retried up to ``retries`` times over fresh
+        connections with exponential backoff + jitter; server-side
+        error envelopes raise :class:`ServiceError` immediately — the
+        connection is healthy, retrying cannot help.
+        """
         message = {"op": op}
         message.update(fields)
         # Requests sent from inside a span carry its context, so the
         # server's handling span joins this client's trace.
         attach_trace(message, get_tracer().inject())
-        send_message(self._sock, message)
-        response = recv_message(self._sock)
-        if response is None:
-            raise ProtocolError("server closed the connection")
-        if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown error"))
-        return response
+        deadline = self.op_timeouts.get(op, self.timeout)
+        attempts = self.retries + 1
+        for attempt in range(attempts):
+            try:
+                self._connect()
+                if self._sock.gettimeout() != deadline:
+                    self._sock.settimeout(deadline)
+                send_message(self._sock, message)
+                response = recv_message(self._sock)
+                if response is None:
+                    raise ProtocolError("server closed the connection")
+            except OSError as exc:
+                # ProtocolError and ConnectionError both subclass
+                # OSError; ServiceError is raised below, outside this
+                # try, so it never lands here.
+                self._teardown()
+                if attempt == attempts - 1:
+                    raise
+                get_metrics().inc("service.client.retries")
+                tracer = get_tracer()
+                if tracer.enabled:
+                    tracer.event(
+                        "service.client.retry", op=op,
+                        attempt=attempt + 1,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                time.sleep(self._backoff(attempt))
+                continue
+            if not response.get("ok"):
+                raise ServiceError(
+                    response.get("error", "unknown error")
+                )
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def close(self) -> None:
-        self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "RuleServiceClient":
         return self
@@ -121,6 +230,11 @@ class RuleServiceClient:
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def health(self) -> dict:
+        """The server's liveness/readiness frame (fleet-aware servers
+        also report per-shard state)."""
+        return self.request("health")
 
     def metrics(self) -> dict:
         """The server's full observability frame: metrics snapshot,
@@ -249,6 +363,13 @@ class RuleServiceClient:
         the mid-run online-learning loop.  ``flush=True`` additionally
         asks the server to learn synchronously each tick (deterministic
         single-client runs; fleets rely on the server's own scheduler).
+
+        Graceful degradation: a tick that cannot reach the service
+        (even after the client's retry budget) never raises into the
+        dispatch loop — the engine keeps translating with its
+        last-synced rules, ``degraded`` flips on (gauge metric
+        ``service.client.degraded``), and a later successful tick
+        flips it back off.
         """
         engine.gap_sink = self.recorder
         counter = {"dispatches": 0}
@@ -257,12 +378,41 @@ class RuleServiceClient:
             counter["dispatches"] += 1
             if counter["dispatches"] % every:
                 return
-            reported = self.report_gaps()
-            if reported and flush:
-                self.flush()
-            self.sync(eng)
+            try:
+                reported = self.report_gaps()
+                if reported and flush:
+                    self.flush()
+                self.sync(eng)
+            except (ServiceError, OSError) as exc:
+                self._enter_degraded(exc)
+                return
+            if self.degraded:
+                self._leave_degraded()
 
         engine.tick = tick
+
+    def _enter_degraded(self, exc: Exception) -> None:
+        metrics = get_metrics()
+        metrics.inc("service.client.tick_failures")
+        if not self.degraded:
+            self.degraded = True
+            metrics.inc("service.client.degraded_entries")
+            metrics.observe("service.client.degraded", 1)
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(
+                    "service.client.degraded", entered=True,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def _leave_degraded(self) -> None:
+        self.degraded = False
+        metrics = get_metrics()
+        metrics.inc("service.client.degraded_exits")
+        metrics.observe("service.client.degraded", 0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("service.client.degraded", entered=False)
 
     def detach(self, engine) -> None:
         engine.gap_sink = None

@@ -32,6 +32,20 @@ envelopes, see :mod:`repro.service.protocol`):
     (:class:`~repro.obs.timeseries.ServiceTelemetry`): gaps/sec,
     rules published, per-op frame latency quantiles, learner queue
     depth.  ``repro-top`` polls this op.
+``health``
+    Liveness *and readiness*: a shard started with ``--join-fleet``
+    reports ``ready: false`` until its fleet coordinator finishes the
+    catch-up replay (``catchup_done``), so a supervisor can tell an
+    alive-but-stale replica from one safe to take traffic.
+``install_bundle``
+    Publish one externally supplied bundle (digest-verified,
+    idempotent by rule identity) — the catch-up/replication op the
+    fleet coordinator replays its journal with.
+
+A SIGTERM or SIGINT drains gracefully: the listener closes, a
+pending/in-flight learning round finishes, and ``main()`` saves the
+persistent verification cache before exiting — so supervisors and the
+fleet gate can kill shards without losing settled verdicts.
 
 Every request's handling is timed into the telemetry, and when a
 request envelope carries a ``trace`` field the handler runs inside a
@@ -50,6 +64,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import signal
 import sys
 import time
 
@@ -74,9 +89,28 @@ from repro.service.protocol import (
     read_message,
     write_message,
 )
-from repro.service.repo import BundleError, RuleRepository
+from repro.service.repo import BundleError, RuleRepository, verify_bundle
 
 DIRECTION = "arm-x86"
+
+
+def remove_stale_socket(path: str) -> None:
+    """Unlink a unix-socket file only if no server answers on it."""
+    import os
+    import socket as socket_module
+
+    if not os.path.exists(path):
+        return
+    probe = socket_module.socket(socket_module.AF_UNIX,
+                                 socket_module.SOCK_STREAM)
+    try:
+        probe.settimeout(1.0)
+        probe.connect(path)
+    except OSError:
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+    finally:
+        probe.close()
 
 
 class RuleService:
@@ -88,6 +122,7 @@ class RuleService:
         learner: OnlineLearner | None = None,
         direction: str = DIRECTION,
         slo: SloEngine | None = None,
+        ready: bool = True,
     ) -> None:
         self.repo = repo
         self.learner = learner
@@ -98,6 +133,10 @@ class RuleService:
         self.learn_rounds = 0
         self.rules_published = 0
         self.bundles_published = 0
+        #: False for a shard awaiting fleet catch-up (``--join-fleet``);
+        #: flipped by the coordinator's ``catchup_done``.
+        self.ready = ready
+        self.learn_errors = 0
 
     # -- request dispatch ----------------------------------------------------
 
@@ -134,6 +173,49 @@ class RuleService:
         return ok_response(
             direction=self.direction,
             semantics=self.repo.semantics_version,
+            generation=self.repo.generation,
+        )
+
+    def _op_health(self, request: dict) -> dict:
+        """Alive vs caught-up, for supervisors and the fleet router."""
+        return ok_response(
+            alive=True,
+            ready=self.ready,
+            direction=self.direction,
+            semantics=self.repo.semantics_version,
+            generation=self.repo.generation,
+            gaps_pending=self.gaps.pending,
+            learn_errors=self.learn_errors,
+        )
+
+    def _op_catchup_done(self, request: dict) -> dict:
+        """The coordinator finished replaying its journal into this
+        shard; start taking traffic.  Idempotent."""
+        self.ready = True
+        return ok_response(ready=True, generation=self.repo.generation)
+
+    def _op_install_bundle(self, request: dict) -> dict:
+        """Publish one externally supplied bundle (catch-up replay).
+
+        The body is verified against the supplied content digest, and
+        publishing dedups by rule identity — replaying a bundle whose
+        rules this shard already serves is a no-op.
+        """
+        digest = request["digest"]
+        document = request["bundle"]
+        rules = verify_bundle(document, digest)
+        if document.get("semantics") != self.repo.semantics_version:
+            raise BundleError(
+                f"bundle semantics {document.get('semantics')} != "
+                f"shard semantics {self.repo.semantics_version}"
+            )
+        direction = document.get("direction", self.direction)
+        ref = self.repo.publish(rules, direction)
+        if ref is not None:
+            self.bundles_published += 1
+        return ok_response(
+            installed=ref is not None,
+            rules=ref.rules if ref is not None else 0,
             generation=self.repo.generation,
         )
 
@@ -305,6 +387,7 @@ class AsyncRuleServer:
         self._learn_lock = asyncio.Lock()
         self._scheduled: asyncio.Task | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._connections: set = set()
 
     async def _flush_async(self, request: dict | None = None) -> dict:
         # Learning is CPU-bound; run it off-loop so concurrent clients
@@ -336,8 +419,28 @@ class AsyncRuleServer:
             await self._flush_async()
 
         self._scheduled = asyncio.ensure_future(deferred())
+        self._scheduled.add_done_callback(self._observe_learn_task)
+
+    def _observe_learn_task(self, task: asyncio.Task) -> None:
+        """A background learning round must never fail silently: log
+        it, trace it, count it — the fleet health op surfaces the
+        counter."""
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        detail = f"{type(exc).__name__}: {exc}"
+        self.service.learn_errors += 1
+        get_metrics().inc("service.learn.errors")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("service.learn.error", error=detail)
+        print(f"repro-serve: background learning round failed: {detail}",
+              file=sys.stderr)
 
     async def handle_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -360,14 +463,42 @@ class AsyncRuleServer:
                     ):
                         self._schedule_learning()
                 await write_message(writer, response)
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop shutdown with the connection still open; exiting
+            # normally here keeps the streams callback from logging a
+            # spurious "Exception in callback" at teardown.
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
+    async def abort(self) -> None:
+        """Hard stop: drop every live connection and the listener
+        without draining — what a crash looks like to peers.  The
+        chaos tests use this to simulate a shard kill in-process."""
+        if self._scheduled is not None:
+            self._scheduled.cancel()
+            # A round that already failed re-raises on await; the
+            # done-callback observed it, nothing more to do here.
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._scheduled
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
     async def start_unix(self, path: str) -> None:
+        # A SIGKILLed predecessor leaves its socket file behind; bind
+        # would fail on it.  Only unlink when nothing answers — a stale
+        # file refuses connections, a live server accepts them.
+        remove_stale_socket(path)
         self._server = await asyncio.start_unix_server(
             self.handle_connection, path=path
         )
@@ -382,10 +513,27 @@ class AsyncRuleServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting connections, let a
+        pending or in-flight learning round run to completion, release
+        the learn lock.  ``close()`` afterwards is a no-op fast path.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        task = self._scheduled
+        if task is not None and not task.done():
+            with contextlib.suppress(Exception):
+                await task
+        # An explicit-flush round may still hold the lock; wait it out.
+        async with self._learn_lock:
+            pass
+
     async def close(self) -> None:
         if self._scheduled is not None:
             self._scheduled.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
+            with contextlib.suppress(asyncio.CancelledError, Exception):
                 await self._scheduled
         if self._server is not None:
             self._server.close()
@@ -398,6 +546,7 @@ def build_service(
     cache: VerificationCache | None = None,
     jobs: int = 1,
     slo: SloEngine | None = None,
+    ready: bool = True,
 ) -> RuleService:
     """Assemble a service: repository + (optional) corpus learner."""
     repo = RuleRepository(repo_dir)
@@ -409,7 +558,7 @@ def build_service(
             name: build_learning_pair(name) for name in corpus
         }
         learner = OnlineLearner(builds, cache=cache, jobs=jobs)
-    return RuleService(repo, learner, slo=slo)
+    return RuleService(repo, learner, slo=slo, ready=ready)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -457,6 +606,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the sampling profiler at this rate; "
                              "the live profile rides in the stats and "
                              "metrics ops (0: off)")
+    parser.add_argument("--join-fleet", action="store_true",
+                        help="start not-ready: the health op reports "
+                             "ready=false until a fleet coordinator "
+                             "completes the catch-up replay")
     args = parser.parse_args(argv)
 
     set_metrics(None)
@@ -474,7 +627,7 @@ def main(argv: list[str] | None = None) -> int:
         set_profiler(profiler)
         profiler.start()
     service = build_service(args.repo, corpus, cache=cache, jobs=args.jobs,
-                            slo=slo)
+                            slo=slo, ready=not args.join_fleet)
     server = AsyncRuleServer(
         service,
         auto_learn=not args.no_auto_learn,
@@ -482,6 +635,15 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     async def run() -> None:
+        # SIGTERM (what supervisors and the fleet gate send) and
+        # SIGINT both drain: finish the in-flight learning round,
+        # close the listener, and fall through to the cache save
+        # below — a bare SIGTERM used to drop settled verdicts.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signum, stop.set)
         if args.socket:
             await server.start_unix(args.socket)
             where = args.socket
@@ -493,7 +655,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{len(service.repo.entries())} bundle(s), "
               f"corpus {len(corpus)})", file=sys.stderr)
         try:
-            await server.serve_forever()
+            await stop.wait()
+            print("repro-serve: draining (signal received)",
+                  file=sys.stderr)
+            await server.drain()
         except asyncio.CancelledError:
             pass
         finally:

@@ -1,9 +1,51 @@
-"""Shared fixtures for the rule-service tests."""
+"""Shared fixtures and harnesses for the rule-service tests."""
+
+import asyncio
+import threading
 
 import pytest
 
 from repro.benchsuite import build_learning_pair
 from repro.learning.pipeline import learn_rules
+
+
+class LoopThread:
+    """An asyncio event loop running forever on a daemon thread.
+
+    The fleet and retry tests start/stop asyncio servers from
+    synchronous test code; ``call(coro)`` runs one coroutine on the
+    loop and blocks for its result.
+    """
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def run() -> None:
+            asyncio.set_event_loop(self.loop)
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10), "loop thread failed to start"
+
+    def call(self, coro, timeout: float = 60.0):
+        return asyncio.run_coroutine_threadsafe(
+            coro, self.loop
+        ).result(timeout)
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def loop_thread():
+    thread = LoopThread()
+    yield thread
+    thread.stop()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,246 @@
+"""Client failover: retry across restarts, degrade instead of raise.
+
+The scenarios a fleet makes routine: the server dies between two
+requests, dies and comes back mid-sync, or is down long enough that
+the retry budget runs out — in which case an *attached* engine must
+keep translating with its last-synced rules instead of erroring out
+of ``run()``.
+"""
+
+import time
+
+import pytest
+
+from repro.dbt.engine import DBTEngine
+from repro.learning.store import RuleStore
+from repro.service.client import RuleServiceClient
+from repro.service.learner import OnlineLearner
+from repro.service.repo import RuleRepository
+from repro.service.server import AsyncRuleServer, RuleService
+
+
+class Server:
+    """A killable/restartable server on the shared loop thread.
+
+    Restarts rebuild the transport around the *same* service object
+    (repository, gap state survive — only connections die), matching a
+    supervisor bouncing the process with a durable repo directory.
+    """
+
+    def __init__(self, loop_thread, tmp_path, learner=None,
+                 unix: bool = True) -> None:
+        self.lt = loop_thread
+        self.service = RuleService(
+            RuleRepository(tmp_path / "repo"), learner
+        )
+        self.unix = unix
+        self.path = str(tmp_path / "rules.sock")
+        self.port: int | None = None
+        self.server: AsyncRuleServer | None = None
+        self.start()
+
+    def start(self) -> None:
+        self.server = AsyncRuleServer(self.service, auto_learn=False)
+        if self.unix:
+            self.lt.call(self.server.start_unix(self.path))
+        else:
+            async def start_tcp():
+                await self.server.start_tcp("127.0.0.1", self.port or 0)
+                return self.server._server.sockets[0].getsockname()[1]
+
+            self.port = self.lt.call(start_tcp())
+
+    def kill(self) -> None:
+        self.lt.call(self.server.abort())
+
+    def stop(self) -> None:
+        if self.server is not None:
+            self.lt.call(self.server.close())
+            self.server = None
+
+    def client(self, **kwargs) -> RuleServiceClient:
+        if self.unix:
+            return RuleServiceClient(socket_path=self.path, **kwargs)
+        return RuleServiceClient(address=("127.0.0.1", self.port),
+                                 **kwargs)
+
+
+@pytest.fixture
+def server(loop_thread, tmp_path):
+    srv = Server(loop_thread, tmp_path)
+    yield srv
+    srv.stop()
+
+
+def run_and_report(client, pair):
+    guest, _ = pair
+    engine = DBTEngine(guest, "rules", gap_sink=client.recorder)
+    engine.run()
+    return engine
+
+
+class TestRetry:
+    def test_zero_retries_preserves_single_shot(self, server):
+        with server.client() as client:
+            assert client.ping()["ok"] is True
+            server.kill()
+            with pytest.raises(OSError):
+                client.ping()
+
+    def test_request_survives_restart_between_requests(self, server):
+        with server.client(retries=4, backoff_base=0.02) as client:
+            assert client.ping()["ok"] is True
+            server.kill()
+            server.start()
+            assert client.ping()["ok"] is True
+
+    def test_retry_budget_exhausts_when_server_stays_down(self, server):
+        with server.client(retries=2, backoff_base=0.01) as client:
+            client.ping()
+            server.kill()
+            with pytest.raises(OSError):
+                client.ping()
+
+    def test_constructor_waits_for_slow_server(self, loop_thread,
+                                               tmp_path):
+        srv = Server(loop_thread, tmp_path)
+        try:
+            srv.kill()
+
+            import threading
+
+            def restart_soon():
+                time.sleep(0.3)
+                srv.start()
+
+            thread = threading.Thread(target=restart_soon)
+            thread.start()
+            try:
+                with pytest.raises(OSError):
+                    srv.client(retries=0)
+                with srv.client(retries=8,
+                                backoff_base=0.05) as client:
+                    assert client.ping()["ok"] is True
+            finally:
+                thread.join()
+        finally:
+            srv.stop()
+
+    def test_report_gaps_recovers_idempotently(self, loop_thread,
+                                               tmp_path, mcf_pair):
+        srv = Server(loop_thread, tmp_path)
+        try:
+            with srv.client(retries=5, backoff_base=0.02) as client:
+                engine = run_and_report(client, mcf_pair)
+                srv.kill()
+                srv.start()
+                # The drained batch uploads over a fresh connection;
+                # server-side digest dedup makes any repeat harmless.
+                sent = client.report_gaps()
+                assert sent > 0
+                assert srv.service.gaps.pending == sent
+                assert engine.last_run is not None
+        finally:
+            srv.stop()
+
+    def test_sync_recovers_mid_restart(self, loop_thread, tmp_path,
+                                       mcf_pair, mcf_rules):
+        srv = Server(loop_thread, tmp_path)
+        try:
+            srv.service.repo.publish(list(mcf_rules), "arm-x86")
+            guest, _ = mcf_pair
+            with srv.client(retries=5, backoff_base=0.02) as client:
+                engine = DBTEngine(guest, "rules", RuleStore())
+                first = client.sync(engine)
+                assert first.rules_installed > 0
+
+                srv.kill()
+                srv.start()
+                again = client.sync(engine)
+                # Reconnected transparently; installed digests are
+                # remembered client-side so nothing reinstalls.
+                assert again.bundles == 0
+                assert again.generation == first.generation
+        finally:
+            srv.stop()
+
+    def test_tcp_transport_retries_too(self, loop_thread, tmp_path):
+        srv = Server(loop_thread, tmp_path, unix=False)
+        try:
+            with srv.client(retries=4, backoff_base=0.02) as client:
+                assert client.ping()["ok"] is True
+                srv.kill()
+                srv.start()
+                assert client.ping()["ok"] is True
+        finally:
+            srv.stop()
+
+    def test_backoff_is_deterministic_per_endpoint(self):
+        a = RuleServiceClient.__new__(RuleServiceClient)
+        b = RuleServiceClient.__new__(RuleServiceClient)
+        for stub in (a, b):
+            stub.backoff_base = 0.05
+            stub.backoff_max = 2.0
+            stub.backoff_jitter = 0.25
+            import random
+
+            stub._rng = random.Random(repr(("/tmp/x.sock", None)))
+        assert [a._backoff(i) for i in range(6)] == \
+            [b._backoff(i) for i in range(6)]
+        capped = a._backoff(30)
+        assert capped <= 2.0 * 1.25
+
+
+class TestDegradedMode:
+    def test_attached_engine_never_raises_while_down(
+            self, loop_thread, tmp_path, mcf_pair):
+        learner = OnlineLearner({"mcf": mcf_pair})
+        srv = Server(loop_thread, tmp_path, learner=learner)
+        try:
+            guest, _ = mcf_pair
+            with srv.client(retries=1, backoff_base=0.01) as client:
+                engine = DBTEngine(guest, "rules")
+                client.attach(engine, every=64, flush=True)
+                first = engine.run()
+                assert client.generation > 0
+                assert client.degraded is False
+                rules_before = len(engine.rule_store)
+                assert rules_before > 0
+
+                # Service gone: the run completes on stale rules.
+                srv.kill()
+                second = engine.run()
+                assert second.return_value == first.return_value
+                assert client.degraded is True
+                assert len(engine.rule_store) == rules_before
+
+                # Service back: a later tick recovers automatically.
+                srv.start()
+                third = engine.run()
+                assert third.return_value == first.return_value
+                assert client.degraded is False
+        finally:
+            srv.stop()
+
+
+class TestServerResilience:
+    def test_server_survives_abrupt_client_close(self, server):
+        client = server.client()
+        client.ping()
+        # Close without a goodbye mid-connection; the server must keep
+        # serving other clients.
+        client._sock.close()
+        client._sock = None
+        with server.client() as fresh:
+            assert fresh.ping()["ok"] is True
+
+    def test_half_written_frame_then_close(self, server):
+        import socket as socket_module
+
+        raw = socket_module.socket(socket_module.AF_UNIX,
+                                   socket_module.SOCK_STREAM)
+        raw.connect(server.path)
+        raw.sendall(b"\x00\x00\x10")  # truncated length prefix
+        raw.close()
+        with server.client() as fresh:
+            assert fresh.ping()["ok"] is True

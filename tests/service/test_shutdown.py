@@ -1,0 +1,208 @@
+"""Graceful shutdown and learn-failure observability.
+
+``repro-serve`` must treat SIGTERM (what supervisors and the fleet
+gate send) like SIGINT: drain the listener, finish any in-flight
+learning round, and still run the post-loop persistence path (cache
+save, metrics dump).  Background learning failures must be counted
+and surfaced, never swallowed.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.client import RuleServiceClient
+from repro.service.repo import RuleRepository
+from repro.service.server import (
+    AsyncRuleServer,
+    RuleService,
+    remove_stale_socket,
+)
+
+GAP = {
+    "digest": "f" * 64,
+    "direction": "arm-x86",
+    "text": "stub window",
+    "mnemonics": ["add"],
+}
+
+
+def spawn_server(tmp_path, *extra):
+    env = dict(os.environ, PYTHONPATH="src")
+    socket_path = str(tmp_path / "rules.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service.server",
+         "--repo", str(tmp_path / "repo"),
+         "--socket", socket_path, "--metrics", *extra],
+        cwd="/root/repo", env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        with RuleServiceClient(socket_path=socket_path, retries=20,
+                               backoff_base=0.05) as client:
+            assert client.ping()["ok"] is True
+    except Exception:
+        proc.kill()
+        proc.communicate()
+        raise
+    return proc, socket_path
+
+
+class TestSigtermDrain:
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_drains_and_persists(self, tmp_path, signum):
+        proc, _ = spawn_server(tmp_path)
+        proc.send_signal(signum)
+        try:
+            _, stderr = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        assert proc.returncode == 0
+        assert "draining (signal received)" in stderr
+        # The --metrics dump only prints after asyncio.run returns —
+        # proof the post-loop persistence path ran on this signal.
+        assert "metrics" in stderr.lower()
+        # The default verification cache was saved on the same path.
+        assert (tmp_path / "repo" / "verify-cache").exists()
+
+    def test_sigterm_mid_session_keeps_reported_gaps_clean(
+            self, tmp_path):
+        proc, socket_path = spawn_server(tmp_path)
+        with RuleServiceClient(socket_path=socket_path) as client:
+            response = client.request("report_gaps", gaps=[GAP])
+            assert response["new"] == 1
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=30)
+        assert proc.returncode == 0
+
+    def test_stale_socket_is_reclaimed_after_kill(self, tmp_path):
+        proc, socket_path = spawn_server(tmp_path)
+        proc.kill()  # SIGKILL: no cleanup, socket file left behind
+        proc.communicate()
+        assert os.path.exists(socket_path)
+
+        proc2, _ = spawn_server(tmp_path)
+        proc2.send_signal(signal.SIGTERM)
+        proc2.communicate(timeout=30)
+        assert proc2.returncode == 0
+
+    def test_remove_stale_socket_leaves_live_servers_alone(
+            self, tmp_path, loop_thread):
+        service = RuleService(RuleRepository(tmp_path / "repo"))
+        server = AsyncRuleServer(service, auto_learn=False)
+        path = str(tmp_path / "live.sock")
+        loop_thread.call(server.start_unix(path))
+        try:
+            remove_stale_socket(path)
+            assert os.path.exists(path)
+            with RuleServiceClient(socket_path=path) as client:
+                assert client.ping()["ok"] is True
+        finally:
+            loop_thread.call(server.close())
+
+
+class BoomLearner:
+    """A learner whose rounds always explode."""
+
+    def learn(self, pending):
+        raise RuntimeError("solver exploded")
+
+
+class SlowLearner:
+    """A learner slow enough for drain to have to wait for it."""
+
+    def __init__(self):
+        self.rounds = 0
+
+    def learn(self, pending):
+        time.sleep(0.4)
+        self.rounds += 1
+
+        class Round:
+            rules = []
+            gaps = len(pending)
+            matched_candidates = 0
+            verify_calls = 0
+
+        return Round()
+
+
+class TestLearnTaskObservability:
+    def test_auto_learn_failure_is_counted_not_swallowed(
+            self, tmp_path, loop_thread, capsys):
+        service = RuleService(RuleRepository(tmp_path / "repo"),
+                              BoomLearner())
+        server = AsyncRuleServer(service, auto_learn=True,
+                                 auto_learn_delay=0.01)
+        path = str(tmp_path / "rules.sock")
+        loop_thread.call(server.start_unix(path))
+        try:
+            with RuleServiceClient(socket_path=path) as client:
+                client.request("report_gaps", gaps=[GAP])
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    if service.learn_errors:
+                        break
+                    time.sleep(0.05)
+                assert service.learn_errors == 1
+                health = client.health()
+                assert health["learn_errors"] == 1
+                # The server keeps serving after a failed round.
+                assert client.ping()["ok"] is True
+        finally:
+            loop_thread.call(server.close())
+
+    def test_drain_waits_for_inflight_learning(self, tmp_path,
+                                               loop_thread):
+        learner = SlowLearner()
+        service = RuleService(RuleRepository(tmp_path / "repo"),
+                              learner)
+        server = AsyncRuleServer(service, auto_learn=True,
+                                 auto_learn_delay=0.01)
+        path = str(tmp_path / "rules.sock")
+        loop_thread.call(server.start_unix(path))
+        with RuleServiceClient(socket_path=path) as client:
+            client.request("report_gaps", gaps=[GAP])
+
+        # Give the coalescing delay a moment to fire, then drain: the
+        # scheduled round must complete, not be cancelled.
+        time.sleep(0.05)
+        loop_thread.call(server.drain())
+        assert learner.rounds == 1
+        assert service.learn_rounds == 1
+
+    def test_drain_is_idempotent_and_close_after_drain(
+            self, tmp_path, loop_thread):
+        service = RuleService(RuleRepository(tmp_path / "repo"))
+        server = AsyncRuleServer(service, auto_learn=False)
+        path = str(tmp_path / "rules.sock")
+        loop_thread.call(server.start_unix(path))
+        loop_thread.call(server.drain())
+        loop_thread.call(server.drain())
+        loop_thread.call(server.close())
+
+    def test_cancelled_round_is_not_an_error(self, tmp_path,
+                                             loop_thread):
+        service = RuleService(RuleRepository(tmp_path / "repo"),
+                              SlowLearner())
+        server = AsyncRuleServer(service, auto_learn=True,
+                                 auto_learn_delay=5.0)
+        path = str(tmp_path / "rules.sock")
+        loop_thread.call(server.start_unix(path))
+        with RuleServiceClient(socket_path=path) as client:
+            client.request("report_gaps", gaps=[GAP])
+
+        async def cancel_pending():
+            server._scheduled.cancel()
+            await asyncio.sleep(0)
+
+        loop_thread.call(cancel_pending())
+        time.sleep(0.05)
+        assert service.learn_errors == 0
+        loop_thread.call(server.close())
