@@ -103,6 +103,20 @@ CHECKS: dict[str, tuple[Check, ...]] = {
         # trace plumbing or the redelivery path broke.
         Check("stitched_installs", "higher", 0.50),
     ),
+    "ingest_gate": (
+        # The stream is seed-deterministic and the gate re-checks that
+        # itself, so the counter metrics only move when the grammar,
+        # dedup layer, or learning pipeline changes: tight bands.
+        Check("programs", "higher", 0.0),
+        Check("fed", "higher", 0.0),
+        Check("novel_rules", "higher", 0.0),
+        Check("verify_calls", "lower", 0.0),
+        Check("warm_skip_rate", "higher", 0.0),
+        Check("warm_verify_calls", "lower", 0.0),
+        # Wall-clock yield: wide bands for shared CI runners.
+        Check("novel_rules_per_min", "higher", 0.60),
+        Check("elapsed_seconds", "lower", 1.50),
+    ),
     "translate_throughput": (
         # Wall-clock throughput: wide bands for shared CI runners.
         Check("lookup.indexed.lookups_per_second", "higher", 0.40),

@@ -5,6 +5,7 @@
 #   scripts/check.sh --bench  # also regenerate BENCH_learning.json
 #   scripts/check.sh --slo    # also run the SLO burn-rate gate
 #   scripts/check.sh --fleet  # also run the fleet chaos gate
+#   scripts/check.sh --ingest # also run the corpus-ingestion gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +58,14 @@ fi
 # duplicate hot-installs across a dozen concurrent clients.
 if [[ "${1:-}" == "--fleet" ]]; then
     python scripts/fleet_gate.py
+fi
+
+# Ingest gate: a fixed-seed corpus stream must teach >= 15 novel
+# verified rules beyond the benchsuite, reproduce its counters exactly
+# from fresh state, skip >= 30% of a warm rerun through the dedup
+# layer, and reconcile its trace against the embedded IngestSummary.
+if [[ "${1:-}" == "--ingest" ]]; then
+    python scripts/ingest_gate.py
 fi
 
 echo "check.sh: all checks passed"

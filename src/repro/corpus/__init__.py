@@ -1,0 +1,50 @@
+"""Continuous corpus ingestion: manufactured learning fuel.
+
+The fixed benchmark corpus caps rule yield — learning stops improving
+once its same-source-line pairs are exhausted.  This subsystem keeps
+the online learner fed with *novel* programs:
+
+* :mod:`repro.corpus.grammar` / :mod:`repro.corpus.generate` — a
+  seed-deterministic grammar fuzzer sampling well-typed, terminating
+  MiniC programs over tunable knob configurations (*regions*);
+* :mod:`repro.corpus.idioms` — a miner that harvests frequent source
+  fragments from the benchsuite and recombines them (sanitized) into
+  hybrid programs;
+* :mod:`repro.corpus.dedup` — a persistent seen-digest store layered
+  over the verification cache, so programs whose candidate windows are
+  already settled never cost verification time;
+* :mod:`repro.corpus.pipeline` — compile both codegen styles, digest
+  candidate windows, decide fresh / duplicate / settled;
+* :mod:`repro.corpus.feed` — push surviving programs through the
+  gap-driven online learner, in-process or against a running
+  ``repro-serve`` / ``repro-fleet`` endpoint;
+* :mod:`repro.corpus.yield_ctl` — a deterministic bandit over grammar
+  regions that self-throttles barren ones on marginal yield;
+* :mod:`repro.corpus.diffcheck` — differential soundness harness
+  (MiniC interpreter vs. compiled guest/host execution) with a
+  statement-level minimizer for divergence repros;
+* :mod:`repro.corpus.cli` — the ``repro-corpus`` standing-workload
+  driver.
+
+Soundness never depends on the generator: every learned rule still
+passes the symbolic verifier — generation is free, verification is the
+only gate.
+"""
+
+from repro.corpus.dedup import DedupDecision, SeenStore
+from repro.corpus.generate import generate_program
+from repro.corpus.grammar import REGIONS, GrammarConfig
+from repro.corpus.pipeline import CorpusProgram, IngestPipeline, program_digest
+from repro.corpus.yield_ctl import YieldController
+
+__all__ = [
+    "DedupDecision",
+    "SeenStore",
+    "generate_program",
+    "REGIONS",
+    "GrammarConfig",
+    "CorpusProgram",
+    "IngestPipeline",
+    "program_digest",
+    "YieldController",
+]

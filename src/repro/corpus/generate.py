@@ -1,0 +1,420 @@
+"""Seed-deterministic grammar fuzzer for well-typed MiniC programs.
+
+Every program :func:`generate_program` emits
+
+* **parses and type-checks** — variables are declared before use, all
+  expressions are int-valued, helpers are non-recursive;
+* **terminates** — every loop is bounded by a constant trip count on a
+  *protected* counter the body is forbidden to reassign (``continue``
+  is only emitted inside ``for`` bodies, whose step always runs);
+* **has no undefined behavior under the MiniC model** — array indices
+  are masked to power-of-two bounds, shift counts are masked small,
+  and ``/``/``%`` denominators are forced odd (``| 1``), so the TAC
+  interpreter, both backends and the DBT all agree on its meaning.
+
+Determinism contract: all randomness flows through the single
+``random.Random`` handed in by the caller (no module-level RNG, no
+hash-salted seeds — :func:`derive_seed` goes through sha256, not
+``hash``), so a (seed, region, index) triple names one exact program
+text forever, across processes and ``--jobs`` parallelism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from random import Random
+
+from repro.corpus.grammar import GrammarConfig
+
+#: Immediate pools: small constants dominate real code, but the large
+#: ones exercise constant-materialization shapes (movw/movt, etc.).
+_SMALL_IMMS = tuple(range(-9, 10))
+_WIDE_IMMS = (16, 31, 63, 100, 255, 1023, 4096, 65535, -128, -1024)
+
+_ARITH_OPS = ("+", "-", "*", "&", "|", "^")
+_COMPOUND_OPS = ("+=", "-=", "*=", "&=", "|=", "^=")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def derive_seed(seed: int, region: str, index: int) -> int:
+    """A process-stable sub-seed for one (stream, region, index) slot.
+
+    Goes through sha256 — ``hash()`` is salted per process and would
+    break the byte-identical-stream contract.
+    """
+    digest = hashlib.sha256(
+        f"repro-corpus:{seed}:{region}:{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ProgramGenerator:
+    """Sample one program from ``config`` using ``rng`` exclusively."""
+
+    def __init__(self, config: GrammarConfig, rng: Random) -> None:
+        self.config = config
+        self.rng = rng
+        self._names = 0
+
+    # -- naming ---------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}{self._names}"
+
+    # -- program --------------------------------------------------------------
+
+    def generate(self) -> str:
+        cfg, rng = self.config, self.rng
+        lines: list[str] = []
+
+        self.globals_: list[str] = []
+        self.global_arrays: list[str] = []
+        if cfg.globals_:
+            for _ in range(rng.randint(1, 2)):
+                name = self._fresh("g")
+                lines.append(f"int {name} = {rng.choice(_SMALL_IMMS)};")
+                self.globals_.append(name)
+            name = self._fresh("ga")
+            lines.append(f"int {name}[{cfg.array_len}];")
+            self.global_arrays.append(name)
+            lines.append("")
+
+        self.helpers: list[tuple[str, int]] = []  # (name, arity)
+        if cfg.calls:
+            for _ in range(rng.randint(1, max(1, cfg.max_helpers))):
+                lines.extend(self._helper())
+                lines.append("")
+
+        lines.extend(self._main())
+        return "\n".join(lines) + "\n"
+
+    def _helper(self) -> list[str]:
+        """One straight-line int helper (no calls, no loops inside)."""
+        cfg, rng = self.config, self.rng
+        name = self._fresh("h")
+        arity = rng.randint(1, 3)
+        params = [f"p{name}_{i}" for i in range(arity)]
+        scope = _Scope(ints=list(params), arrays=[], chars=[])
+        body = [f"int {name}({', '.join('int ' + p for p in params)}) {{"]
+        local = self._fresh("t")
+        body.append(f"  int {local} = {self._expr(1, scope)};")
+        scope.ints.append(local)
+        for _ in range(rng.randint(1, 3)):
+            target = rng.choice(scope.ints[arity:] or scope.ints)
+            op = rng.choice(_COMPOUND_OPS)
+            body.append(f"  {target} {op} {self._expr(2, scope)};")
+        body.append(f"  return {self._expr(2, scope)};")
+        body.append("}")
+        self.helpers.append((name, arity))
+        return body
+
+    def _main(self) -> list[str]:
+        cfg, rng = self.config, self.rng
+        scope = _Scope(
+            ints=list(self.globals_),
+            arrays=list(self.global_arrays),
+            chars=[],
+        )
+        lines = ["int main(void) {"]
+        if cfg.arrays:
+            name = self._fresh("a")
+            lines.append(f"  int {name}[{cfg.array_len}];")
+            scope.arrays.append(name)
+        if cfg.chars:
+            name = self._fresh("c")
+            lines.append(f"  char {name}[{cfg.char_array_len}];")
+            scope.chars.append(name)
+        for _ in range(cfg.scalars):
+            name = self._fresh("v")
+            imm = rng.choice(_SMALL_IMMS + _WIDE_IMMS)
+            lines.append(f"  int {name} = {imm};")
+            scope.ints.append(name)
+        # Arrays hold unknown bytes until written; give every cell a
+        # defined value so both executions read the same data.
+        for array in scope.arrays:
+            counter = self._fresh("i")
+            lines.append(f"  int {counter} = 0;")
+            scope.ints.append(counter)
+            lines.append(
+                f"  while ({counter} < {cfg.array_len}) {{"
+            )
+            lines.append(f"    {array}[{counter}] = {counter} * "
+                         f"{rng.choice((3, 5, 7, 9))};")
+            lines.append(f"    {counter} += 1;")
+            lines.append("  }")
+        for array in scope.chars:
+            counter = self._fresh("i")
+            lines.append(f"  int {counter} = 0;")
+            scope.ints.append(counter)
+            lines.append(
+                f"  while ({counter} < {cfg.char_array_len}) {{"
+            )
+            lines.append(f"    {array}[{counter}] = {counter} + "
+                         f"{rng.randint(1, 40)};")
+            lines.append(f"    {counter} += 1;")
+            lines.append("  }")
+        lines.extend(self._stmts(scope, depth=0, indent="  ",
+                                 protected=frozenset()))
+        # Deterministic checksum over the whole final state.
+        acc = self._fresh("chk")
+        lines.append(f"  int {acc} = 0;")
+        for index, name in enumerate(scope.ints):
+            op = _COMPOUND_OPS[index % 3]  # += -= *=
+            lines.append(f"  {acc} {op} {name};")
+        for array in scope.arrays:
+            lines.append(f"  {acc} ^= {array}[{rng.randrange(cfg.array_len)}];")
+        for array in scope.chars:
+            lines.append(
+                f"  {acc} += {array}[{rng.randrange(cfg.char_array_len)}];"
+            )
+        lines.append(f"  return {acc};")
+        lines.append("}")
+        return lines
+
+    # -- statements -----------------------------------------------------------
+
+    def _stmts(self, scope: "_Scope", depth: int, indent: str,
+               protected: frozenset) -> list[str]:
+        cfg, rng = self.config, self.rng
+        budget = max(1, cfg.max_stmts >> depth)
+        count = rng.randint(max(1, budget // 2), budget)
+        lines: list[str] = []
+        for _ in range(count):
+            lines.extend(self._stmt(scope, depth, indent, protected))
+        return lines
+
+    def _stmt(self, scope: "_Scope", depth: int, indent: str,
+              protected: frozenset) -> list[str]:
+        cfg, rng = self.config, self.rng
+        kinds: list[str] = []
+        weights: list[int] = []
+
+        def add(kind: str, enabled: bool = True) -> None:
+            weight = cfg.weight(kind)
+            if enabled and weight > 0:
+                kinds.append(kind)
+                weights.append(weight)
+
+        writable = [name for name in scope.ints if name not in protected]
+        add("assign", bool(writable))
+        add("compound", bool(writable))
+        add("decl", depth == 0)
+        add("array_store", cfg.arrays and bool(scope.arrays))
+        add("char_store", cfg.chars and bool(scope.chars))
+        add("if", cfg.branches and depth < 2)
+        add("for", cfg.loops and depth < 2)
+        add("while", cfg.loops and depth < 2 and bool(writable))
+        add("call", cfg.calls and bool(self.helpers) and bool(writable))
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        method = getattr(self, f"_stmt_{kind}")
+        return method(scope, depth, indent, protected)
+
+    def _stmt_assign(self, scope, depth, indent, protected) -> list[str]:
+        target = self.rng.choice(
+            [n for n in scope.ints if n not in protected]
+        )
+        return [f"{indent}{target} = "
+                f"{self._expr(self.config.max_expr_depth, scope)};"]
+
+    def _stmt_compound(self, scope, depth, indent, protected) -> list[str]:
+        target = self.rng.choice(
+            [n for n in scope.ints if n not in protected]
+        )
+        op = self.rng.choice(_COMPOUND_OPS)
+        return [f"{indent}{target} {op} "
+                f"{self._expr(self.config.max_expr_depth - 1, scope)};"]
+
+    def _stmt_decl(self, scope, depth, indent, protected) -> list[str]:
+        name = self._fresh("v")
+        line = (f"{indent}int {name} = "
+                f"{self._expr(self.config.max_expr_depth - 1, scope)};")
+        scope.ints.append(name)
+        return [line]
+
+    def _stmt_array_store(self, scope, depth, indent, protected) -> list[str]:
+        cfg, rng = self.config, self.rng
+        array = rng.choice(scope.arrays)
+        index = self._index(cfg.array_len, scope)
+        if rng.random() < 0.4:
+            op = rng.choice(_COMPOUND_OPS[:3])
+            return [f"{indent}{array}[{index}] {op} "
+                    f"{self._expr(1, scope)};"]
+        return [f"{indent}{array}[{index}] = "
+                f"{self._expr(cfg.max_expr_depth - 1, scope)};"]
+
+    def _stmt_char_store(self, scope, depth, indent, protected) -> list[str]:
+        cfg, rng = self.config, self.rng
+        array = rng.choice(scope.chars)
+        index = self._index(cfg.char_array_len, scope)
+        return [f"{indent}{array}[{index}] = {self._expr(1, scope)};"]
+
+    def _stmt_if(self, scope, depth, indent, protected) -> list[str]:
+        rng = self.rng
+        lines = [f"{indent}if ({self._cond(scope)}) {{"]
+        # Each branch gets a scope clone: names declared inside the
+        # block (nested loop counters) must never leak to later reads.
+        lines.extend(self._stmts(scope.clone(), depth + 1, indent + "  ",
+                                 protected))
+        if rng.random() < 0.5:
+            lines.append(f"{indent}}} else {{")
+            lines.extend(
+                self._stmts(scope.clone(), depth + 1, indent + "  ",
+                            protected)
+            )
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_for(self, scope, depth, indent, protected) -> list[str]:
+        cfg, rng = self.config, self.rng
+        counter = self._fresh("i")
+        trips = rng.randint(2, cfg.loop_iters)
+        step = rng.choice((1, 1, 2))
+        lines = [
+            f"{indent}int {counter} = 0;",
+            f"{indent}for ({counter} = 0; {counter} < {trips * step}; "
+            f"{counter} += {step}) {{",
+        ]
+        scope.ints.append(counter)  # declared at this level: stays visible
+        inner = protected | {counter}
+        inner_scope = scope.clone()
+        body = self._stmts(inner_scope, depth + 1, indent + "  ", inner)
+        # continue is termination-safe here: for's step always runs.
+        if cfg.branches and rng.random() < 0.3:
+            escape = rng.choice(("continue", "break"))
+            body.append(f"{indent}  if ({self._cond(inner_scope)}) {{")
+            body.append(f"{indent}    {escape};")
+            body.append(f"{indent}  }}")
+        lines.extend(body)
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_while(self, scope, depth, indent, protected) -> list[str]:
+        cfg, rng = self.config, self.rng
+        counter = self._fresh("i")
+        trips = rng.randint(2, cfg.loop_iters)
+        lines = [
+            f"{indent}int {counter} = 0;",
+            f"{indent}while ({counter} < {trips}) {{",
+        ]
+        scope.ints.append(counter)  # declared at this level: stays visible
+        inner = protected | {counter}
+        inner_scope = scope.clone()
+        body = self._stmts(inner_scope, depth + 1, indent + "  ", inner)
+        if cfg.branches and rng.random() < 0.25:
+            body.append(f"{indent}  if ({self._cond(inner_scope)}) {{")
+            body.append(f"{indent}    break;")
+            body.append(f"{indent}  }}")
+        # The bounding increment comes last so break skips it safely
+        # but straight-line bodies always advance.
+        body.append(f"{indent}  {counter} += 1;")
+        lines.extend(body)
+        lines.append(f"{indent}}}")
+        return lines
+
+    def _stmt_call(self, scope, depth, indent, protected) -> list[str]:
+        rng = self.rng
+        target = rng.choice([n for n in scope.ints if n not in protected])
+        name, arity = rng.choice(self.helpers)
+        args = ", ".join(self._expr(1, scope) for _ in range(arity))
+        return [f"{indent}{target} = {name}({args});"]
+
+    # -- expressions ----------------------------------------------------------
+
+    def _index(self, length: int, scope: "_Scope") -> str:
+        """An always-in-bounds index expression (power-of-two mask)."""
+        return f"({self._expr(1, scope)}) & {length - 1}"
+
+    def _atom(self, scope: "_Scope") -> str:
+        rng = self.rng
+        if scope.ints and rng.random() < 0.6:
+            return rng.choice(scope.ints)
+        if rng.random() < 0.8:
+            return str(rng.choice(_SMALL_IMMS))
+        return str(rng.choice(_WIDE_IMMS))
+
+    def _expr(self, depth: int, scope: "_Scope") -> str:
+        cfg, rng = self.config, self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return self._atom(scope)
+        kinds = ["arith", "arith", "arith"]
+        kinds.append("shift")
+        kinds.append("unary")
+        if cfg.division:
+            kinds.append("divmod")
+        if cfg.branches:
+            kinds.append("cmp")
+        if cfg.logical:
+            kinds.append("logical")
+        if cfg.arrays and scope.arrays:
+            kinds.append("array_read")
+        if cfg.chars and scope.chars:
+            kinds.append("char_read")
+        kind = rng.choice(kinds)
+        if kind == "arith":
+            op = rng.choice(_ARITH_OPS)
+            return (f"({self._expr(depth - 1, scope)} {op} "
+                    f"{self._expr(depth - 1, scope)})")
+        if kind == "shift":
+            op = rng.choice(("<<", ">>"))
+            # Mask the count small: keeps both the semantics model and
+            # the generated magnitudes tame.
+            return (f"({self._expr(depth - 1, scope)} {op} "
+                    f"({self._atom(scope)} & 7))")
+        if kind == "unary":
+            op = rng.choice(("-", "~"))
+            return f"({op}({self._expr(depth - 1, scope)}))"
+        if kind == "divmod":
+            op = rng.choice(("/", "%"))
+            # An odd denominator is never zero.
+            return (f"({self._expr(depth - 1, scope)} {op} "
+                    f"({self._expr(depth - 1, scope)} | 1))")
+        if kind == "cmp":
+            op = rng.choice(_CMP_OPS)
+            return (f"({self._expr(depth - 1, scope)} {op} "
+                    f"{self._expr(depth - 1, scope)})")
+        if kind == "logical":
+            op = rng.choice(("&&", "||"))
+            return f"({self._cond(scope)} {op} {self._cond(scope)})"
+        if kind == "array_read":
+            array = rng.choice(scope.arrays)
+            return f"{array}[{self._index(cfg.array_len, scope)}]"
+        array = rng.choice(scope.chars)
+        return f"{array}[{self._index(cfg.char_array_len, scope)}]"
+
+    def _cond(self, scope: "_Scope") -> str:
+        cfg, rng = self.config, self.rng
+        if cfg.logical and rng.random() < 0.25:
+            op = rng.choice(("&&", "||"))
+            left = f"{self._expr(1, scope)} {rng.choice(_CMP_OPS)} " \
+                   f"{self._expr(1, scope)}"
+            right = f"{self._expr(1, scope)} {rng.choice(_CMP_OPS)} " \
+                    f"{self._atom(scope)}"
+            return f"({left}) {op} ({right})"
+        return (f"{self._expr(1, scope)} {rng.choice(_CMP_OPS)} "
+                f"{self._expr(1, scope)}")
+
+
+class _Scope:
+    """Names visible to the generator, by type."""
+
+    def __init__(self, ints: list[str], arrays: list[str],
+                 chars: list[str]) -> None:
+        self.ints = ints
+        self.arrays = arrays
+        self.chars = chars
+
+    def clone(self) -> "_Scope":
+        """Independent copy for a nested block: declarations made
+        inside it stay invisible to the enclosing block."""
+        return _Scope(list(self.ints), list(self.arrays), list(self.chars))
+
+
+def generate_program(config: GrammarConfig, seed: int, region: str = "",
+                     index: int = 0) -> str:
+    """The program text at one (seed, region, index) stream slot.
+
+    Pure: equal arguments yield byte-identical text in any process.
+    """
+    rng = Random(derive_seed(seed, region, index))
+    return ProgramGenerator(config, rng).generate()

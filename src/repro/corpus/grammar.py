@@ -1,0 +1,139 @@
+"""Grammar knobs: what kind of MiniC programs the fuzzer samples.
+
+A :class:`GrammarConfig` is one point in the generator's knob space —
+program size, expression depth, and which language features are in
+play.  :data:`REGIONS` names the standing configurations the yield
+controller arbitrates between: each region emphasizes a different
+instruction-selection surface (deep arithmetic, bit manipulation,
+branches, loops, memory traffic, calls, byte-sized data), because
+rule novelty comes from instruction *shapes*, not operand values —
+registers and immediates are parameterized away by the learner.
+
+Configs are frozen and hashable: the bandit keys its arms on them, and
+the generator derives nothing from ambient state — all randomness is
+the caller's seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GrammarConfig:
+    """One grammar region: size bounds plus feature toggles.
+
+    ``stmt_weights`` maps statement kinds to relative sampling weights;
+    kinds whose feature flag is off are skipped regardless of weight.
+    """
+
+    #: Helper functions besides ``main`` (callers pick 0..max).
+    max_helpers: int = 1
+    #: Statements per body at nesting depth 0 (halved per level).
+    max_stmts: int = 8
+    #: Expression tree depth.
+    max_expr_depth: int = 3
+    #: Constant loop trip counts are sampled from [1, loop_iters].
+    loop_iters: int = 6
+    #: int-array length; a power of two so indices mask in-bounds.
+    array_len: int = 8
+    #: char-array length (byte loads/stores), power of two.
+    char_array_len: int = 16
+    #: Scalar int variables declared up front in each function.
+    scalars: int = 4
+
+    # -- feature toggles ------------------------------------------------------
+    arrays: bool = True
+    chars: bool = False
+    globals_: bool = False
+    calls: bool = False
+    division: bool = False
+    loops: bool = True
+    branches: bool = True
+    logical: bool = False
+
+    #: statement kind -> relative weight (kind gated by its feature).
+    stmt_weights: tuple[tuple[str, int], ...] = (
+        ("assign", 5),
+        ("compound", 4),
+        ("decl", 2),
+        ("array_store", 3),
+        ("char_store", 2),
+        ("if", 3),
+        ("for", 2),
+        ("while", 1),
+        ("call", 2),
+    )
+
+    #: Recombine mined benchsuite idioms instead of pure grammar
+    #: sampling (the ``idioms`` region).
+    idiom_recombine: bool = False
+
+    def weight(self, kind: str) -> int:
+        for name, value in self.stmt_weights:
+            if name == kind:
+                return value
+        return 0
+
+
+_BASE = GrammarConfig()
+
+#: The standing grammar regions the yield controller arbitrates over.
+REGIONS: dict[str, GrammarConfig] = {
+    # Deep straight-line arithmetic: long dependent expression chains
+    # on one source line are where multi-instruction rule shapes live.
+    "arith": replace(
+        _BASE, arrays=False, loops=False, branches=False,
+        max_expr_depth=4, max_stmts=10, scalars=6,
+    ),
+    # Bit manipulation (shift/and/or/xor/invert combinations).
+    "bitops": replace(
+        _BASE, arrays=False, loops=False, branches=False,
+        max_expr_depth=4, max_stmts=10, scalars=6, division=False,
+    ),
+    # Branch-heavy: nested ifs, comparisons and logical connectives
+    # materialized as values.
+    "branchy": replace(
+        _BASE, arrays=False, loops=False, branches=True, logical=True,
+        max_expr_depth=3, max_stmts=8,
+    ),
+    # Loop nests with breaks/continues over scalar state.
+    "loops": replace(
+        _BASE, arrays=False, loops=True, branches=True,
+        max_expr_depth=2, max_stmts=6,
+    ),
+    # Word-sized memory traffic through arrays (masked indices).
+    "arrays": replace(
+        _BASE, arrays=True, loops=True, max_expr_depth=2, max_stmts=7,
+    ),
+    # Byte-sized loads/stores (ldrb/strb shapes) through char arrays.
+    "bytes": replace(
+        _BASE, arrays=True, chars=True, loops=True,
+        max_expr_depth=2, max_stmts=7,
+    ),
+    # Globals: absolute-address loads/stores.
+    "globals": replace(
+        _BASE, arrays=True, globals_=True, loops=True,
+        max_expr_depth=2, max_stmts=7,
+    ),
+    # Division / modulo (runtime-call shapes on ARM).
+    "divmod": replace(
+        _BASE, arrays=False, loops=False, branches=True, division=True,
+        max_expr_depth=3, max_stmts=8,
+    ),
+    # Helper-function calls (argument marshalling around calls).
+    "calls": replace(
+        _BASE, arrays=False, loops=True, calls=True, max_helpers=2,
+        max_expr_depth=2, max_stmts=6,
+    ),
+    # Everything at once.
+    "mixed": replace(
+        _BASE, arrays=True, chars=True, globals_=True, calls=True,
+        division=True, loops=True, branches=True, logical=True,
+        max_helpers=2, max_expr_depth=3, max_stmts=8,
+    ),
+    # Benchsuite idiom recombination (see repro.corpus.idioms).
+    "idioms": replace(_BASE, idiom_recombine=True),
+}
+
+DEFAULT_REGIONS: tuple[str, ...] = tuple(REGIONS)

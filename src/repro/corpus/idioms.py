@@ -1,0 +1,189 @@
+"""Benchsuite idiom mining and sanitized recombination.
+
+Grammar sampling explores shapes uniformly; real programs do not — a
+handful of expression idioms (accumulate-and-mask, shifted adds,
+xor-folds) dominate, and their instruction sequences are where the
+paper's high-coverage rules come from.  The miner walks the
+benchsuite's ASTs, skeletonizes every pure int expression (variables
+become numbered placeholders, constants stay), and counts shapes
+across benchmarks.  The ``idioms`` grammar region then emits hybrid
+programs whose statement bodies instantiate the most frequent
+skeletons over fresh local scalars.
+
+Sanitization happens at *mining* time: any fragment containing
+division, shifts, memory access, calls, or logical connectives is
+rejected, so every surviving skeleton is UB-free under any int
+substitution — the instantiator never needs to reason about safety.
+
+Determinism: benchmark iteration order is the registry's fixed order,
+ties in frequency break on skeleton text, and instantiation draws only
+from the caller's seeded RNG.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from random import Random
+
+from repro.benchsuite.suite import BENCHMARKS, benchmark_source
+from repro.corpus.generate import derive_seed
+from repro.corpus.grammar import GrammarConfig
+from repro.minic import ast
+from repro.minic.parser import parse
+
+#: Operators whose skeletons are safe under any int substitution.
+_SAFE_BINOPS = {"+", "-", "*", "&", "|", "^", "==", "!=", "<", "<=",
+                ">", ">="}
+_SAFE_UNOPS = {"-", "~"}
+
+_DEFAULT_TOP = 32
+
+
+@dataclass(frozen=True)
+class Idiom:
+    """One mined expression shape.
+
+    ``skeleton`` is the shape with variables replaced by ``$0``,
+    ``$1``, ... in first-occurrence order; ``arity`` is how many
+    distinct variables it binds; ``count`` is its corpus frequency.
+    """
+
+    skeleton: str
+    arity: int
+    count: int
+
+    def instantiate(self, names: list[str]) -> str:
+        """Substitute concrete variable names for the placeholders."""
+        text = self.skeleton
+        for slot in range(self.arity - 1, -1, -1):
+            text = text.replace(f"${slot}", names[slot])
+        return text
+
+
+def _skeletonize(expr: ast.Expr, slots: dict[str, int]) -> str | None:
+    """Skeleton text for a *safe* expression, or None if rejected."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        slot = slots.setdefault(expr.ident, len(slots))
+        return f"${slot}"
+    if isinstance(expr, ast.Unary) and expr.op in _SAFE_UNOPS:
+        inner = _skeletonize(expr.operand, slots)
+        return None if inner is None else f"({expr.op}{inner})"
+    if isinstance(expr, ast.Binary) and expr.op in _SAFE_BINOPS:
+        left = _skeletonize(expr.left, slots)
+        if left is None:
+            return None
+        right = _skeletonize(expr.right, slots)
+        if right is None:
+            return None
+        return f"({left} {expr.op} {right})"
+    return None  # division, shift, memory, call, logical: rejected
+
+
+def _walk_exprs(stmts) -> list[ast.Expr]:
+    found: list[ast.Expr] = []
+    for stmt in stmts:
+        if isinstance(stmt, ast.Decl) and stmt.init is not None:
+            found.append(stmt.init)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Assign):
+                found.append(stmt.expr.value)
+            else:
+                found.append(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            found.append(stmt.cond)
+            found.extend(_walk_exprs(stmt.then_body))
+            found.extend(_walk_exprs(stmt.else_body))
+        elif isinstance(stmt, ast.While):
+            found.append(stmt.cond)
+            found.extend(_walk_exprs(stmt.body))
+        elif isinstance(stmt, ast.For):
+            if stmt.cond is not None:
+                found.append(stmt.cond)
+            found.extend(_walk_exprs(stmt.body))
+            if stmt.init is not None:
+                found.extend(_walk_exprs([stmt.init]))
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            found.append(stmt.value)
+    return found
+
+
+def mine_idioms(sources: dict[str, str] | None = None,
+                top: int = _DEFAULT_TOP) -> list[Idiom]:
+    """The ``top`` most frequent safe expression shapes in ``sources``
+    (default: the whole benchsuite at the ref workload)."""
+    if sources is None:
+        sources = {name: benchmark_source(name) for name in BENCHMARKS}
+    counts: Counter[tuple[str, int]] = Counter()
+    for name in sources:
+        program = parse(sources[name])
+        for function in program.functions:
+            for expr in _walk_exprs(function.body):
+                slots: dict[str, int] = {}
+                skeleton = _skeletonize(expr, slots)
+                # Single atoms carry no shape; require an operator and
+                # at least one variable to parameterize over.
+                if skeleton is None or not slots or "(" not in skeleton:
+                    continue
+                counts[(skeleton, len(slots))] += 1
+    ranked = sorted(
+        counts.items(), key=lambda item: (-item[1], item[0][0])
+    )
+    return [
+        Idiom(skeleton=skeleton, arity=arity, count=count)
+        for (skeleton, arity), count in ranked[:top]
+    ]
+
+
+_IDIOM_CACHE: list[Idiom] | None = None
+
+
+def default_idioms() -> list[Idiom]:
+    """Benchsuite idioms, mined once per process (deterministic)."""
+    global _IDIOM_CACHE
+    if _IDIOM_CACHE is None:
+        _IDIOM_CACHE = mine_idioms()
+    return _IDIOM_CACHE
+
+
+def generate_idiom_program(
+    config: GrammarConfig,
+    seed: int,
+    region: str = "idioms",
+    index: int = 0,
+    idioms: list[Idiom] | None = None,
+) -> str:
+    """One hybrid program recombining mined idioms over fresh scalars.
+
+    Same determinism contract as
+    :func:`repro.corpus.generate.generate_program`: (seed, region,
+    index) plus the idiom list name one exact program text.
+    """
+    if idioms is None:
+        idioms = default_idioms()
+    if not idioms:
+        raise ValueError("no idioms to recombine")
+    rng = Random(derive_seed(seed, region, index))
+    lines = ["int main(void) {"]
+    names = [f"v{i}" for i in range(max(config.scalars, 4))]
+    for i, name in enumerate(names):
+        lines.append(f"  int {name} = {rng.randint(-9, 9) + i};")
+    budget = max(4, config.max_stmts)
+    for _ in range(budget):
+        idiom = rng.choice(idioms)
+        binding = [rng.choice(names) for _ in range(idiom.arity)]
+        target = rng.choice(names)
+        if rng.random() < 0.3:
+            op = rng.choice(("+=", "-=", "^=", "&=", "|="))
+            lines.append(f"  {target} {op} {idiom.instantiate(binding)};")
+        else:
+            lines.append(f"  {target} = {idiom.instantiate(binding)};")
+    lines.append("  int chk = 0;")
+    for i, name in enumerate(names):
+        op = ("+=", "-=", "*=")[i % 3]
+        lines.append(f"  chk {op} {name};")
+    lines.append("  return chk;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

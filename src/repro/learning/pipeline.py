@@ -13,6 +13,7 @@ share the (deterministic) verdict of their canonical representative.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable
@@ -165,17 +166,25 @@ def _extract_stage(
     host_program: CompiledProgram,
     direction: Direction,
     report: LearningReport,
+    trace: bool = True,
 ) -> list[SnippetPair]:
+    """``trace=False`` runs the stage observability-silent: corpus
+    staging extracts the same windows for dedup classification, and
+    emitting learning events there would double-count every program
+    that is later fed (or orphan ones that are skipped)."""
     tracer = get_tracer()
     start = time.perf_counter()
-    with tracer.span("learn.extract", benchmark=report.benchmark), \
-            phase("learn.extract"):
+    span = tracer.span("learn.extract", benchmark=report.benchmark) \
+        if trace else contextlib.nullcontext()
+    with span, phase("learn.extract"):
         extraction = extract_pairs(guest_program, host_program, direction)
     report.total_sequences = extraction.total_sequences
     report.prep_ci = extraction.prep_failures[PrepFailure.CALL_OR_INDIRECT]
     report.prep_pi = extraction.prep_failures[PrepFailure.PREDICATED]
     report.prep_mb = extraction.prep_failures[PrepFailure.MULTI_BLOCK]
     report.extract_seconds = time.perf_counter() - start
+    if not trace:
+        return extraction.pairs
     metrics = get_metrics()
     metrics.inc("learning.sequences", extraction.total_sequences)
     metrics.inc("learning.pairs", len(extraction.pairs))
@@ -206,30 +215,34 @@ def _paramize_stage(
     pairs: list[SnippetPair],
     direction: Direction,
     report: LearningReport,
+    trace: bool = True,
 ) -> list[Candidate]:
     tracer = get_tracer()
     metrics = get_metrics()
     start = time.perf_counter()
     candidates: list[Candidate] = []
-    with tracer.span("learn.paramize", benchmark=report.benchmark), \
-            phase("learn.paramize"):
+    span = tracer.span("learn.paramize", benchmark=report.benchmark) \
+        if trace else contextlib.nullcontext()
+    with span, phase("learn.paramize"):
         for pair in pairs:
             context = analyze_pair(pair, direction)
             mappings, failure = generate_mappings(context)
             if failure is not None:
                 code = _count_param_failure(report, failure)
-                metrics.inc(f"learning.param_fail.{code}")
-                if tracer.enabled:
-                    tracer.event("learn.param_fail",
-                                 benchmark=report.benchmark,
-                                 line=pair.line, reason=code)
+                if trace:
+                    metrics.inc(f"learning.param_fail.{code}")
+                    if tracer.enabled:
+                        tracer.event("learn.param_fail",
+                                     benchmark=report.benchmark,
+                                     line=pair.line, reason=code)
                 continue
             candidates.append(
                 Candidate(pair, context, mappings,
                           candidate_digest(context, mappings))
             )
     report.paramize_seconds = time.perf_counter() - start
-    metrics.inc("learning.candidates", len(candidates))
+    if trace:
+        metrics.inc("learning.candidates", len(candidates))
     return candidates
 
 

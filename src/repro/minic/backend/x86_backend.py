@@ -286,14 +286,38 @@ class X86Selector:
         if op in ("/", "%"):
             self._select_division(instr, line)
             return
+        # Two-address hazard: ``movl a, dest`` clobbers ``b`` when the
+        # destination register IS ``b`` (``v = t op v``, the shape loop
+        # carried updates take after copy propagation).
+        hazard = isinstance(instr.b, str) and instr.b == instr.dest
         if op in ("<<", ">>", "u>>"):
             mnemonic = {"<<": "shll", ">>": "sarl", "u>>": "shrl"}[op]
-            self.emit("movl", self.operand(instr.a, line), dest, line=line)
             if isinstance(instr.b, int):
+                self.emit("movl", self.operand(instr.a, line), dest,
+                          line=line)
                 self.emit(mnemonic, Imm(instr.b & 31), dest, line=line)
             else:
+                # Save the count before the movl can clobber it.
                 self.emit("movl", Reg(instr.b), Reg("ecx"), line=line)
+                self.emit("movl", self.operand(instr.a, line), dest,
+                          line=line)
                 self.emit(mnemonic, Reg("cl"), dest, line=line)
+            return
+        if hazard and op in ("+", "-", "*", "&", "|", "^"):
+            if op == "-":
+                if instr.a == instr.b:
+                    self.emit("movl", Imm(0), dest, line=line)
+                else:
+                    # dest = a - dest: negate, then add a.
+                    self.emit("negl", dest, line=line)
+                    self.emit("addl", self.operand(instr.a, line), dest,
+                              line=line)
+            else:
+                # Commutative: dest already holds b, fold a in.
+                mnemonic = {"+": "addl", "*": "imull", "&": "andl",
+                            "|": "orl", "^": "xorl"}[op]
+                self.emit(mnemonic, self.operand(instr.a, line), dest,
+                          line=line)
             return
         if op == "+":
             if self._select_lea_add(instr, line):

@@ -83,7 +83,10 @@ class LearningAggregate:
     dedup_saved_calls: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
-    #: The LearningReport accounting path (from the learn.report event).
+    #: The LearningReport accounting path, summed over every
+    #: learn.report event for this benchmark — a corpus origin is
+    #: learned once per codegen style, and the per-event aggregates
+    #: above accumulate across those calls too.
     report_counts: dict | None = None
     report_timings: dict | None = None
 
@@ -204,6 +207,61 @@ class EngineAggregate:
                 if not p.get("profitable")]
 
 
+#: corpus.report count fields — exactly IngestSummary's counts().
+_CORPUS_COUNT_FIELDS = (
+    "programs", "fed", "skipped_dup", "skipped_settled", "unsound",
+    "rules", "novel_rules", "published", "verify_calls",
+)
+
+
+@dataclass
+class CorpusAggregate:
+    """Corpus-ingestion activity re-derived from corpus.* events
+    (the continuous grammar-fuzzed program stream)."""
+
+    programs: int = 0
+    verdicts: dict = field(default_factory=dict)  # verdict -> count
+    fed: int = 0
+    unsound: int = 0
+    rules: int = 0
+    novel_rules: int = 0
+    published: int = 0
+    verify_calls: int = 0
+    #: region -> [programs, fed, novel rules]
+    regions: dict = field(default_factory=dict)
+    #: The IngestSummary accounting path, summed over every
+    #: corpus.report event (one per ingestion run in the trace).
+    report_counts: dict | None = None
+    reports: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.programs or self.reports)
+
+    @property
+    def skipped_dup(self) -> int:
+        return self.verdicts.get("dup_program", 0)
+
+    @property
+    def skipped_settled(self) -> int:
+        return self.verdicts.get("all_settled", 0)
+
+    def counts(self) -> dict:
+        """Derived counts in ``IngestSummary`` field names."""
+        return {
+            "programs": self.programs,
+            "fed": self.fed,
+            "skipped_dup": self.skipped_dup,
+            "skipped_settled": self.skipped_settled,
+            "unsound": self.unsound,
+            "rules": self.rules,
+            "novel_rules": self.novel_rules,
+            "published": self.published,
+            "verify_calls": self.verify_calls,
+        }
+
+
 @dataclass
 class ServiceAggregate:
     """Rule-service activity re-derived from service.* / hot-install
@@ -237,6 +295,7 @@ class TraceAggregate:
     learning: dict[str, LearningAggregate] = field(default_factory=dict)
     engines: dict[int, EngineAggregate] = field(default_factory=dict)
     service: ServiceAggregate = field(default_factory=ServiceAggregate)
+    corpus: CorpusAggregate = field(default_factory=CorpusAggregate)
     #: (span name, benchmark) -> summed seconds
     spans: dict = field(default_factory=dict)
     records: int = 0
@@ -303,8 +362,14 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
             bench(fields).rules += 1
         elif name == "learn.report":
             b = bench(fields)
-            b.report_counts = fields.get("counts")
-            b.report_timings = fields.get("timings")
+            for attr, payload in (("report_counts", "counts"),
+                                  ("report_timings", "timings")):
+                current = getattr(b, attr)
+                if current is None:
+                    setattr(b, attr, dict(fields.get(payload) or {}))
+                else:
+                    for key, value in (fields.get(payload) or {}).items():
+                        current[key] = current.get(key, 0) + value
         elif name == "dbt.translate":
             e = engine(fields)
             e.mode = fields.get("mode", e.mode)
@@ -342,6 +407,40 @@ def aggregate(records: list[TraceRecord]) -> TraceAggregate:
             entry[0] += 1
             entry[1] += fields.get("installed", 0)
             entry[2] += fields.get("invalidated", 0)
+        elif name == "corpus.program":
+            c = agg.corpus
+            c.programs += 1
+            verdict = fields.get("verdict", "")
+            c.verdicts[verdict] = c.verdicts.get(verdict, 0) + 1
+            entry = c.regions.setdefault(
+                fields.get("region", ""), [0, 0, 0]
+            )
+            entry[0] += 1
+        elif name == "corpus.fed":
+            c = agg.corpus
+            c.fed += 1
+            c.rules += fields.get("rules", 0)
+            c.novel_rules += fields.get("novel", 0)
+            c.published += fields.get("published", 0)
+            c.verify_calls += fields.get("verify_calls", 0)
+            entry = c.regions.setdefault(
+                fields.get("region", ""), [0, 0, 0]
+            )
+            entry[1] += 1
+            entry[2] += fields.get("novel", 0)
+        elif name == "corpus.unsound":
+            agg.corpus.unsound += 1
+        elif name == "corpus.report":
+            c = agg.corpus
+            c.reports += 1
+            c.elapsed_seconds += fields.get("elapsed_seconds", 0.0)
+            counts = fields.get("counts") or {}
+            if c.report_counts is None:
+                c.report_counts = dict(counts)
+            else:
+                for key, value in counts.items():
+                    c.report_counts[key] = \
+                        c.report_counts.get(key, 0) + value
         elif name == "service.gap_report":
             s = agg.service
             s.gap_reports += 1
@@ -503,18 +602,48 @@ def reconcile_service(agg: TraceAggregate) -> list[str]:
     return problems
 
 
+def reconcile_corpus(agg: TraceAggregate) -> list[str]:
+    """Compare the per-event corpus aggregates (``corpus.program`` /
+    ``corpus.fed`` / ``corpus.unsound``) against the embedded
+    ``corpus.report`` records — the IngestSummary accounting path.
+    The two are computed independently (per-program events as the
+    stream runs vs. the run's own counters), so exact agreement
+    validates both; this is the ingest gate's yield-metric check."""
+    c = agg.corpus
+    if not c.active:
+        return []
+    if c.report_counts is None:
+        return ["corpus: no corpus.report record in trace"]
+    problems = []
+    derived = c.counts()
+    for fname in _CORPUS_COUNT_FIELDS:
+        expected = c.report_counts.get(fname)
+        if derived[fname] != expected:
+            problems.append(
+                f"corpus: {fname} derived {derived[fname]} != "
+                f"report {expected}"
+            )
+    return problems
+
+
 def reconcile(agg: TraceAggregate) -> list[str]:
     return (reconcile_learning(agg) + reconcile_dbt(agg)
-            + reconcile_profitability(agg) + reconcile_service(agg))
+            + reconcile_profitability(agg) + reconcile_service(agg)
+            + reconcile_corpus(agg))
 
 
 # -- figure derivations --------------------------------------------------------
 
 
 def table1_from_trace(agg: TraceAggregate) -> dict[str, dict]:
-    """Table 1 counts per benchmark, from the trace alone."""
+    """Table 1 counts per benchmark, from the trace alone.
+
+    Corpus-fed programs (``corpus:<digest>`` origins) are excluded —
+    they are fuzzed streams, not the paper's benchmark rows; their
+    learning activity rolls up in the corpus section instead."""
     return {
         name: b.counts() for name, b in sorted(agg.learning.items())
+        if not name.startswith("corpus:")
     }
 
 
@@ -760,10 +889,14 @@ def _stage_breakdown(agg: TraceAggregate, benchmark: str) -> str:
 def render_report(agg: TraceAggregate, top: int = 10) -> str:
     lines = [f"trace: {agg.records} records"]
 
-    if agg.learning:
+    benchmarks = {name: b for name, b in agg.learning.items()
+                  if not name.startswith("corpus:")}
+    corpus_origins = {name: b for name, b in agg.learning.items()
+                      if name.startswith("corpus:")}
+    if benchmarks:
         lines.append("")
         lines.append("== learning (derived from per-candidate events) ==")
-        for name, b in sorted(agg.learning.items()):
+        for name, b in sorted(benchmarks.items()):
             counts = b.counts()
             lines.append(
                 f"{name or '(unnamed)'}: {counts['total_sequences']} seq "
@@ -790,6 +923,21 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
         pool = agg.spans.get(("learn.pool", ""))
         if pool is not None:
             lines.append(f"(parallel pool: {pool:.3f}s)")
+    if corpus_origins:
+        rolled_rules = sum(b.rules for b in corpus_origins.values())
+        rolled_calls = sum(
+            b.verify_calls for b in corpus_origins.values()
+        )
+        if not benchmarks:
+            lines.append("")
+            lines.append(
+                "== learning (derived from per-candidate events) =="
+            )
+        lines.append(
+            f"corpus origins: {len(corpus_origins)} program(s) -> "
+            f"{rolled_rules} rules, {rolled_calls} verify calls "
+            "(per-origin detail suppressed; see corpus section)"
+        )
 
     for key, e in sorted(agg.engines.items()):
         lines.append("")
@@ -860,6 +1008,33 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
                     f"x{count:<8d} {share:6.1%}"
                 )
 
+    if agg.corpus.active:
+        c = agg.corpus
+        lines.append("")
+        lines.append("== corpus ingestion ==")
+        lines.append(
+            f"programs: {c.programs} ({c.fed} fed, "
+            f"{c.skipped_dup} duplicate, {c.skipped_settled} settled, "
+            f"{c.unsound} unsound)"
+        )
+        lines.append(
+            f"yield: {c.rules} rules ({c.novel_rules} novel, "
+            f"{c.published} published), {c.verify_calls} verify calls"
+            + (f", {c.elapsed_seconds:.1f}s ingest time"
+               if c.elapsed_seconds else "")
+        )
+        if c.regions:
+            ranked = sorted(
+                c.regions.items(),
+                key=lambda kv: (-kv[1][2], -kv[1][1], kv[0]),
+            )
+            lines.append("regions (fed/programs, novel rules):")
+            for region, (programs, fed, novel) in ranked:
+                lines.append(
+                    f"  {region or '(unnamed)':<10s} {fed}/{programs}"
+                    f"  novel {novel}"
+                )
+
     if agg.service.active:
         s = agg.service
         lines.append("")
@@ -908,6 +1083,8 @@ def render_report(agg: TraceAggregate, top: int = 10) -> str:
             checked.append("rule profiles vs translate hits")
         if agg.service.active:
             checked.append("service syncs vs hot-installs")
+        if agg.corpus.active:
+            checked.append("corpus events vs IngestSummary")
         lines.append(
             "reconciliation: OK ("
             + (", ".join(checked) if checked else "nothing to check")
@@ -972,6 +1149,12 @@ def main(argv: list[str] | None = None) -> int:
             },
             "reconciliation": problems,
         }
+        if agg.corpus.active:
+            payload["corpus"] = dict(
+                agg.corpus.counts(),
+                regions=agg.corpus.regions,
+                elapsed_seconds=round(agg.corpus.elapsed_seconds, 3),
+            )
         if stitched is not None:
             payload["stitch"] = stitched.to_json()
         print(json.dumps(payload, indent=1))

@@ -61,6 +61,16 @@ def render(stats: dict) -> str:
             settled=gaps.get("settled", 0),
         )
     )
+    corpus = stats.get("corpus")
+    if corpus and any(corpus.values()):
+        lines.append(
+            "  corpus: {programs} program(s) ingested, "
+            "{gaps} gap(s) queued, {rules} rule(s) learned".format(
+                programs=corpus.get("programs", 0),
+                gaps=corpus.get("gaps", 0),
+                rules=corpus.get("rules", 0),
+            )
+        )
     fleet = stats.get("fleet")
     if fleet:
         lines.append(

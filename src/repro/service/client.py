@@ -282,6 +282,28 @@ class RuleServiceClient:
         """Ask the server to run a learning round now."""
         return self.request("flush")
 
+    def ingest_source(self, source: str, origin: str | None = None,
+                      styles: tuple[str, ...] = ("llvm", "gcc"),
+                      opt_level: int = 2) -> dict:
+        """Hand one corpus program to the server's online learner.
+
+        The server compiles ``source`` in both codegen styles, stages
+        its candidates under the ``corpus:<digest>`` origin, and queues
+        synthetic whole-function gaps; a following :meth:`flush` (or
+        the server's auto-learn scheduler) runs the verification round.
+        """
+        fields = {"source": source, "styles": list(styles),
+                  "opt_level": opt_level}
+        if origin is not None:
+            fields["origin"] = origin
+        with get_tracer().span("service.ingest_source"):
+            response = self.request("ingest_source", **fields)
+        metrics = get_metrics()
+        metrics.inc("service.client.programs_ingested")
+        metrics.inc("service.client.ingest_gaps",
+                    int(response.get("new_gaps", 0)))
+        return response
+
     # -- sync + hot-install --------------------------------------------------
 
     def _compatible(self, entry: dict) -> bool:

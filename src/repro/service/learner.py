@@ -87,8 +87,31 @@ class OnlineLearner:
         #: digest -> settled verdict (service-lifetime dedup).
         self.memo: dict[str, CandidateOutcome] = {}
         self._staged: list[tuple[str, Candidate]] | None = None
+        #: Builds ingested after construction (corpus feed); names may
+        #: repeat — one origin arrives once per codegen style.
+        self._extra_builds: list[
+            tuple[str, tuple[CompiledProgram, CompiledProgram]]
+        ] = []
 
     # -- staging -------------------------------------------------------------
+
+    def _stage_build(
+        self, name: str,
+        pair: tuple[CompiledProgram, CompiledProgram],
+    ) -> list[tuple[str, Candidate]]:
+        # Throwaway report, trace-silent: staging wants candidates
+        # only; Table 1 accounting belongs to offline learning, and
+        # learn.* events here would orphan in the server trace (no
+        # learn.report ever follows them).
+        guest, host = pair
+        report = LearningReport(benchmark=name)
+        pairs = _extract_stage(guest, host, self.direction, report,
+                               trace=False)
+        return [
+            (name, candidate)
+            for candidate in _paramize_stage(pairs, self.direction,
+                                             report, trace=False)
+        ]
 
     def staged_candidates(self) -> list[tuple[str, Candidate]]:
         """(benchmark, candidate) pairs, extracted + paramized lazily
@@ -98,23 +121,36 @@ class OnlineLearner:
             start = time.perf_counter()
             staged: list[tuple[str, Candidate]] = []
             with tracer.span("service.stage", corpus=len(self.builds)):
-                for name, (guest, host) in self.builds.items():
-                    # Throwaway report: staging wants candidates only;
-                    # Table 1 accounting belongs to offline learning.
-                    report = LearningReport(benchmark=name)
-                    pairs = _extract_stage(
-                        guest, host, self.direction, report
-                    )
-                    for candidate in _paramize_stage(
-                        pairs, self.direction, report
-                    ):
-                        staged.append((name, candidate))
+                for name, pair in self.builds.items():
+                    staged.extend(self._stage_build(name, pair))
+                for name, pair in self._extra_builds:
+                    staged.extend(self._stage_build(name, pair))
             self._staged = staged
             metrics = get_metrics()
             metrics.inc("service.learner.staged_candidates", len(staged))
             metrics.inc("service.learner.stage_seconds",
                         time.perf_counter() - start)
         return self._staged
+
+    def add_build(
+        self, name: str,
+        pair: tuple[CompiledProgram, CompiledProgram],
+    ) -> int:
+        """Ingest one dual build after construction (corpus feed).
+
+        Stages it immediately when the corpus is already staged (so
+        the next round sees it) and remembers it otherwise.  ``name``
+        becomes the origin of any rule learned from it; names may
+        repeat across codegen styles.  Returns how many candidates the
+        build staged (0 when staging is still pending).
+        """
+        self._extra_builds.append((name, pair))
+        if self._staged is None:
+            return 0
+        fresh = self._stage_build(name, pair)
+        self._staged.extend(fresh)
+        get_metrics().inc("service.learner.staged_candidates", len(fresh))
+        return len(fresh)
 
     # -- gap matching --------------------------------------------------------
 

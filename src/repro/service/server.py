@@ -137,6 +137,10 @@ class RuleService:
         #: flipped by the coordinator's ``catchup_done``.
         self.ready = ready
         self.learn_errors = 0
+        #: Corpus-ingestion counters (``ingest_source`` op): programs
+        #: accepted, synthetic gaps absorbed, and published rules whose
+        #: origin is a ``corpus:`` tag.
+        self.corpus_stats = {"programs": 0, "gaps": 0, "rules": 0}
 
     # -- request dispatch ----------------------------------------------------
 
@@ -247,6 +251,57 @@ class RuleService:
             pending=self.gaps.pending,
         )
 
+    def _op_ingest_source(self, request: dict) -> dict:
+        """Ingest one corpus program into the online learner.
+
+        Compiles the MiniC ``source`` in the requested codegen styles,
+        stages the builds under the program's ``corpus:<digest>``
+        origin, and absorbs one synthetic gap per compiled function —
+        the whole-function window contains every candidate the program
+        staged, so the next learning round (client ``flush``, or the
+        auto-learn scheduler) verifies exactly this program's fresh
+        candidates.  Learning itself stays on the serialized round
+        path; this op never blocks serving on the solver.
+        """
+        if self.learner is None:
+            return error_response(
+                "server has no online learner (started without --corpus)"
+            )
+        from repro.corpus.pipeline import corpus_origin, program_digest
+        from repro.minic.compile import compile_source
+        from repro.service.gaps import canonical_gap
+
+        source = request.get("source")
+        if not isinstance(source, str) or not source.strip():
+            return error_response("ingest_source needs MiniC source text")
+        origin = request.get("origin") or \
+            corpus_origin(program_digest(source))
+        styles = request.get("styles") or ["llvm", "gcc"]
+        opt_level = int(request.get("opt_level", 2))
+        staged = 0
+        gaps: list[dict] = []
+        for style in styles:
+            guest = compile_source(source, "arm", opt_level, style)
+            host = compile_source(source, "x86", opt_level, style)
+            staged += self.learner.add_build(origin, (guest, host))
+            for name, function in guest.functions.items():
+                if name in guest.runtime_functions:
+                    continue
+                gap = canonical_gap(function.instrs, self.direction)
+                gaps.append(dict(gap.to_json(), count=1))
+        new = self.gaps.absorb(gaps)
+        self.corpus_stats["programs"] += 1
+        self.corpus_stats["gaps"] += new
+        self.telemetry.gaps.add(len(gaps))
+        get_metrics().inc("service.corpus.programs")
+        return ok_response(
+            origin=origin,
+            staged_candidates=staged,
+            gaps=len(gaps),
+            new_gaps=new,
+            pending=self.gaps.pending,
+        )
+
     def _op_flush(self, request: dict) -> dict:
         published = self.run_learning_round()
         return ok_response(
@@ -278,6 +333,7 @@ class RuleService:
             learn_rounds=self.learn_rounds,
             rules_published=self.rules_published,
             bundles_published=self.bundles_published,
+            corpus=dict(self.corpus_stats),
             telemetry=self.telemetry.snapshot(
                 queue_depth=self.gaps.pending,
             ),
@@ -348,6 +404,10 @@ class RuleService:
             self.bundles_published += 1
             self.rules_published += ref.rules
             self.telemetry.rules.add(ref.rules)
+            self.corpus_stats["rules"] += sum(
+                1 for rule in round_.rules
+                if str(rule.origin).startswith("corpus:")
+            )
         tracer = get_tracer()
         if tracer.enabled:
             digest = ref.digest if ref is not None else None

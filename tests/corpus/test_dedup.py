@@ -1,0 +1,122 @@
+"""Seen-store classification, durability, and staleness handling."""
+
+import json
+
+from repro.corpus.dedup import (
+    STORE_FILE_VERSION,
+    STORE_FORMAT,
+    SeenStore,
+)
+from repro.learning.cache import SEMANTICS_VERSION, VerificationCache
+from repro.learning.canon import CandidateOutcome
+
+
+class TestClassify:
+    def test_unknown_program_is_fresh(self):
+        store = SeenStore()
+        decision = store.classify("p1", ["w1", "w2"])
+        assert decision.verdict == "fresh"
+        assert not decision.skipped
+        assert decision.fresh_candidates == 2
+
+    def test_seen_program_is_dup(self):
+        store = SeenStore()
+        store.add_program("p1", region="arith")
+        decision = store.classify("p1", ["w1"])
+        assert decision.verdict == "dup_program"
+        assert decision.skipped
+
+    def test_all_windows_settled_skips(self):
+        store = SeenStore()
+        store.add_windows(["w1", "w2"])
+        decision = store.classify("p2", ["w1", "w2"])
+        assert decision.verdict == "all_settled"
+        assert decision.skipped
+        assert decision.settled == 2
+
+    def test_partially_settled_stays_fresh(self):
+        """A program with even one unsettled window is still fuel:
+        the cache replays the settled windows for free."""
+        store = SeenStore()
+        store.add_windows(["w1"])
+        decision = store.classify("p2", ["w1", "w2", "w3"])
+        assert decision.verdict == "fresh"
+        assert decision.settled == 1
+        assert decision.fresh_candidates == 2
+
+    def test_cache_settles_windows_too(self, tmp_path):
+        cache = VerificationCache.at_dir(tmp_path / "cache")
+        cache.put("w1", CandidateOutcome(calls=1))
+        store = SeenStore()
+        decision = store.classify("p3", ["w1"], cache)
+        assert decision.verdict == "all_settled"
+
+    def test_no_candidates_is_fresh(self):
+        # An empty window set can't prove settlement; let the feed
+        # decide (it will learn nothing, cheaply).
+        store = SeenStore()
+        assert store.classify("p4", []).verdict == "fresh"
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        store = SeenStore.at_dir(tmp_path)
+        store.add_program("p1", region="arith", seed=7)
+        store.add_windows(["w1", "w2"])
+        store.save()
+        reloaded = SeenStore.at_dir(tmp_path)
+        assert reloaded.seen_program("p1")
+        assert reloaded.program_meta("p1")["region"] == "arith"
+        assert reloaded.seen_window("w2")
+        assert len(reloaded) == 1
+        assert reloaded.windows == 2
+
+    def test_save_is_noop_when_clean(self, tmp_path):
+        store = SeenStore.at_dir(tmp_path)
+        store.save()
+        assert not (tmp_path / "corpus-seen.json").exists()
+
+    def test_corrupt_file_quarantined(self, tmp_path):
+        path = tmp_path / "corpus-seen.json"
+        path.write_text("{not json")
+        store = SeenStore(path)
+        assert len(store) == 0
+        assert store.stats.corrupt == 1
+        quarantine = tmp_path / "corpus-seen.json.corrupt"
+        assert quarantine.exists()
+        assert quarantine.read_text() == "{not json"
+        # The store must be usable (and savable) after quarantine.
+        store.add_program("p1")
+        store.save()
+        assert SeenStore(path).seen_program("p1")
+
+    def test_wrong_shape_quarantined(self, tmp_path):
+        path = tmp_path / "corpus-seen.json"
+        path.write_text(json.dumps({"format": STORE_FORMAT,
+                                    "version": STORE_FILE_VERSION,
+                                    "semantics": SEMANTICS_VERSION,
+                                    "programs": [], "windows": {}}))
+        store = SeenStore(path)
+        assert store.stats.corrupt == 1
+        assert (tmp_path / "corpus-seen.json.corrupt").exists()
+
+    def test_semantics_bump_discards_as_stale(self, tmp_path):
+        store = SeenStore.at_dir(tmp_path)
+        store.add_program("p1")
+        store.add_windows(["w1"])
+        store.save()
+        bumped = SeenStore(tmp_path / "corpus-seen.json",
+                           semantics_version=SEMANTICS_VERSION + 1)
+        assert len(bumped) == 0
+        assert bumped.windows == 0
+        assert bumped.stats.stale == 1
+        assert bumped.stats.corrupt == 0
+        # Stale is not corrupt: no quarantine file.
+        assert not (tmp_path / "corpus-seen.json.corrupt").exists()
+        # Saving under the new semantics overwrites the stale store.
+        bumped.add_program("p2")
+        bumped.save()
+        reread = SeenStore(tmp_path / "corpus-seen.json",
+                           semantics_version=SEMANTICS_VERSION + 1)
+        assert reread.seen_program("p2")
+        assert not reread.seen_program("p1")

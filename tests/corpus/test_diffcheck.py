@@ -1,0 +1,110 @@
+"""Differential soundness harness and the bugs it exists to catch."""
+
+import json
+
+from repro.corpus.diffcheck import (
+    DiffResult,
+    _same_failure_kind,
+    check_source,
+    dump_failure,
+    minimize,
+)
+from repro.corpus.generate import generate_program
+from repro.corpus.grammar import REGIONS
+
+
+class TestCheckSource:
+    def test_sound_program_passes_all_four_executions(self):
+        source = generate_program(REGIONS["mixed"], 21, "mixed", 0)
+        result = check_source(source)
+        assert result.ok, result.describe()
+        assert set(result.observed) == {
+            "llvm/arm", "llvm/x86", "gcc/arm", "gcc/x86"
+        }
+        assert not result.errors
+
+    def test_crash_is_captured_not_raised(self):
+        result = check_source("int main(void) { return undeclared; }\n")
+        assert not result.ok
+        assert "oracle" in result.errors
+
+
+class TestTwoAddressHazard:
+    """Regression: ``v = t op v`` in a loop used to emit
+    ``movl t, dest; op v, dest`` on x86, clobbering ``v`` with ``t``
+    before the operation read it (found by this fuzzer)."""
+
+    def _loop(self, update):
+        return (
+            "int main(void) {\n"
+            "  int t = 3;\n"
+            "  int v = 100;\n"
+            "  int i = 0;\n"
+            "  for (i = 0; i < 4; i += 1) {\n"
+            f"    v = ({update});\n"
+            "  }\n"
+            "  return v;\n"
+            "}\n"
+        )
+
+    def test_commutative_ops(self):
+        for op in ("+", "*", "&", "|", "^"):
+            result = check_source(self._loop(f"t {op} v"))
+            assert result.ok, f"{op}: {result.describe()}"
+
+    def test_subtraction_and_self_subtraction(self):
+        assert check_source(self._loop("t - v")).ok
+        assert check_source(self._loop("5 - v")).ok
+        assert check_source(self._loop("v - v")).ok
+
+    def test_shift_count_is_destination(self):
+        # Count saved to ecx before the movl can clobber it; counts
+        # stay masked (unmasked dynamic counts >= 32 diverge between
+        # ISAs by design and are outside the generator's grammar).
+        assert check_source(self._loop("t << (v & 7)")).ok
+        assert check_source(self._loop("t >> (v & 7)")).ok
+        assert check_source(self._loop("(v >> (-1 & 7)) + v")).ok
+
+
+class TestSameFailureKind:
+    def test_ok_trial_never_matches(self):
+        original = DiffResult(ok=False, oracle=1,
+                              observed={"gcc/x86": 2})
+        assert not _same_failure_kind(original, DiffResult(ok=True))
+
+    def test_pure_divergence_must_stay_error_free(self):
+        original = DiffResult(ok=False, oracle=1,
+                              observed={"gcc/x86": 2})
+        divergent = DiffResult(ok=False, oracle=3,
+                               observed={"gcc/x86": 4})
+        crashed = DiffResult(ok=False,
+                             errors={"oracle": "SemanticError: x"})
+        assert _same_failure_kind(original, divergent)
+        assert not _same_failure_kind(original, crashed)
+
+    def test_crash_keys_must_stay_subset(self):
+        original = DiffResult(ok=False,
+                              errors={"gcc/x86": "E1", "llvm/x86": "E2"})
+        same = DiffResult(ok=False, errors={"gcc/x86": "E1"})
+        other = DiffResult(ok=False, errors={"gcc/arm": "E3"})
+        silent = DiffResult(ok=False, oracle=1, observed={"gcc/x86": 2})
+        assert _same_failure_kind(original, same)
+        assert not _same_failure_kind(original, other)
+        assert not _same_failure_kind(original, silent)
+
+
+class TestMinimize:
+    def test_sound_source_untouched(self):
+        source = "int main(void) {\n  return 7;\n}\n"
+        assert minimize(source) == source
+
+    def test_dump_failure_writes_repro(self, tmp_path):
+        source = "int main(void) { return undeclared; }\n"
+        result = check_source(source)
+        root = dump_failure(source, result, tmp_path,
+                            meta={"region": "unit"})
+        assert (root / "original.c").read_text() == source
+        assert (root / "minimized.c").exists()
+        meta = json.loads((root / "meta.json").read_text())
+        assert meta["region"] == "unit"
+        assert "oracle" in meta["errors"]

@@ -1,0 +1,89 @@
+"""Idiom mining: safety filter, determinism, recombination."""
+
+import pytest
+
+from repro.corpus.diffcheck import check_source
+from repro.corpus.grammar import REGIONS, GrammarConfig
+from repro.corpus.idioms import (
+    Idiom,
+    generate_idiom_program,
+    mine_idioms,
+)
+
+_SOURCES = {
+    "alpha": (
+        "int main(void) {\n"
+        "  int a = 1;\n"
+        "  int b = 2;\n"
+        "  int c = (a + b) & 255;\n"
+        "  c = (a + b) & 255;\n"
+        "  int d = a / b;\n"
+        "  int e = a << 2;\n"
+        "  return c;\n"
+        "}\n"
+    ),
+    "beta": (
+        "int main(void) {\n"
+        "  int x = 3;\n"
+        "  int y = 4;\n"
+        "  int z = (x + y) & 255;\n"
+        "  z = x ^ (y - 1);\n"
+        "  return z;\n"
+        "}\n"
+    ),
+}
+
+
+class TestMining:
+    def test_frequency_ranking_and_safety(self):
+        idioms = mine_idioms(_SOURCES)
+        skeletons = [idiom.skeleton for idiom in idioms]
+        # The accumulate-and-mask shape appears three times across both
+        # sources and must rank first.
+        assert skeletons[0] == "(($0 + $1) & 255)"
+        assert idioms[0].count == 3
+        assert idioms[0].arity == 2
+        # Division and shifts are unsafe under substitution: rejected.
+        assert not any("/" in s or "<<" in s for s in skeletons)
+
+    def test_mining_is_deterministic(self):
+        assert mine_idioms(_SOURCES) == mine_idioms(_SOURCES)
+
+    def test_benchsuite_mining_yields_idioms(self):
+        idioms = mine_idioms(top=8)
+        assert len(idioms) == 8
+        assert all(idiom.count >= 1 for idiom in idioms)
+        assert all("$0" in idiom.skeleton for idiom in idioms)
+
+
+class TestInstantiate:
+    def test_placeholders_substituted_in_slot_order(self):
+        idiom = Idiom(skeleton="(($0 + $1) & $0)", arity=2, count=1)
+        assert idiom.instantiate(["x", "y"]) == "((x + y) & x)"
+
+    def test_double_digit_slots(self):
+        # $1 must not be corrupted by substituting $1 into $10's text.
+        skeleton = "(" + " + ".join(f"${i}" for i in range(11)) + ")"
+        idiom = Idiom(skeleton=skeleton, arity=11, count=1)
+        names = [f"n{i}" for i in range(11)]
+        assert idiom.instantiate(names) == \
+            "(" + " + ".join(names) + ")"
+
+
+class TestGeneration:
+    def test_same_slot_same_bytes(self):
+        config = REGIONS["idioms"]
+        first = generate_idiom_program(config, 31, "idioms", 5)
+        second = generate_idiom_program(config, 31, "idioms", 5)
+        assert first == second
+
+    def test_idiom_programs_are_sound(self):
+        config = REGIONS["idioms"]
+        for index in range(3):
+            source = generate_idiom_program(config, 31, "idioms", index)
+            result = check_source(source)
+            assert result.ok, result.describe()
+
+    def test_empty_idiom_list_rejected(self):
+        with pytest.raises(ValueError):
+            generate_idiom_program(GrammarConfig(), 1, idioms=[])

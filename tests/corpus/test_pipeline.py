@@ -1,0 +1,84 @@
+"""Ingest pipeline: digest, staging, classification, commit."""
+
+from repro.corpus.dedup import SeenStore
+from repro.corpus.generate import generate_program
+from repro.corpus.grammar import REGIONS
+from repro.corpus.pipeline import (
+    IngestPipeline,
+    corpus_origin,
+    program_digest,
+)
+from repro.learning.cache import VerificationCache
+
+
+def _source(index=0):
+    return generate_program(REGIONS["arith"], 13, "arith", index)
+
+
+class TestIdentity:
+    def test_digest_is_stable(self):
+        assert program_digest("int main(void) { return 1; }\n") == \
+            program_digest("int main(void) { return 1; }\n")
+
+    def test_origin_is_namespaced_and_short(self):
+        digest = program_digest(_source())
+        origin = corpus_origin(digest)
+        assert origin == f"corpus:{digest[:12]}"
+
+
+class TestPipeline:
+    def test_fresh_program_stages_both_styles(self):
+        pipeline = IngestPipeline(SeenStore())
+        program = pipeline.process(_source())
+        assert program.decision.verdict == "fresh"
+        assert set(program.builds) == {"llvm", "gcc"}
+        assert program.candidate_digests()
+
+    def test_committed_program_becomes_dup(self):
+        store = SeenStore()
+        pipeline = IngestPipeline(store)
+        program = pipeline.process(_source())
+        pipeline.commit(program)
+        again = pipeline.process(_source())
+        assert again.decision.verdict == "dup_program"
+        # The short-circuit never compiled the duplicate.
+        assert not again.builds
+
+    def test_settled_windows_skip_new_program(self, tmp_path):
+        """A *different* program whose windows were all settled by an
+        earlier commit is all_settled, not dup_program."""
+        store = SeenStore()
+        pipeline = IngestPipeline(store)
+        first = pipeline.process(_source(0))
+        pipeline.commit(first)
+        # Feed the first program's windows as if a twin program had
+        # them all: simulate by classifying directly.
+        decision = store.classify("other-digest",
+                                  first.candidate_digests())
+        assert decision.verdict == "all_settled"
+
+    def test_cache_only_settlement(self, tmp_path):
+        """Windows settled by the verification cache (offline learning
+        or another feeder) skip programs this store never saw."""
+        cache = VerificationCache.at_dir(tmp_path / "cache")
+        pipeline = IngestPipeline(SeenStore(), cache)
+        program = pipeline.process(_source(1))
+        from repro.learning.canon import CandidateOutcome
+
+        for digest in program.candidate_digests():
+            cache.put(digest, CandidateOutcome(calls=1))
+        rerun = IngestPipeline(SeenStore(), cache).process(_source(1))
+        assert rerun.decision.verdict == "all_settled"
+
+    def test_staging_emits_no_learning_events(self, tmp_path):
+        """Staging is dedup pre-work: learn.* accounting belongs to the
+        feed, so a staged-then-skipped program must leave no orphaned
+        learning records in the trace."""
+        from repro.obs.trace import read_trace, tracing
+
+        trace_path = tmp_path / "trace.jsonl"
+        with tracing(trace_path):
+            IngestPipeline(SeenStore()).process(_source(2))
+        names = {record.name for record in read_trace(trace_path)}
+        assert not any(name.startswith("learn.") for name in names)
+        assert "corpus.program" in names
